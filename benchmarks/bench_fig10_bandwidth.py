@@ -1,0 +1,74 @@
+"""Fig 10: communication bandwidth on Systems I and II (the NCCL
+bandwidth-test analogue: broadcasting 125 MB).
+
+(a) pairwise bandwidth between GPU pairs; (b) effective bandwidth of
+collective communication over growing GPU groups.
+
+Expected shape: System I sustains the NVLink rate for any pair/group;
+System II collapses to PCIe for non-adjacent pairs and for any group
+spanning more than one NVLink pair (the paper reports 184 GB/s -> 15 GB/s).
+"""
+
+import pytest
+
+from repro.cluster import (
+    measure_broadcast_bandwidth,
+    measure_p2p_bandwidth,
+    system_i,
+    system_ii,
+)
+from repro.utils.units import GB
+
+
+class TestFig10:
+    def test_pair_bandwidth(self, benchmark, record_rows):
+        def run():
+            out = {}
+            for name, cluster in (("I", system_i()), ("II", system_ii())):
+                out[name] = {
+                    "adjacent (0-1)": measure_p2p_bandwidth(cluster, 0, 1) / GB,
+                    "distant (0-2)": measure_p2p_bandwidth(cluster, 0, 2) / GB,
+                    "distant (0-7)": measure_p2p_bandwidth(cluster, 0, 7) / GB,
+                }
+            return out
+
+        bw = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            [pair, bw["I"][pair], bw["II"][pair]]
+            for pair in bw["I"]
+        ]
+        record_rows(
+            "Fig 10a: p2p bandwidth, 125 MB transfer (GB/s)",
+            ["GPU pair", "System I", "System II"],
+            rows,
+            notes="paper: System II drops from ~184 GB/s to ~15 GB/s for distant pairs",
+        )
+        assert bw["I"]["adjacent (0-1)"] == pytest.approx(bw["I"]["distant (0-7)"], rel=0.05)
+        assert bw["II"]["adjacent (0-1)"] / bw["II"]["distant (0-2)"] > 5
+
+    def test_collective_bandwidth(self, benchmark, record_rows):
+        group_sizes = [2, 4, 8]
+
+        def run():
+            out = {}
+            for name, cluster in (("I", system_i()), ("II", system_ii())):
+                out[name] = [
+                    measure_broadcast_bandwidth(cluster, list(range(g))) / GB
+                    for g in group_sizes
+                ]
+            return out
+
+        bw = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            [f"{g} GPUs", bw["I"][i], bw["II"][i]]
+            for i, g in enumerate(group_sizes)
+        ]
+        record_rows(
+            "Fig 10b: broadcast bandwidth over GPU groups, 125 MB (GB/s)",
+            ["group", "System I", "System II"],
+            rows,
+            notes="System II collapses once the group spans a PCIe hop",
+        )
+        # System I: flat; System II: cliff after the first NVLink pair
+        assert bw["I"][2] > 0.8 * bw["I"][0]
+        assert bw["II"][0] / bw["II"][2] > 5

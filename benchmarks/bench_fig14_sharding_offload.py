@@ -1,0 +1,124 @@
+"""Fig 14 + §5.4: sharding & offloading — Colossal-AI's adaptive tensor
+placement vs the DeepSpeed ZeRO-3 static-offload baseline.
+
+GPT-2 10B, batch 4 per GPU, data parallelism scaled 1 -> 8 GPUs on
+System II; plus OPT-13B at batch 32 on 8 GPUs.  All spec-mode (memory,
+FLOP and PCIe/collective traffic fully accounted; no 10B-parameter arrays
+materialized).
+
+Expected shape: the static policy offloads everything even when GPU memory
+is free, paying host transfers and CPU Adam each step; the adaptive policy
+keeps chunks on the GPU while they fit, so it wins at every scale — the
+paper reports 1.33x for OPT-13B b=32 on 8 GPUs.
+"""
+
+import pytest
+
+from repro.cluster import system_ii
+from repro.comm import Communicator, SpecArray
+from repro.comm.cost import CostModel
+from repro.models import build_gpt_blocks, gpt2_10b, opt_13b
+from repro.runtime import SpmdRuntime
+from repro.utils.units import GB
+from repro.zero import AdaptivePolicy, StaticPolicy, ZeroOffloadEngine
+
+
+def _run(cfg, policy_cls, n_gpus, batch, headroom_gb=10):
+    cluster = system_ii()
+    rt = SpmdRuntime(cluster, world_size=n_gpus)
+
+    def prog(ctx):
+        comm = Communicator.world(ctx)
+        blocks, criterion = build_gpt_blocks(cfg)
+        kwargs = (
+            dict(activation_headroom=headroom_gb * GB)
+            if policy_cls is AdaptivePolicy
+            else {}
+        )
+        policy = policy_cls(ctx.device, ctx.cpu, CostModel(ctx.cluster), ctx.rank, **kwargs)
+        engine = ZeroOffloadEngine(
+            ctx, blocks, comm, policy, criterion=criterion, chunk_mb=64, lr=1e-4
+        )
+        ids = SpecArray((batch, cfg.seq_len), "int64")
+        engine.train_step(ids, ids)  # placement settles
+        t0 = ctx.clock.time
+        engine.train_step(ids, ids)
+        return (
+            ctx.clock.time - t0,
+            engine.gpu_param_fraction(),
+            ctx.device.memory.peak / GB,
+            ctx.cpu.memory.peak / GB,
+        )
+
+    return rt.run(prog, materialize=False)[0]
+
+
+class TestFig14:
+    def test_gpt2_10b_scaling(self, benchmark, record_rows):
+        cfg = gpt2_10b(seq_len=1024)
+
+        def run():
+            out = {}
+            for n in (1, 4, 8):
+                for name, cls in (("static", StaticPolicy), ("adaptive", AdaptivePolicy)):
+                    dt, frac, gpeak, cpeak = _run(cfg, cls, n, batch=4)
+                    out[(n, name)] = (n * 4 / dt, frac, gpeak, cpeak)
+            return out
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = []
+        for n in (1, 4, 8):
+            for name in ("static", "adaptive"):
+                thr, frac, gpeak, cpeak = res[(n, name)]
+                speed = res[(n, "adaptive")][0] / res[(n, "static")][0]
+                rows.append(
+                    [n, name, thr, f"{100*frac:.0f}%", gpeak, cpeak,
+                     f"{speed:.2f}x" if name == "adaptive" else "-"]
+                )
+        record_rows(
+            "Fig 14: GPT-2 10B throughput, batch 4/GPU, ZeRO-3 + offload (System II)",
+            ["gpus", "policy", "samples/s", "gpu-resident", "gpu peak GB", "cpu peak GB", "adaptive/static"],
+            rows,
+            notes="static (DeepSpeed-like) pins everything on the host even\n"
+            "with free GPU memory; adaptive keeps chunks on-GPU and wins "
+            "at every scale",
+        )
+        for n in (1, 4, 8):
+            assert res[(n, "adaptive")][0] > res[(n, "static")][0]
+        # throughput scales with data parallelism
+        assert res[(8, "adaptive")][0] > 3 * res[(1, "adaptive")][0]
+        # static keeps nothing resident; adaptive keeps plenty once sharded
+        assert res[(8, "static")][1] == 0.0
+        assert res[(8, "adaptive")][1] > 0.5
+
+    def test_opt_13b_batch32(self, benchmark, record_rows):
+        cfg = opt_13b(seq_len=1024)
+
+        def run():
+            out = {}
+            for name, cls in (("static", StaticPolicy), ("adaptive", AdaptivePolicy)):
+                # batch 32 needs ~2.7 GB of attention scores per recomputed
+                # block: reserve a large activation headroom
+                out[name] = _run(cfg, cls, 8, batch=32, headroom_gb=65)
+            return out
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        speedup = res["static"][0] / res["adaptive"][0]
+        rows = [
+            [name, 8 * 32 / dt, f"{100*frac:.0f}%", gpeak, cpeak]
+            for name, (dt, frac, gpeak, cpeak) in res.items()
+        ]
+        record_rows(
+            "§5.4: OPT-13B, batch 32/GPU, 8 GPUs (System II)",
+            ["policy", "samples/s", "gpu-resident", "gpu peak GB", "cpu peak GB"],
+            rows,
+            notes=f"adaptive speedup over static: {speedup:.2f}x (paper: 1.33x).\n"
+            "at batch 32 the step is compute-bound, so against our *idealized*\n"
+            "static baseline (chunked transfers, same substrate) the placement\n"
+            "policies converge; the paper's 1.33x is against real DeepSpeed,\n"
+            "whose per-tensor offload overheads our baseline does not include.\n"
+            "The placement advantage shows at small batch (Fig 14 above).",
+        )
+        assert speedup >= 0.99
+        # both policies saturate GPU memory, as the paper observes
+        assert res["static"][2] > 40 and res["adaptive"][2] > 40

@@ -1,0 +1,181 @@
+"""Fig 8: memory range tests for tensor parallelism.
+
+The paper builds a model of two linear layers and sweeps (a, b) batch size
+and (c, d) hidden size, measuring the max allocated CUDA memory of one
+forward+backward pass; 1D/2D/2.5D on 4 GPUs and 1D/2.5D(d=2)/3D on 8 GPUs.
+We run the identical experiment in spec mode against the simulated A100s'
+memory pools (System I) and report per-rank peak bytes.
+
+Expected shape: 1D >> 2D/2.5D/3D because 1D replicates layer inputs and
+outputs while the advanced modes partition them; at the large end the
+paper reports 2.5D/3D peaks 44-74% below 1D.
+"""
+
+import pytest
+
+import repro
+from repro.cluster import uniform_cluster
+from repro.comm import SpecArray
+from repro.context import ParallelMode
+from repro.tensor import Tensor
+from repro.utils.units import MB
+
+SEQ = 512
+DTYPE = "float16"
+
+
+def _two_linear(mode, pc, hidden):
+    """The paper's two-linear-layer model, per mode."""
+    if mode == "1d":
+        from repro.parallel.tensor1d import ColumnParallelLinear, RowParallelLinear
+
+        comm = pc.comm(ParallelMode.TENSOR)
+        l1 = ColumnParallelLinear(hidden, hidden, comm, bias=False, dtype=DTYPE)
+        l2 = RowParallelLinear(hidden, hidden, comm, bias=False, dtype=DTYPE)
+        return lambda x: l2(l1(x)), (l1, l2)
+    if mode == "2d":
+        from repro.parallel.tensor2d import Linear2D
+
+        l1 = Linear2D(hidden, hidden, pc, bias=False, dtype=DTYPE)
+        l2 = Linear2D(hidden, hidden, pc, bias=False, dtype=DTYPE)
+        return lambda x: l2(l1(x)), (l1, l2)
+    if mode == "2.5d":
+        from repro.parallel.tensor25d import Linear25D
+
+        l1 = Linear25D(hidden, hidden, pc, bias=False, dtype=DTYPE)
+        l2 = Linear25D(hidden, hidden, pc, bias=False, dtype=DTYPE)
+        return lambda x: l2(l1(x)), (l1, l2)
+    from repro.parallel.tensor3d import LAYOUT_JK, Linear3D
+
+    l1 = Linear3D(hidden, hidden, pc, LAYOUT_JK, bias=False, dtype=DTYPE)
+    l2 = Linear3D(hidden, hidden, pc, LAYOUT_JK.flipped(), bias=False, dtype=DTYPE)
+    return lambda x: l2(l1(x)), (l1, l2)
+
+
+def _local_input(mode, pc, batch, hidden):
+    if mode == "1d":
+        shape = (batch, SEQ, hidden)
+    elif mode == "2d":
+        q = pc.summa_dim
+        shape = (batch // q, SEQ, hidden // q)
+    elif mode == "2.5d":
+        q, d = pc.tesseract_dim, pc.tesseract_dep
+        shape = (batch // (d * q), SEQ, hidden // q)
+    else:
+        l = pc.cubic_dim
+        shape = (batch // (l * l), SEQ, hidden // l)
+    return SpecArray(shape, DTYPE)
+
+
+def _peak_mb(mode, world, depth, batch, hidden):
+    tdict = dict(size=world, mode=mode)
+    if mode == "2.5d":
+        tdict["depth"] = depth
+    config = dict(parallel=dict(tensor=tdict))
+
+    def prog(ctx, pc):
+        fwd, _layers = _two_linear(mode, pc, hidden)
+        x = Tensor(_local_input(mode, pc, batch, hidden), requires_grad=True)
+        fwd(x).sum().backward()
+        return ctx.device.memory.peak / MB
+
+    res = repro.launch(
+        config, uniform_cluster(world, memory_gb=80), prog,
+        world_size=world, materialize=False,
+    )
+    return res[0]
+
+
+CONFIGS_4GPU = [("1d", 1), ("2d", 1), ("2.5d", 1)]
+CONFIGS_8GPU = [("1d", 1), ("2.5d", 2), ("3d", 1)]
+
+
+class TestFig8:
+    def test_batch_sweep_4gpu(self, benchmark, record_rows):
+        batches = [64, 128, 256, 512]
+        hidden = 4096
+
+        def run():
+            return {
+                m: [_peak_mb(m, 4, d, b, hidden) for b in batches]
+                for m, d in CONFIGS_4GPU
+            }
+
+        peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [[m] + v for m, v in peaks.items()]
+        record_rows(
+            "Fig 8a: peak memory (MiB/GPU), batch sweep, 4 GPUs, h=4096",
+            ["mode"] + [f"b={b}" for b in batches],
+            rows,
+        )
+        for b_idx in range(len(batches)):
+            assert peaks["2d"][b_idx] < peaks["1d"][b_idx]
+            assert peaks["2.5d"][b_idx] < peaks["1d"][b_idx]
+
+    def test_batch_sweep_8gpu(self, benchmark, record_rows):
+        batches = [64, 128, 256, 512]
+        hidden = 4096
+
+        def run():
+            return {
+                m: [_peak_mb(m, 8, d, b, hidden) for b in batches]
+                for m, d in CONFIGS_8GPU
+            }
+
+        peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [[m] + v for m, v in peaks.items()]
+        reduction_25 = 1 - peaks["2.5d"][-1] / peaks["1d"][-1]
+        reduction_3d = 1 - peaks["3d"][-1] / peaks["1d"][-1]
+        record_rows(
+            "Fig 8b: peak memory (MiB/GPU), batch sweep, 8 GPUs, h=4096",
+            ["mode"] + [f"b={b}" for b in batches],
+            rows,
+            notes=f"at b=512: 2.5D {100*reduction_25:.0f}% and 3D "
+            f"{100*reduction_3d:.0f}% below 1D (paper: 44% / 65%)",
+        )
+        assert reduction_25 > 0.3
+        assert reduction_3d > 0.5
+
+    def test_hidden_sweep_8gpu(self, benchmark, record_rows):
+        hiddens = [4096, 8192, 16384]
+        batch = 64
+
+        def run():
+            return {
+                m: [_peak_mb(m, 8, d, batch, h) for h in hiddens]
+                for m, d in CONFIGS_8GPU
+            }
+
+        peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [[m] + v for m, v in peaks.items()]
+        reduction_25 = 1 - peaks["2.5d"][-1] / peaks["1d"][-1]
+        reduction_3d = 1 - peaks["3d"][-1] / peaks["1d"][-1]
+        record_rows(
+            "Fig 8d: peak memory (MiB/GPU), hidden sweep, 8 GPUs, b=64",
+            ["mode"] + [f"h={h}" for h in hiddens],
+            rows,
+            notes=f"at h=16384: 2.5D {100*reduction_25:.0f}% and 3D "
+            f"{100*reduction_3d:.0f}% below 1D (paper: 62% / 74.2%)",
+        )
+        assert reduction_25 > 0.4
+        assert reduction_3d > 0.55
+
+    def test_hidden_sweep_4gpu(self, benchmark, record_rows):
+        hiddens = [4096, 8192, 16384]
+        batch = 64
+
+        def run():
+            return {
+                m: [_peak_mb(m, 4, d, batch, h) for h in hiddens]
+                for m, d in CONFIGS_4GPU
+            }
+
+        peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [[m] + v for m, v in peaks.items()]
+        record_rows(
+            "Fig 8c: peak memory (MiB/GPU), hidden sweep, 4 GPUs, b=64",
+            ["mode"] + [f"h={h}" for h in hiddens],
+            rows,
+        )
+        for i in range(len(hiddens)):
+            assert peaks["2d"][i] < peaks["1d"][i]

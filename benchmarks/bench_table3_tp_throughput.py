@@ -1,0 +1,93 @@
+"""Table 3: tensor-parallelism throughput from 4 to 64 GPUs (System IV).
+
+Reproduces the paper's scaling study on the P100 cluster with the paper's
+own model/batch configurations.  Expected shape: the speedup of advanced
+tensor parallelism over 1D grows with the GPU count (the paper reaches
++275.5% for 2D at 64 GPUs; its headline 2.76x).
+
+Model depth is scaled 24/32 -> 8 layers to keep the simulation quick;
+since every layer has identical compute/communication structure, the
+throughput *ratios* are unaffected.
+"""
+
+import pytest
+
+from repro.cluster import system_iv
+
+from vit_harness import vit_step_time
+
+LAYERS = 8
+
+# (gpus, mode, depth, hidden, heads, global batch) — straight from Table 3
+TABLE3 = [
+    (4, "1d", 1, 2048, 32, 128),
+    (4, "2d", 1, 2048, 32, 256),
+    (4, "2.5d", 1, 2048, 32, 256),
+    (8, "1d", 1, 2048, 32, 256),
+    (8, "2.5d", 2, 2048, 32, 384),
+    (8, "3d", 1, 2048, 32, 512),
+    (16, "1d", 1, 4096, 64, 64),
+    (16, "2d", 1, 4096, 64, 256),
+    (16, "2.5d", 4, 4096, 64, 256),
+    (32, "1d", 1, 4096, 64, 128),
+    (32, "2.5d", 2, 4096, 64, 256),
+    (64, "1d", 1, 4096, 64, 128),
+    (64, "2d", 1, 4096, 64, 512),
+    (64, "2.5d", 4, 4096, 64, 512),
+    (64, "3d", 1, 4096, 64, 512),
+]
+
+PAPER_SPEEDUP = {
+    (4, "2d"): 22.1, (4, "2.5d"): 33.0,
+    (8, "2.5d"): -11.9, (8, "3d"): 12.3,
+    (16, "2d"): 55.8, (16, "2.5d"): 59.6,
+    (32, "2.5d"): 50.6,
+    (64, "2d"): 275.5, (64, "2.5d"): 6.5, (64, "3d"): 86.4,
+}
+
+
+class TestTable3:
+    def test_throughput_scaling(self, benchmark, record_rows):
+        def run():
+            out = {}
+            cluster = system_iv()
+            for gpus, mode, depth, hidden, heads, batch in TABLE3:
+                # 2.5D batch 384 on 8 GPUs: local batch must divide d*q=4
+                t = vit_step_time(
+                    cluster, gpus, mode, batch, LAYERS, hidden, heads, depth
+                )
+                out[(gpus, mode)] = (batch, batch / t if t else 0.0)
+            return out
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = []
+        gains = {}
+        for gpus, mode, depth, hidden, heads, batch in TABLE3:
+            b, thr = res[(gpus, mode)]
+            base = res[(gpus, "1d")][1]
+            speedup = 100 * (thr / base - 1) if mode != "1d" else 0.0
+            gains[(gpus, mode)] = speedup
+            paper = PAPER_SPEEDUP.get((gpus, mode))
+            rows.append(
+                [
+                    gpus, mode, f"{hidden}", b, thr,
+                    f"{speedup:+.1f}%" if mode != "1d" else "-",
+                    f"{paper:+.1f}%" if paper is not None else "-",
+                ]
+            )
+        record_rows(
+            "Table 3: TP throughput on System IV (P100 cluster)",
+            ["gpus", "mode", "hidden", "batch", "img/sec", "speedup vs 1D", "paper"],
+            rows,
+            notes="shape check: advanced-TP speedup over 1D grows with GPU count\n"
+            "(paper's best: 2D +275.5% at 64 GPUs = the 2.76x headline)",
+        )
+        # qualitative assertions from the paper
+        assert gains[(64, "2d")] > gains[(16, "2d")] > 0
+        assert gains[(16, "2.5d")] > 0
+        assert gains[(64, "3d")] > 0
+        # the headline: speedup of advanced TP grows with scale, exceeding
+        # 2x by 64 GPUs (paper's best single point: 2.76x)
+        best64 = max(v for (g, m), v in gains.items() if g == 64)
+        assert best64 > 100
+        assert best64 > max(v for (g, m), v in gains.items() if g == 8)

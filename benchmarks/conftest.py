@@ -1,0 +1,63 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark reproduces one table or figure of the paper.  Besides the
+pytest-benchmark timing, every experiment registers its paper-style result
+table through the ``record_rows`` fixture; ``pytest_terminal_summary``
+prints all registered tables at the end of the run, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+full reproduction report.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+# experiment name -> (headers, rows, notes)
+_RESULTS: Dict[str, Tuple[Sequence[str], List[Sequence], str]] = {}
+
+
+@pytest.fixture
+def record_rows():
+    """record_rows(name, headers, rows, notes="") registers a result table."""
+
+    def _record(name: str, headers: Sequence[str], rows: List[Sequence], notes: str = ""):
+        _RESULTS[name] = (list(headers), rows, notes)
+
+    return _record
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.01 <= abs(value) < 10_000:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    w = terminalreporter.write_line
+    w("")
+    w("=" * 78)
+    w("PAPER REPRODUCTION RESULTS (Colossal-AI, ICPP 2023)")
+    w("=" * 78)
+    for name in sorted(_RESULTS):
+        headers, rows, notes = _RESULTS[name]
+        w("")
+        w(f"--- {name} ---")
+        cells = [[_fmt(c) for c in row] for row in rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        w("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        for r in cells:
+            w("  " + "  ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
+        if notes:
+            for line in notes.strip().splitlines():
+                w(f"  note: {line.strip()}")
+    w("")

@@ -1,0 +1,145 @@
+"""Shared spec-mode ViT throughput harness for Fig 11 and Table 3.
+
+Builds a per-mode tensor-parallel ViT layer stack with activation
+checkpointing (how these models actually fit on 16-80 GB cards), runs one
+training step (forward + backward, optimizer excluded as in the paper's
+img/sec), and reports the simulated step time; OOM-bounded batch search
+doubles the batch until the memory pool overflows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import repro
+from repro.autograd import checkpoint
+from repro.cluster.device import DeviceOutOfMemoryError
+from repro.cluster.machine import ClusterSpec
+from repro.comm import SpecArray
+from repro.context import ParallelMode
+from repro.runtime import RemoteRankError, SpmdRuntime
+from repro.tensor import Tensor
+
+DTYPE = "float16"
+N_PATCHES = 196  # 224 / 16 squared
+
+
+def _build_stack(mode: str, pc, n_layers: int, hidden: int, heads: int):
+    if mode == "1d":
+        from repro.parallel.tensor1d import ParallelTransformerLayer1D
+
+        comm = pc.comm(ParallelMode.TENSOR)
+        return [
+            ParallelTransformerLayer1D(hidden, heads, comm, dtype=DTYPE)
+            for _ in range(n_layers)
+        ]
+    if mode == "2d":
+        from repro.parallel.tensor2d import ParallelTransformerLayer2D
+
+        return [
+            ParallelTransformerLayer2D(hidden, heads, pc, dtype=DTYPE)
+            for _ in range(n_layers)
+        ]
+    if mode == "2.5d":
+        from repro.parallel.tensor25d import ParallelTransformerLayer25D
+
+        return [
+            ParallelTransformerLayer25D(hidden, heads, pc, dtype=DTYPE)
+            for _ in range(n_layers)
+        ]
+    from repro.parallel.tensor3d import LAYOUT_JK, ParallelTransformerLayer3D
+
+    return [
+        ParallelTransformerLayer3D(hidden, heads, pc, LAYOUT_JK, dtype=DTYPE)
+        for _ in range(n_layers)
+    ]
+
+
+def _local_batch_shape(mode: str, pc, batch: int, hidden: int):
+    if mode == "1d":
+        return (batch, N_PATCHES, hidden)
+    if mode == "2d":
+        q = pc.summa_dim
+        return (batch // q, N_PATCHES, hidden // q)
+    if mode == "2.5d":
+        q, d = pc.tesseract_dim, pc.tesseract_dep
+        return (batch // (d * q), N_PATCHES, hidden // q)
+    l = pc.cubic_dim
+    return (batch // (l * l), N_PATCHES, hidden // l)
+
+
+def batch_divisor(mode: str, world: int, depth: int = 1) -> int:
+    import math
+
+    if mode == "1d":
+        return 1
+    if mode == "2d":
+        return math.isqrt(world)
+    if mode == "2.5d":
+        return depth * math.isqrt(world // depth)
+    return round(world ** (1 / 3)) ** 2
+
+
+def vit_step_time(
+    cluster: ClusterSpec,
+    world: int,
+    mode: str,
+    batch: int,
+    n_layers: int,
+    hidden: int,
+    heads: int,
+    depth: int = 1,
+) -> Optional[float]:
+    """Simulated seconds for one fwd+bwd step; None on OOM."""
+    tdict = dict(size=world, mode=mode)
+    if mode == "2.5d":
+        tdict["depth"] = depth
+    config = dict(parallel=dict(tensor=tdict))
+    cluster.reset()
+
+    def prog(ctx, pc):
+        layers = _build_stack(mode, pc, n_layers, hidden, heads)
+        x = Tensor(
+            SpecArray(_local_batch_shape(mode, pc, batch, hidden), DTYPE),
+            requires_grad=True,
+        )
+        t0 = ctx.clock.time
+        h = x
+        for layer in layers:
+            h = checkpoint(layer, h)
+        h.sum().backward()
+        return ctx.clock.time - t0
+
+    try:
+        res = repro.launch(config, cluster, prog, world_size=world, materialize=False)
+        return res[0]
+    except RemoteRankError as e:
+        if isinstance(e.cause, DeviceOutOfMemoryError):
+            return None
+        raise
+
+
+def best_throughput(
+    cluster: ClusterSpec,
+    world: int,
+    mode: str,
+    n_layers: int,
+    hidden: int,
+    heads: int,
+    depth: int = 1,
+    max_batch: int = 4096,
+) -> Tuple[int, float]:
+    """Paper's Fig 11 method: grow the batch until OOM; return
+    (best batch, best global img/sec)."""
+    div = batch_divisor(mode, world, depth)
+    batch = max(8, div)
+    best = (0, 0.0)
+    while batch <= max_batch:
+        t = vit_step_time(cluster, world, mode, batch, n_layers, hidden, heads, depth)
+        if t is None:
+            break
+        thr = batch / t
+        if thr > best[1]:
+            best = (batch, thr)
+        batch *= 2
+    return best

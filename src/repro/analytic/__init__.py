@@ -1,0 +1,34 @@
+"""Closed-form analytical models, used to cross-check measurements.
+
+* :mod:`repro.analytic.commvolume` — Table 1 communication-volume formulas.
+* :mod:`repro.analytic.memory_model` — model-data / non-model-data byte
+  estimates (§1 terminology).
+* :mod:`repro.analytic.perf_model` — FLOP counts for Transformer training.
+"""
+
+from repro.analytic.commvolume import (
+    comm_volume_1d,
+    comm_volume_2d,
+    comm_volume_25d,
+    comm_volume_3d,
+    comm_volume_table,
+)
+from repro.analytic.memory_model import (
+    adam_model_data_bytes,
+    transformer_activation_bytes,
+    transformer_param_count,
+)
+from repro.analytic.perf_model import transformer_layer_flops, training_flops_per_token
+
+__all__ = [
+    "comm_volume_1d",
+    "comm_volume_2d",
+    "comm_volume_25d",
+    "comm_volume_3d",
+    "comm_volume_table",
+    "transformer_param_count",
+    "adam_model_data_bytes",
+    "transformer_activation_bytes",
+    "transformer_layer_flops",
+    "training_flops_per_token",
+]

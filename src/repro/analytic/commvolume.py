@@ -1,0 +1,78 @@
+"""Table 1: communication volume of tensor parallelism.
+
+For ``Y = W X`` with X of shape (b, s, h) and W of shape (h, h):
+
+====  =============================================
+1D    ``2 (p-1) * S_X``
+2D    ``3 (j-1) * (S_X + S_W)``           (p = j^2)
+2.5D  ``3 (k-1) * (S_X / d + S_W)``       (p = d k^2)
+3D    ``2 (l-1)/l * (S_X + S_W + S_Y)``   (p = l^3)
+====  =============================================
+
+All volumes are in *elements transferred* (the paper's unit).  The 1D,
+2D and 2.5D rows count total wire traffic of the fwd+bwd pass as measured
+by our counters; the 3D row follows the paper's published form, which is a
+per-ring-member count — multiply by ``l`` for the total (the bench reports
+both and verifies the factor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+def _sizes(b: int, s: int, h: int) -> Dict[str, int]:
+    return {"S_X": b * s * h, "S_W": h * h, "S_Y": b * s * h}
+
+
+def comm_volume_1d(p: int, b: int, s: int, h: int) -> float:
+    sx = _sizes(b, s, h)["S_X"]
+    return 2 * (p - 1) * sx
+
+
+def comm_volume_2d(p: int, b: int, s: int, h: int) -> float:
+    j = math.isqrt(p)
+    if j * j != p:
+        raise ValueError(f"2D needs a square p, got {p}")
+    z = _sizes(b, s, h)
+    return 3 * (j - 1) * (z["S_X"] + z["S_W"])
+
+
+def comm_volume_25d(p: int, b: int, s: int, h: int, d: int) -> float:
+    if p % d:
+        raise ValueError(f"2.5D needs p divisible by depth, got p={p}, d={d}")
+    k = math.isqrt(p // d)
+    if k * k * d != p:
+        raise ValueError(f"2.5D needs p = d*k^2, got p={p}, d={d}")
+    z = _sizes(b, s, h)
+    return 3 * (k - 1) * (z["S_X"] / d + z["S_W"])
+
+
+def comm_volume_3d(p: int, b: int, s: int, h: int, total: bool = False) -> float:
+    l = round(p ** (1 / 3))
+    if l**3 != p:
+        raise ValueError(f"3D needs a cubic p, got {p}")
+    z = _sizes(b, s, h)
+    per_member = 2 * (l - 1) / l * (z["S_X"] + z["S_W"] + z["S_Y"])
+    return per_member * l if total else per_member
+
+
+def comm_volume_table(
+    ps: List[int], b: int = 32, s: int = 512, h: int = 1024, depth: int = 2
+) -> List[Dict[str, float]]:
+    """The Fig 5 dataset: volume per mode for each GPU count (NaN where the
+    mode's topology constraint isn't met)."""
+    rows = []
+    for p in ps:
+        row: Dict[str, float] = {"p": p, "1d": comm_volume_1d(p, b, s, h)}
+        j = math.isqrt(p)
+        row["2d"] = comm_volume_2d(p, b, s, h) if j * j == p else float("nan")
+        try:
+            row["2.5d"] = comm_volume_25d(p, b, s, h, depth)
+        except ValueError:
+            row["2.5d"] = float("nan")
+        l = round(p ** (1 / 3))
+        row["3d"] = comm_volume_3d(p, b, s, h) if l**3 == p else float("nan")
+        rows.append(row)
+    return rows

@@ -1,0 +1,62 @@
+"""Memory estimates in the paper's §1 terminology.
+
+*Model data* = parameters + gradients + optimizer states; with Adam in
+mixed precision this is 2 (fp16 param) + 2 (fp16 grad) + 4+4+4 (fp32
+master, m, v) = **16 bytes per parameter** — the paper's "10B parameters
+... more than 80 GB" arithmetic.
+
+*Non-model data* = activations; for a Transformer layer these scale with
+``b * s * h`` and, through the attention scores, with ``b * heads * s^2``
+— the quadratic term sequence parallelism attacks.
+"""
+
+from __future__ import annotations
+
+
+def transformer_param_count(
+    n_layers: int, hidden: int, vocab: int = 0, seq_len: int = 0, mlp_ratio: int = 4
+) -> int:
+    """Parameters of an L-layer Transformer (+ optional embeddings/head)."""
+    per_layer = (
+        4 * hidden * hidden + 4 * hidden          # QKV + out proj (+biases)
+        + 2 * mlp_ratio * hidden * hidden + (mlp_ratio + 1) * hidden  # MLP
+        + 4 * hidden                               # 2 LayerNorms
+    )
+    emb = vocab * hidden + seq_len * hidden
+    head = vocab * hidden
+    return n_layers * per_layer + emb + head
+
+
+def adam_model_data_bytes(
+    n_params: int, param_bytes: int = 2, grad_bytes: int = 2, master: bool = True
+) -> int:
+    """Bytes of model data under (mixed-precision) Adam.
+
+    fp16 params + fp16 grads + fp32 (master + m + v) = 16 B/param."""
+    opt = (4 + 4 + 4) if master else (4 + 4)
+    return n_params * (param_bytes + grad_bytes + opt)
+
+
+def transformer_activation_bytes(
+    batch: int,
+    seq: int,
+    hidden: int,
+    n_heads: int,
+    n_layers: int,
+    mlp_ratio: int = 4,
+    bytes_per_elem: int = 2,
+    with_scores: bool = True,
+    checkpoint: bool = False,
+) -> int:
+    """Rough per-step activation footprint.
+
+    Each layer stores ~``(10 + 2*mlp_ratio) * b*s*h`` activation elements
+    plus the attention probabilities ``2 * b * heads * s^2`` (scores +
+    softmax output).  With activation checkpointing only the layer inputs
+    (``b*s*h`` per layer) persist.
+    """
+    linear_terms = (10 + 2 * mlp_ratio) * batch * seq * hidden
+    score_terms = 2 * batch * n_heads * seq * seq if with_scores else 0
+    if checkpoint:
+        return n_layers * batch * seq * hidden * bytes_per_elem
+    return n_layers * (linear_terms + score_terms) * bytes_per_elem

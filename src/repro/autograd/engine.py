@@ -1,0 +1,141 @@
+"""Backward pass execution.
+
+Iterative reverse-topological traversal.  Two properties matter for the
+reproduction:
+
+* **Determinism** — children are visited in recorded order, so gradient
+  accumulation order (and therefore floating-point results) is identical
+  run to run; the multi-dim TP parity tests rely on this.
+* **Eager memory release** — as soon as a node's backward has run, its
+  saved activations and its outputs' gradient buffers are dropped, so the
+  simulated memory high-water mark matches the shape of a real framework's
+  forward/backward curve (rising through forward, falling through
+  backward).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.function import Node, _charge
+from repro.autograd.payload_ops import padd, pones_like, pzeros
+from repro.comm.payload import Payload, is_spec
+from repro.tensor.tensor import Tensor
+
+
+def _topo_order(root: Node) -> List[Node]:
+    """Nodes in an order where every node precedes the producers of its
+    inputs (i.e. reverse topological for the forward graph)."""
+    order: List[Node] = []
+    seen = set()
+    stack: List[Tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent in node.parents():
+            if id(parent) not in seen:
+                stack.append((parent, False))
+    order.reverse()  # loss node first, producers toward the leaves last
+    return order
+
+
+def backward(root: Tensor, grad: Optional[Tensor] = None) -> None:
+    """Run reverse-mode autodiff from ``root``.
+
+    Leaf tensors with ``requires_grad`` accumulate into ``.grad`` (a Tensor
+    tagged ``"grad"``); intermediate gradients live only transiently.
+    """
+    if root.grad_fn is None:
+        if root.requires_grad:
+            seed = grad.payload if grad is not None else pones_like(root.payload)
+            _accumulate_leaf(root, seed)
+            return
+        raise RuntimeError("backward() on a tensor that is not part of a graph")
+
+    if grad is None:
+        if root.size != 1:
+            raise RuntimeError(
+                f"backward() without explicit gradient requires a scalar, got shape {root.shape}"
+            )
+        seed: Payload = pones_like(root.payload)
+    else:
+        seed = grad.payload
+
+    # gradient buffers for intermediate tensors, keyed by tensor identity
+    grads: Dict[int, Payload] = {id(root): seed}
+
+    for node in _topo_order(root.grad_fn):
+        out_grads: List[Optional[Payload]] = []
+        any_grad = False
+        for ref in node.outputs:
+            t = ref()
+            g = grads.get(id(t)) if t is not None else None
+            if g is None and t is not None:
+                g = pzeros(t.shape, t.dtype, spec=is_spec(t.payload))
+            if g is not None:
+                any_grad = True
+            out_grads.append(g)
+        if not any_grad:
+            node.ctx.release()
+            continue
+
+        in_grads = node.fn_cls.backward(node.ctx, *out_grads)
+        if not isinstance(in_grads, tuple):
+            in_grads = (in_grads,)
+        bflops = (
+            node.ctx.backward_flops
+            if node.ctx.backward_flops is not None
+            else node.ctx.flops
+        )
+        if bflops:
+            ref_t = _first_live(node)
+            _charge(bflops, ref_t.dtype if ref_t is not None else np.dtype("float32"))
+
+        tensor_inputs = [t for t in node.inputs if isinstance(t, Tensor)]
+        if len(in_grads) != len(tensor_inputs):
+            raise RuntimeError(
+                f"{node.name}.backward returned {len(in_grads)} grads for "
+                f"{len(tensor_inputs)} tensor inputs"
+            )
+        for t, g in zip(tensor_inputs, in_grads):
+            if g is None or not t.requires_grad:
+                continue
+            if t.grad_fn is None:
+                _accumulate_leaf(t, g)
+            else:
+                prev = grads.get(id(t))
+                grads[id(t)] = g if prev is None else padd(prev, g)
+
+        # free this node's state: saved activations + its outputs' grads
+        node.ctx.release()
+        for ref in node.outputs:
+            t = ref()
+            if t is not None:
+                grads.pop(id(t), None)
+
+
+def _first_live(node: Node) -> Optional[Tensor]:
+    for ref in node.outputs:
+        t = ref()
+        if t is not None:
+            return t
+    return None
+
+
+def _accumulate_leaf(t: Tensor, g: Payload) -> None:
+    if tuple(g.shape) != t.shape:
+        raise RuntimeError(
+            f"gradient shape {tuple(g.shape)} does not match leaf shape {t.shape}"
+        )
+    if t.grad is None:
+        t.grad = Tensor(g, device=t.device, tag="grad")
+    else:
+        t.grad.payload = padd(t.grad.payload, g)

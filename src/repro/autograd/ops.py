@@ -1,0 +1,714 @@
+"""Differentiable tensor operations.
+
+Each op is a :class:`Function` subclass plus a small dispatcher that accepts
+Python scalars where natural.  FLOP conventions (charged to the simulated
+clock): matmul ``2·m·n·k`` forward and twice that backward (two matmuls);
+elementwise ops ``~size``; normalization/softmax a small constant multiple
+of ``size``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.function import FnCtx, Function
+from repro.autograd import payload_ops as P
+from repro.comm.payload import Payload, SpecArray, is_spec
+from repro.runtime.spmd import current_rank_context, in_spmd
+from repro.tensor.tensor import Tensor
+
+Scalar = Union[int, float]
+
+
+def _const(value, like: Tensor) -> Tensor:
+    """Wrap a scalar/array as a non-grad Tensor matching ``like``'s mode."""
+    if is_spec(like.payload):
+        arr = np.asarray(value, dtype=like.dtype)
+        return Tensor(SpecArray(arr.shape, arr.dtype), device=like.device)
+    return Tensor(np.asarray(value, dtype=like.dtype), device=like.device)
+
+
+def _maybe_tensor(x, like: Tensor) -> Tensor:
+    return x if isinstance(x, Tensor) else _const(x, like)
+
+
+# ---------------------------------------------------------------------------
+# elementwise binary
+# ---------------------------------------------------------------------------
+
+
+class Add(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, b: Tensor) -> Payload:
+        ctx.a_shape, ctx.b_shape = a.shape, b.shape
+        ctx.flops = max(a.size, b.size)
+        return P.padd(a.payload, b.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return P.unbroadcast(g, ctx.a_shape), P.unbroadcast(g, ctx.b_shape)
+
+
+class Sub(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, b: Tensor) -> Payload:
+        ctx.a_shape, ctx.b_shape = a.shape, b.shape
+        ctx.flops = max(a.size, b.size)
+        return P.psub(a.payload, b.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return P.unbroadcast(g, ctx.a_shape), P.unbroadcast(P.pneg(g), ctx.b_shape)
+
+
+class Mul(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, b: Tensor) -> Payload:
+        ctx.save_for_backward(a, b)
+        ctx.flops = max(a.size, b.size)
+        return P.pmul(a.payload, b.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        a, b = ctx.saved_tensors
+        ga = P.unbroadcast(P.pmul(g, b.payload), a.shape)
+        gb = P.unbroadcast(P.pmul(g, a.payload), b.shape)
+        return ga, gb
+
+
+class Div(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, b: Tensor) -> Payload:
+        ctx.save_for_backward(a, b)
+        ctx.flops = max(a.size, b.size)
+        return P.pdiv(a.payload, b.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        a, b = ctx.saved_tensors
+        ga = P.unbroadcast(P.pdiv(g, b.payload), a.shape)
+        gb_full = P.pneg(P.pdiv(P.pmul(g, a.payload), P.pmul(b.payload, b.payload)))
+        return ga, P.unbroadcast(gb_full, b.shape)
+
+
+def add(a: Tensor, b) -> Tensor:
+    return Add.apply(a, _maybe_tensor(b, a))
+
+
+def sub(a: Tensor, b) -> Tensor:
+    return Sub.apply(a, _maybe_tensor(b, a))
+
+
+def mul(a: Tensor, b) -> Tensor:
+    return Mul.apply(a, _maybe_tensor(b, a))
+
+
+def div(a: Tensor, b) -> Tensor:
+    return Div.apply(a, _maybe_tensor(b, a))
+
+
+# ---------------------------------------------------------------------------
+# elementwise unary
+# ---------------------------------------------------------------------------
+
+
+class Neg(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        ctx.flops = a.size
+        return P.pneg(a.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return (P.pneg(g),)
+
+
+class Power(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, exponent: float) -> Payload:
+        ctx.save_for_backward(a)
+        ctx.exponent = exponent
+        ctx.flops = 2 * a.size
+        return P.ppow(a.payload, exponent)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        (a,) = ctx.saved_tensors
+        e = ctx.exponent
+        return (P.pmul(g, P.pmul(P.ppow(a.payload, e - 1), _scalar_like(e, g))),)
+
+
+def _scalar_like(v: float, ref: Payload) -> Payload:
+    if is_spec(ref):
+        return SpecArray((), ref.dtype)
+    return np.asarray(v, dtype=ref.dtype)
+
+
+class Exp(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        out = P.pexp(a.payload)
+        ctx.out = out
+        ctx.flops = a.size
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return (P.pmul(g, ctx.out),)
+
+
+class Log(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        ctx.save_for_backward(a)
+        ctx.flops = a.size
+        return P.plog(a.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        (a,) = ctx.saved_tensors
+        return (P.pdiv(g, a.payload),)
+
+
+class Sqrt(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        out = P.psqrt(a.payload)
+        ctx.out = out
+        ctx.flops = a.size
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        half = _scalar_like(0.5, g)
+        return (P.pdiv(P.pmul(g, half), ctx.out),)
+
+
+class Tanh(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        out = P.ptanh(a.payload)
+        ctx.out = out
+        ctx.flops = a.size
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        t2 = P.pmul(ctx.out, ctx.out)
+        one = _scalar_like(1.0, g)
+        return (P.pmul(g, P.psub(one, t2)),)
+
+
+class Sigmoid(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        out = P.psigmoid(a.payload)
+        ctx.out = out
+        ctx.flops = 2 * a.size
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        s = ctx.out
+        one = _scalar_like(1.0, g)
+        return (P.pmul(g, P.pmul(s, P.psub(one, s))),)
+
+
+class Relu(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        ctx.save_for_backward(a)
+        ctx.flops = a.size
+        return P.prelu(a.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        (a,) = ctx.saved_tensors
+        if is_spec(g):
+            return (g.copy(),)
+        return (g * (a.payload > 0),)
+
+
+class Gelu(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor) -> Payload:
+        ctx.save_for_backward(a)
+        ctx.flops = 8 * a.size
+        return P.pgelu(a.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        (a,) = ctx.saved_tensors
+        return (P.pgelu_grad(a.payload, g),)
+
+
+def neg(a: Tensor) -> Tensor:
+    return Neg.apply(a)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    return Power.apply(a, exponent)
+
+
+def exp(a: Tensor) -> Tensor:
+    return Exp.apply(a)
+
+
+def log(a: Tensor) -> Tensor:
+    return Log.apply(a)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    return Sqrt.apply(a)
+
+
+def tanh(a: Tensor) -> Tensor:
+    return Tanh.apply(a)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    return Sigmoid.apply(a)
+
+
+def relu(a: Tensor) -> Tensor:
+    return Relu.apply(a)
+
+
+def gelu(a: Tensor) -> Tensor:
+    return Gelu.apply(a)
+
+
+# ---------------------------------------------------------------------------
+# matmul
+# ---------------------------------------------------------------------------
+
+
+class MatMul(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, b: Tensor) -> Payload:
+        ctx.save_for_backward(a, b)
+        ctx.flops = P.matmul_flops(a.shape, b.shape)
+        ctx.backward_flops = 2 * ctx.flops
+        return P.pmatmul(a.payload, b.payload)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        a, b = ctx.saved_tensors
+        ga = P.pmatmul(g, P.pswapaxes(b.payload, -1, -2))
+        gb = P.pmatmul(P.pswapaxes(a.payload, -1, -2), g)
+        # collapse broadcast batch dims back to operand shapes
+        return P.unbroadcast(ga, a.shape), P.unbroadcast(gb, b.shape)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return MatMul.apply(a, b)
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation (views: no new storage)
+# ---------------------------------------------------------------------------
+
+
+class Reshape(Function):
+    IS_VIEW = True
+
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, shape: Tuple[int, ...]) -> Payload:
+        ctx.a_shape = a.shape
+        return P.preshape(a.payload, shape)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return (P.preshape(g, ctx.a_shape),)
+
+
+class Transpose(Function):
+    IS_VIEW = True
+
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, axes: Tuple[int, ...]) -> Payload:
+        ctx.axes = axes
+        return P.ptranspose(a.payload, axes)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        inverse = tuple(np.argsort(ctx.axes))
+        return (P.ptranspose(g, inverse),)
+
+
+class Slice(Function):
+    IS_VIEW = True
+
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, idx) -> Payload:
+        ctx.a_shape = a.shape
+        ctx.a_spec = is_spec(a.payload)
+        ctx.a_dtype = a.dtype
+        ctx.idx = idx
+        return P.pslice(a.payload, idx)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.a_spec or is_spec(g):
+            return (SpecArray(ctx.a_shape, ctx.a_dtype),)
+        out = np.zeros(ctx.a_shape, dtype=g.dtype)
+        out[ctx.idx] = g
+        return (out,)
+
+
+class Concat(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, *parts_and_axis) -> Payload:
+        *parts, axis = parts_and_axis
+        ctx.axis = axis
+        ctx.sizes = [p.shape[axis] for p in parts]
+        ctx.spec = any(is_spec(p.payload) for p in parts)
+        ctx.dtypes = [p.dtype for p in parts]
+        ctx.shapes = [p.shape for p in parts]
+        return P.pconcat([p.payload for p in parts], axis)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.spec or is_spec(g):
+            return tuple(SpecArray(s, d) for s, d in zip(ctx.shapes, ctx.dtypes))
+        grads = []
+        start = 0
+        for size in ctx.sizes:
+            sl = [slice(None)] * g.ndim
+            sl[ctx.axis] = slice(start, start + size)
+            grads.append(np.ascontiguousarray(g[tuple(sl)]))
+            start += size
+        return tuple(grads)
+
+
+def reshape(a: Tensor, *shape) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Reshape.apply(a, tuple(int(s) for s in shape))
+
+
+def transpose(a: Tensor, *axes) -> Tensor:
+    if not axes:
+        axes = tuple(reversed(range(a.ndim)))
+    elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+        axes = tuple(axes[0])
+    return Transpose.apply(a, tuple(int(x) for x in axes))
+
+
+def swapaxes(a: Tensor, ax1: int, ax2: int) -> Tensor:
+    axes = list(range(a.ndim))
+    axes[ax1], axes[ax2] = axes[ax2], axes[ax1]
+    return Transpose.apply(a, tuple(axes))
+
+
+def slice_(a: Tensor, idx) -> Tensor:
+    return Slice.apply(a, idx)
+
+
+def concat(parts: Sequence[Tensor], axis: int = 0) -> Tensor:
+    return Concat.apply(*parts, axis)
+
+
+def split(a: Tensor, parts: int, axis: int = 0) -> Tuple[Tensor, ...]:
+    """Split into ``parts`` equal chunks along ``axis``."""
+    if a.shape[axis] % parts != 0:
+        raise ValueError(f"axis {axis} of {a.shape} not divisible by {parts}")
+    step = a.shape[axis] // parts
+    out = []
+    for i in range(parts):
+        sl = [slice(None)] * a.ndim
+        sl[axis] = slice(i * step, (i + 1) * step)
+        out.append(slice_(a, tuple(sl)))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, axis, keepdims: bool) -> Payload:
+        ctx.a_shape = a.shape
+        ctx.axis = axis
+        ctx.keepdims = keepdims
+        ctx.flops = a.size
+        return P.psum(a.payload, axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return (_expand_reduced(g, ctx.a_shape, ctx.axis, ctx.keepdims),)
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, axis, keepdims: bool) -> Payload:
+        ctx.a_shape = a.shape
+        ctx.axis = axis
+        ctx.keepdims = keepdims
+        ctx.flops = a.size
+        out = P.pmean(a.payload, axis=axis, keepdims=keepdims)
+        ctx.count = a.size // max(int(np.prod(out.shape)) if out.shape else 1, 1)
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        expanded = _expand_reduced(g, ctx.a_shape, ctx.axis, ctx.keepdims)
+        return (P.pdiv(expanded, _scalar_like(float(ctx.count), expanded)),)
+
+
+def _expand_reduced(g: Payload, shape: Tuple[int, ...], axis, keepdims: bool) -> Payload:
+    if is_spec(g):
+        return SpecArray(shape, g.dtype)
+    if axis is None:
+        return np.broadcast_to(g.reshape([1] * len(shape)), shape).copy()
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    gg = g
+    if not keepdims:
+        for a in sorted(axes):
+            gg = np.expand_dims(gg, a)
+    return np.broadcast_to(gg, shape).copy()
+
+
+def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return Sum.apply(a, axis, keepdims)
+
+
+def mean_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return Mean.apply(a, axis, keepdims)
+
+
+# ---------------------------------------------------------------------------
+# softmax / losses / normalization
+# ---------------------------------------------------------------------------
+
+
+class Softmax(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, axis: int) -> Payload:
+        out = P.psoftmax(a.payload, axis=axis)
+        ctx.out = out
+        ctx.axis = axis
+        ctx.flops = 5 * a.size
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if is_spec(g):
+            return (g.copy(),)
+        s = ctx.out
+        dot = np.sum(g * s, axis=ctx.axis, keepdims=True)
+        return (s * (g - dot),)
+
+
+class LogSoftmax(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, axis: int) -> Payload:
+        out = P.plog_softmax(a.payload, axis=axis)
+        ctx.out = out
+        ctx.axis = axis
+        ctx.flops = 5 * a.size
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if is_spec(g):
+            return (g.copy(),)
+        softmax = np.exp(ctx.out)
+        return (g - softmax * np.sum(g, axis=ctx.axis, keepdims=True),)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return Softmax.apply(a, axis)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return LogSoftmax.apply(a, axis)
+
+
+class LayerNorm(Function):
+    """Normalize over the last dimension with affine gamma/beta."""
+
+    @staticmethod
+    def forward(ctx: FnCtx, x: Tensor, gamma: Tensor, beta: Tensor, eps: float) -> Payload:
+        ctx.flops = 8 * x.size
+        if is_spec(x.payload):
+            ctx.spec_shapes = (x.shape, gamma.shape, beta.shape)
+            ctx.spec_dtype = x.dtype
+            return x.payload.copy()
+        mu = np.mean(x.payload, axis=-1, keepdims=True)
+        var = np.var(x.payload, axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        xhat = (x.payload - mu) * inv
+        ctx.xhat = xhat
+        ctx.inv = inv
+        ctx.gamma = gamma.payload
+        ctx.spec_shapes = None
+        return xhat * gamma.payload + beta.payload
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.spec_shapes is not None or is_spec(g):
+            xs, gs, bs = ctx.spec_shapes
+            d = ctx.spec_dtype
+            return SpecArray(xs, d), SpecArray(gs, d), SpecArray(bs, d)
+        xhat, inv, gamma = ctx.xhat, ctx.inv, ctx.gamma
+        H = xhat.shape[-1]
+        reduce_axes = tuple(range(g.ndim - 1))
+        dgamma = np.sum(g * xhat, axis=reduce_axes)
+        dbeta = np.sum(g, axis=reduce_axes)
+        gx = g * gamma
+        dx = (
+            gx - np.mean(gx, axis=-1, keepdims=True)
+            - xhat * np.mean(gx * xhat, axis=-1, keepdims=True)
+        ) * inv
+        _ = H
+        return dx, dgamma, dbeta
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    return LayerNorm.apply(x, gamma, beta, eps)
+
+
+class Embedding(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, weight: Tensor, indices: np.ndarray) -> Payload:
+        ctx.w_shape = weight.shape
+        ctx.w_dtype = weight.dtype
+        ctx.indices = indices
+        ctx.flops = 0.0
+        if is_spec(weight.payload):
+            return SpecArray(tuple(indices.shape) + (weight.shape[1],), weight.dtype)
+        return weight.payload[indices]
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if is_spec(g):
+            return (SpecArray(ctx.w_shape, ctx.w_dtype),)
+        grad = np.zeros(ctx.w_shape, dtype=g.dtype)
+        np.add.at(grad, ctx.indices.reshape(-1), g.reshape(-1, g.shape[-1]))
+        return (grad,)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` by integer ``indices`` (a plain array,
+    never differentiated).  In spec mode ``indices`` may be a SpecArray."""
+    if isinstance(indices, Tensor):
+        indices = indices.payload
+    if is_spec(weight.payload) and not isinstance(indices, np.ndarray):
+        # spec indices: fabricate an int array shape holder
+        return Embedding.apply(weight, _SpecIndices(indices.shape))
+    return Embedding.apply(weight, np.asarray(indices))
+
+
+class _SpecIndices:
+    """Shape-only index holder for spec-mode embedding."""
+
+    def __init__(self, shape) -> None:
+        self.shape = tuple(shape)
+
+
+class Dropout(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, p: float, training: bool) -> Payload:
+        ctx.flops = a.size
+        if not training or p <= 0.0:
+            ctx.mask = None
+            return a.payload if is_spec(a.payload) else a.payload.copy()
+        if is_spec(a.payload):
+            ctx.mask = None
+            return a.payload.copy()
+        rng = current_rank_context().rng if in_spmd() else np.random.default_rng()
+        mask = (rng.random(a.shape) >= p).astype(a.payload.dtype) / (1.0 - p)
+        ctx.mask = mask
+        return a.payload * mask
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.mask is None or is_spec(g):
+            return (g,)
+        return (g * ctx.mask,)
+
+
+def dropout(a: Tensor, p: float, training: bool = True) -> Tensor:
+    return Dropout.apply(a, p, training)
+
+
+class CrossEntropy(Function):
+    """Mean cross-entropy of logits [N, C] against int targets [N]."""
+
+    @staticmethod
+    def forward(ctx: FnCtx, logits: Tensor, targets) -> Payload:
+        ctx.flops = 8 * logits.size
+        if is_spec(logits.payload):
+            ctx.spec = (logits.shape, logits.dtype)
+            return SpecArray((), logits.dtype)
+        t = targets.payload if isinstance(targets, Tensor) else np.asarray(targets)
+        logp = P.plog_softmax(logits.payload, axis=-1)
+        n = logits.shape[0]
+        ctx.spec = None
+        ctx.softmax = np.exp(logp)
+        ctx.targets = t
+        return np.asarray(-np.mean(logp[np.arange(n), t]), dtype=logits.dtype)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.spec is not None or is_spec(g):
+            shape, dtype = ctx.spec
+            return (SpecArray(shape, dtype),)
+        s = ctx.softmax.copy()
+        n = s.shape[0]
+        s[np.arange(n), ctx.targets] -= 1.0
+        return ((g * s / n).astype(s.dtype),)
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Softmax cross-entropy, mean over the batch; ``targets`` are integer
+    class ids (array-like or non-grad Tensor)."""
+    return CrossEntropy.apply(logits, targets)
+
+
+class MSELoss(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, pred: Tensor, target: Tensor) -> Payload:
+        ctx.flops = 3 * pred.size
+        if is_spec(pred.payload) or is_spec(target.payload):
+            ctx.spec = (pred.shape, pred.dtype)
+            return SpecArray((), pred.dtype)
+        ctx.spec = None
+        diff = pred.payload - target.payload
+        ctx.diff = diff
+        return np.asarray(np.mean(diff**2), dtype=pred.dtype)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.spec is not None or is_spec(g):
+            shape, dtype = ctx.spec
+            return SpecArray(shape, dtype), None
+        n = ctx.diff.size
+        return (g * 2.0 * ctx.diff / n), None
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    return MSELoss.apply(pred, target)
+
+
+class Cast(Function):
+    @staticmethod
+    def forward(ctx: FnCtx, a: Tensor, dtype) -> Payload:
+        ctx.a_dtype = a.dtype
+        ctx.flops = a.size
+        return P.pastype(a.payload, dtype)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        return (P.pastype(g, ctx.a_dtype),)
+
+
+def cast(a: Tensor, dtype) -> Tensor:
+    return Cast.apply(a, dtype)

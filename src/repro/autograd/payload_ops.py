@@ -1,0 +1,285 @@
+"""Dual-mode primitive array operations.
+
+Every function here accepts :class:`numpy.ndarray` or :class:`SpecArray`
+payloads and returns the same kind: real arithmetic when materialized,
+shape inference when spec.  The autograd Functions in :mod:`ops` are written
+once against these primitives and therefore run identically in both modes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.comm.payload import Payload, SpecArray, is_spec
+
+
+def spec_like(shape: Sequence[int], ref: Payload) -> SpecArray:
+    return SpecArray(tuple(shape), ref.dtype)
+
+
+def result_dtype(*payloads: Payload) -> np.dtype:
+    return np.result_type(*[p.dtype for p in payloads])
+
+
+# -- elementwise binary -------------------------------------------------------
+
+
+def _binary(a: Payload, b: Payload, fn) -> Payload:
+    if is_spec(a) or is_spec(b):
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        return SpecArray(shape, result_dtype(a, b))
+    return fn(a, b)
+
+
+def padd(a: Payload, b: Payload) -> Payload:
+    return _binary(a, b, np.add)
+
+
+def psub(a: Payload, b: Payload) -> Payload:
+    return _binary(a, b, np.subtract)
+
+
+def pmul(a: Payload, b: Payload) -> Payload:
+    return _binary(a, b, np.multiply)
+
+
+def pdiv(a: Payload, b: Payload) -> Payload:
+    return _binary(a, b, np.divide)
+
+
+def pmaximum(a: Payload, b: Payload) -> Payload:
+    return _binary(a, b, np.maximum)
+
+
+# -- elementwise unary ---------------------------------------------------------
+
+
+def _unary(a: Payload, fn) -> Payload:
+    if is_spec(a):
+        return a.copy()
+    return fn(a)
+
+
+def pneg(a: Payload) -> Payload:
+    return _unary(a, np.negative)
+
+
+def pexp(a: Payload) -> Payload:
+    return _unary(a, np.exp)
+
+
+def plog(a: Payload) -> Payload:
+    return _unary(a, np.log)
+
+
+def ptanh(a: Payload) -> Payload:
+    return _unary(a, np.tanh)
+
+
+def psqrt(a: Payload) -> Payload:
+    return _unary(a, np.sqrt)
+
+
+def ppow(a: Payload, exponent: float) -> Payload:
+    return _unary(a, lambda x: np.power(x, exponent))
+
+
+def psigmoid(a: Payload) -> Payload:
+    return _unary(a, lambda x: 1.0 / (1.0 + np.exp(-x)))
+
+
+def prelu(a: Payload) -> Payload:
+    return _unary(a, lambda x: np.maximum(x, 0.0))
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def pgelu(a: Payload) -> Payload:
+    return _unary(
+        a, lambda x: 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+    )
+
+
+def pgelu_grad(x: Payload, grad: Payload) -> Payload:
+    """d gelu(x)/dx * grad using the tanh approximation."""
+    if is_spec(x) or is_spec(grad):
+        return SpecArray(np.broadcast_shapes(x.shape, grad.shape), result_dtype(x, grad))
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return grad * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner)
+
+
+# -- matmul ---------------------------------------------------------------------
+
+
+def matmul_shape(sa: Tuple[int, ...], sb: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Shape of ``a @ b`` under numpy batched-matmul rules (2D+ operands)."""
+    if len(sa) < 2 or len(sb) < 2:
+        raise ValueError(f"matmul needs >=2D operands, got {sa} @ {sb}")
+    if sa[-1] != sb[-2]:
+        raise ValueError(f"matmul inner-dim mismatch: {sa} @ {sb}")
+    batch = np.broadcast_shapes(sa[:-2], sb[:-2])
+    return tuple(batch) + (sa[-2], sb[-1])
+
+
+def matmul_flops(sa: Tuple[int, ...], sb: Tuple[int, ...]) -> float:
+    out = matmul_shape(sa, sb)
+    m, n = out[-2], out[-1]
+    k = sa[-1]
+    batch = math.prod(out[:-2]) if len(out) > 2 else 1
+    return 2.0 * batch * m * n * k
+
+
+def pmatmul(a: Payload, b: Payload) -> Payload:
+    if is_spec(a) or is_spec(b):
+        return SpecArray(matmul_shape(a.shape, b.shape), result_dtype(a, b))
+    return np.matmul(a, b)
+
+
+# -- shape ops --------------------------------------------------------------------
+
+
+def preshape(a: Payload, shape: Sequence[int]) -> Payload:
+    if is_spec(a):
+        return a.reshape(tuple(shape))
+    return a.reshape(tuple(shape))
+
+
+def ptranspose(a: Payload, axes: Optional[Sequence[int]] = None) -> Payload:
+    if axes is None:
+        axes = tuple(reversed(range(len(a.shape))))
+    if is_spec(a):
+        return SpecArray(tuple(a.shape[i] for i in axes), a.dtype)
+    return np.transpose(a, axes)
+
+
+def pswapaxes(a: Payload, ax1: int, ax2: int) -> Payload:
+    axes = list(range(len(a.shape)))
+    axes[ax1], axes[ax2] = axes[ax2], axes[ax1]
+    return ptranspose(a, axes)
+
+
+def pconcat(chunks: Sequence[Payload], axis: int) -> Payload:
+    first = chunks[0]
+    if any(is_spec(c) for c in chunks):
+        shape = list(first.shape)
+        shape[axis] = sum(c.shape[axis] for c in chunks)
+        return SpecArray(tuple(shape), first.dtype)
+    return np.concatenate(list(chunks), axis=axis)
+
+
+def psplit(a: Payload, parts: int, axis: int) -> list:
+    if a.shape[axis] % parts != 0:
+        raise ValueError(f"axis {axis} of {a.shape} not divisible by {parts}")
+    if is_spec(a):
+        shape = list(a.shape)
+        shape[axis] //= parts
+        return [SpecArray(tuple(shape), a.dtype) for _ in range(parts)]
+    return [np.ascontiguousarray(c) for c in np.split(a, parts, axis=axis)]
+
+
+def pslice(a: Payload, idx) -> Payload:
+    if is_spec(a):
+        # emulate numpy basic indexing on a zero-stride dummy to get the shape
+        dummy = np.broadcast_to(np.zeros((), dtype=a.dtype), a.shape)
+        return SpecArray(dummy[idx].shape, a.dtype)
+    return a[idx]
+
+
+def pastype(a: Payload, dtype) -> Payload:
+    return a.astype(dtype)
+
+
+# -- reductions --------------------------------------------------------------------
+
+
+def _reduced_shape(shape, axis, keepdims) -> Tuple[int, ...]:
+    if axis is None:
+        return tuple([1] * len(shape)) if keepdims else ()
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    out = []
+    for i, s in enumerate(shape):
+        if i in axes:
+            if keepdims:
+                out.append(1)
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+def psum(a: Payload, axis=None, keepdims=False) -> Payload:
+    if is_spec(a):
+        return SpecArray(_reduced_shape(a.shape, axis, keepdims), a.dtype)
+    return np.sum(a, axis=axis, keepdims=keepdims)
+
+
+def pmean(a: Payload, axis=None, keepdims=False) -> Payload:
+    if is_spec(a):
+        return SpecArray(_reduced_shape(a.shape, axis, keepdims), a.dtype)
+    return np.mean(a, axis=axis, keepdims=keepdims)
+
+
+def pmax(a: Payload, axis=None, keepdims=False) -> Payload:
+    if is_spec(a):
+        return SpecArray(_reduced_shape(a.shape, axis, keepdims), a.dtype)
+    return np.max(a, axis=axis, keepdims=keepdims)
+
+
+def pargmax(a: Payload, axis=-1):
+    if is_spec(a):
+        return SpecArray(_reduced_shape(a.shape, axis, False), np.dtype("int64"))
+    return np.argmax(a, axis=axis)
+
+
+# -- softmax family ------------------------------------------------------------------
+
+
+def psoftmax(a: Payload, axis: int = -1) -> Payload:
+    if is_spec(a):
+        return a.copy()
+    shifted = a - np.max(a, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def plog_softmax(a: Payload, axis: int = -1) -> Payload:
+    if is_spec(a):
+        return a.copy()
+    shifted = a - np.max(a, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+# -- broadcasting helper ---------------------------------------------------------------
+
+
+def unbroadcast(grad: Payload, shape: Tuple[int, ...]) -> Payload:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if tuple(grad.shape) == tuple(shape):
+        return grad
+    if is_spec(grad):
+        return SpecArray(shape, grad.dtype)
+    g = grad
+    while g.ndim > len(shape):
+        g = g.sum(axis=0)
+    for i, s in enumerate(shape):
+        if s == 1 and g.shape[i] != 1:
+            g = g.sum(axis=i, keepdims=True)
+    return g
+
+
+def pzeros(shape: Sequence[int], dtype, spec: bool) -> Payload:
+    if spec:
+        return SpecArray(tuple(shape), dtype)
+    return np.zeros(tuple(shape), dtype=dtype)
+
+
+def pones_like(a: Payload) -> Payload:
+    if is_spec(a):
+        return a.copy()
+    return np.ones_like(a)

@@ -1,0 +1,39 @@
+"""Automatic parallelization (§3.3 + §6 future work of the paper).
+
+Two pieces:
+
+* :mod:`repro.autopar.conversion` — sharded-layout conversion search.  The
+  paper improves on Alpa's hardcoded conversion table with "a greedy
+  algorithm to search to speed up sharding conversion and increase the
+  number of sharding dimensions"; we implement the conversion planner as a
+  best-first (Dijkstra) search over layout states whose edges are the
+  collective conversion primitives (all-gather a mesh axis off a dim,
+  slice a dim onto an axis, all-to-all an axis between dims), costed by
+  the cluster's communication model.
+
+* :mod:`repro.autopar.advisor` — the hardware-aware strategy search the
+  paper lists as future work: enumerate valid (data, tensor-mode/size,
+  pipeline) decompositions for a Transformer workload, predict the step
+  time from the analytic compute/communication models over the *actual*
+  topology, reject plans that do not fit device memory, and rank the rest.
+"""
+
+from repro.autopar.conversion import (
+    ConversionPlan,
+    ConversionStep,
+    Layout,
+    convert_payload,
+    plan_conversion,
+)
+from repro.autopar.advisor import ParallelPlan, PlanEstimate, suggest_plans
+
+__all__ = [
+    "Layout",
+    "ConversionStep",
+    "ConversionPlan",
+    "plan_conversion",
+    "convert_payload",
+    "ParallelPlan",
+    "PlanEstimate",
+    "suggest_plans",
+]

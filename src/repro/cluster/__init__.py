@@ -1,0 +1,42 @@
+"""Simulated cluster substrate.
+
+The paper evaluates on four physical systems (Table 2).  This package
+provides the stand-in: devices with real memory accounting (capacity,
+allocated, peak, OOM), a compute-rate model, and interconnect topologies with
+per-link bandwidth/latency that reproduce the NVLink/PCIe/InfiniBand/Aries
+configurations of Systems I-IV (Figs 9a/9b).
+"""
+
+from repro.cluster.device import (
+    Device,
+    DeviceKind,
+    DeviceOutOfMemoryError,
+    MemoryPool,
+)
+from repro.cluster.topology import LinkType, Topology
+from repro.cluster.machine import (
+    ClusterSpec,
+    system_i,
+    system_ii,
+    system_iii,
+    system_iv,
+    uniform_cluster,
+)
+from repro.cluster.bandwidth import measure_p2p_bandwidth, measure_broadcast_bandwidth
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "DeviceOutOfMemoryError",
+    "MemoryPool",
+    "LinkType",
+    "Topology",
+    "ClusterSpec",
+    "system_i",
+    "system_ii",
+    "system_iii",
+    "system_iv",
+    "uniform_cluster",
+    "measure_p2p_bandwidth",
+    "measure_broadcast_bandwidth",
+]

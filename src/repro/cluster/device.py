@@ -1,0 +1,208 @@
+"""Simulated devices and their memory pools.
+
+A :class:`Device` models one accelerator (or a host CPU) with
+
+* a :class:`MemoryPool` that tracks allocated bytes, the high-water mark and
+  raises :class:`DeviceOutOfMemoryError` on exhaustion — the substrate for
+  the paper's memory range tests (Fig 8) and OOM-bounded batch searches
+  (Figs 11-13), and
+* a compute-rate model (``peak_flops`` per dtype and an efficiency factor)
+  used by the simulated clock to charge compute time.
+
+Memory accounting is exact in both materialized and spec execution modes:
+tensor storages register/unregister with the pool of the device they live on.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.utils.units import GB, format_bytes
+
+
+class DeviceOutOfMemoryError(MemoryError):
+    """Raised when an allocation would exceed a device's memory capacity."""
+
+    def __init__(self, device: "Device", requested: int) -> None:
+        self.device = device
+        self.requested = requested
+        super().__init__(
+            f"{device.name}: out of memory allocating "
+            f"{format_bytes(requested)} "
+            f"(allocated {format_bytes(device.memory.allocated)} / "
+            f"capacity {format_bytes(device.memory.capacity)})"
+        )
+
+
+class DeviceKind(enum.Enum):
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class MemoryPool:
+    """Byte-accurate allocator bookkeeping for one device.
+
+    Thread-safe: in SPMD execution multiple rank threads may touch the CPU
+    pool concurrently.  Allocations are tagged so peak memory can be broken
+    down into model data vs non-model data, mirroring the paper's
+    terminology (§1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._allocated = 0
+        self._peak = 0
+        self._by_tag: Dict[str, int] = {}
+
+    @property
+    def allocated(self) -> int:
+        return self._allocated
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._allocated
+
+    def breakdown(self) -> Dict[str, int]:
+        """Currently allocated bytes per tag."""
+        with self._lock:
+            return dict(self._by_tag)
+
+    def alloc(self, nbytes: int, tag: str = "untagged", owner: Optional["Device"] = None) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        with self._lock:
+            if self._allocated + nbytes > self.capacity:
+                raise DeviceOutOfMemoryError(owner or _anonymous_device(self), nbytes)
+            self._allocated += nbytes
+            self._by_tag[tag] = self._by_tag.get(tag, 0) + nbytes
+            if self._allocated > self._peak:
+                self._peak = self._allocated
+
+    def free_bytes(self, nbytes: int, tag: str = "untagged") -> None:
+        with self._lock:
+            self._allocated -= nbytes
+            self._by_tag[tag] = self._by_tag.get(tag, 0) - nbytes
+            if self._allocated < 0:
+                raise RuntimeError(
+                    f"memory pool underflow: freed more than allocated (tag={tag})"
+                )
+
+    def can_alloc(self, nbytes: int) -> bool:
+        with self._lock:
+            return self._allocated + nbytes <= self.capacity
+
+    def reset_peak(self) -> None:
+        with self._lock:
+            self._peak = self._allocated
+
+
+def _anonymous_device(pool: MemoryPool) -> "Device":
+    dev = Device.__new__(Device)
+    dev.name = "<unbound-pool>"
+    dev.kind = DeviceKind.GPU
+    dev.memory = pool
+    return dev
+
+
+@dataclass
+class Device:
+    """One simulated accelerator or host CPU.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"gpu3"`` or ``"cpu0"``.
+    kind:
+        GPU or CPU.
+    memory_capacity:
+        Bytes of device memory.
+    peak_flops:
+        Map dtype name -> peak FLOP/s (e.g. ``{"float16": 312e12}``).
+    efficiency:
+        Achievable fraction of peak for dense matmul (model-flops
+        utilisation); realistic training lands at 0.3-0.6.
+    node:
+        Index of the physical node hosting this device (for topology).
+    """
+
+    name: str
+    kind: DeviceKind
+    memory_capacity: int
+    peak_flops: Dict[str, float] = field(
+        default_factory=lambda: {"float16": 312e12, "float32": 19.5e12}
+    )
+    efficiency: float = 0.45
+    node: int = 0
+    memory: MemoryPool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.memory = MemoryPool(self.memory_capacity)
+
+    def flops_per_second(self, dtype: str = "float16") -> float:
+        """Effective (efficiency-discounted) FLOP/s for ``dtype``."""
+        peak = self.peak_flops.get(dtype)
+        if peak is None:
+            peak = min(self.peak_flops.values())
+        return peak * self.efficiency
+
+    def compute_seconds(self, flops: float, dtype: str = "float16") -> float:
+        """Simulated seconds to execute ``flops`` floating point operations."""
+        if flops <= 0:
+            return 0.0
+        return flops / self.flops_per_second(dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Device({self.name}, {self.kind.value}, "
+            f"{format_bytes(self.memory_capacity)}, node={self.node})"
+        )
+
+
+def a100(name: str, node: int = 0, memory_gb: int = 80) -> Device:
+    """NVIDIA A100 preset (Systems I-III)."""
+    return Device(
+        name=name,
+        kind=DeviceKind.GPU,
+        memory_capacity=memory_gb * GB,
+        peak_flops={"float16": 312e12, "float32": 19.5e12},
+        efficiency=0.45,
+        node=node,
+    )
+
+
+def p100(name: str, node: int = 0, memory_gb: int = 16) -> Device:
+    """NVIDIA P100 preset (System IV)."""
+    return Device(
+        name=name,
+        kind=DeviceKind.GPU,
+        memory_capacity=memory_gb * GB,
+        peak_flops={"float16": 18.7e12, "float32": 9.3e12},
+        efficiency=0.40,
+        node=node,
+    )
+
+
+def host_cpu(name: str, node: int = 0, memory_gb: int = 512, cores: int = 64) -> Device:
+    """Host CPU preset: large memory, modest FLOP rate.
+
+    The Adam update rate on CPU is derived from this FLOP rate; it is the
+    bottleneck DeepSpeed's CPU-Adam design works around (§3.2).
+    """
+    return Device(
+        name=name,
+        kind=DeviceKind.CPU,
+        memory_capacity=memory_gb * GB,
+        peak_flops={"float32": cores * 50e9, "float16": cores * 50e9},
+        efficiency=0.5,
+        node=node,
+    )

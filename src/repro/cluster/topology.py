@@ -1,0 +1,215 @@
+"""Interconnect topologies.
+
+A :class:`Topology` is a link graph over device names with per-link bandwidth
+(bytes/s) and latency (s).  Effective point-to-point bandwidth between two
+devices is the bottleneck bandwidth along the shortest path — this is what
+makes System II (NVLink only between adjacent GPU pairs, PCIe otherwise,
+Fig 9b) behave differently from System I (fully-connected NVLink, Fig 9a):
+a collective that crosses a PCIe hop is limited by the PCIe link, which is
+the exact mechanism behind the paper's Fig 10/11 results.
+
+The graph is a :class:`networkx.Graph`; multi-node systems (III, IV) are
+assembled as node-local cliques bridged by NIC links arranged in a dragonfly
+pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.utils.units import GB
+
+
+class LinkType(enum.Enum):
+    NVLINK = "nvlink"
+    PCIE = "pcie"
+    INFINIBAND = "infiniband"
+    ARIES = "aries"
+    HOST = "host"  # CPU <-> GPU over PCIe
+
+
+#: Default per-link unidirectional bandwidths (bytes/s) and latencies (s).
+LINK_BANDWIDTH: Dict[LinkType, float] = {
+    LinkType.NVLINK: 200 * GB,
+    LinkType.PCIE: 16 * GB,
+    LinkType.INFINIBAND: 25 * GB,  # HDR 200 Gb/s
+    LinkType.ARIES: 10 * GB,
+    LinkType.HOST: 16 * GB,
+}
+
+LINK_LATENCY: Dict[LinkType, float] = {
+    LinkType.NVLINK: 2e-6,
+    LinkType.PCIE: 5e-6,
+    LinkType.INFINIBAND: 8e-6,
+    LinkType.ARIES: 10e-6,
+    LinkType.HOST: 5e-6,
+}
+
+
+class Topology:
+    """Link graph with bandwidth/latency queries.
+
+    Bandwidth queries are cached: SPMD collectives issue many identical
+    queries per step and shortest-path search would otherwise dominate.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self._bw_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    def add_device(self, name: str) -> None:
+        self.graph.add_node(name)
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        link: LinkType,
+        bandwidth: Optional[float] = None,
+        latency: Optional[float] = None,
+    ) -> None:
+        """Add (or overwrite) an undirected link between devices ``a`` and ``b``."""
+        self.graph.add_edge(
+            a,
+            b,
+            link=link,
+            bandwidth=bandwidth if bandwidth is not None else LINK_BANDWIDTH[link],
+            latency=latency if latency is not None else LINK_LATENCY[link],
+        )
+        self._bw_cache.clear()
+
+    def has_direct_link(self, a: str, b: str) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def link_type(self, a: str, b: str) -> Optional[LinkType]:
+        if self.graph.has_edge(a, b):
+            return self.graph.edges[a, b]["link"]
+        return None
+
+    def path_stats(self, a: str, b: str) -> Tuple[float, float]:
+        """Return ``(bottleneck_bandwidth, total_latency)`` between two devices.
+
+        Uses the hop-count shortest path; the effective bandwidth is the
+        minimum link bandwidth on the path and the latency is the sum.
+        """
+        if a == b:
+            return float("inf"), 0.0
+        key = (a, b) if a <= b else (b, a)
+        cached = self._bw_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            path = nx.shortest_path(self.graph, a, b)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise ValueError(f"no interconnect path between {a} and {b}") from exc
+        bw = float("inf")
+        lat = 0.0
+        for u, v in zip(path, path[1:]):
+            edge = self.graph.edges[u, v]
+            bw = min(bw, edge["bandwidth"])
+            lat += edge["latency"]
+        self._bw_cache[key] = (bw, lat)
+        return bw, lat
+
+    def bandwidth(self, a: str, b: str) -> float:
+        return self.path_stats(a, b)[0]
+
+    def latency(self, a: str, b: str) -> float:
+        return self.path_stats(a, b)[1]
+
+    def min_bandwidth(self, names: Iterable[str]) -> float:
+        """Bottleneck bandwidth over all pairs in ``names`` (collective bound)."""
+        names = list(names)
+        bw = float("inf")
+        for a, b in itertools.combinations(names, 2):
+            bw = min(bw, self.bandwidth(a, b))
+        return bw
+
+    def ring_bandwidth(self, names: List[str]) -> float:
+        """Bottleneck bandwidth around the ring ``names[0] -> ... -> names[0]``.
+
+        Ring collectives (NCCL-style allreduce/allgather) are limited by the
+        slowest link on the ring, not the slowest pair overall.
+        """
+        if len(names) < 2:
+            return float("inf")
+        bw = float("inf")
+        for a, b in zip(names, names[1:] + names[:1]):
+            bw = min(bw, self.bandwidth(a, b))
+        return bw
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def fully_connected(
+        names: List[str], link: LinkType = LinkType.NVLINK, **kw
+    ) -> "Topology":
+        """All-pairs direct links (System I style, Fig 9a)."""
+        topo = Topology()
+        for n in names:
+            topo.add_device(n)
+        for a, b in itertools.combinations(names, 2):
+            topo.add_link(a, b, link, **kw)
+        return topo
+
+    @staticmethod
+    def pairwise_nvlink(names: List[str]) -> "Topology":
+        """NVLink between adjacent even/odd pairs, PCIe elsewhere (Fig 9b).
+
+        GPUs (0,1), (2,3), ... get NVLink; every other pair talks over PCIe.
+        """
+        topo = Topology()
+        for n in names:
+            topo.add_device(n)
+        for a, b in itertools.combinations(names, 2):
+            ia, ib = names.index(a), names.index(b)
+            if ia // 2 == ib // 2:
+                topo.add_link(a, b, LinkType.NVLINK)
+            else:
+                topo.add_link(a, b, LinkType.PCIE)
+        return topo
+
+    @staticmethod
+    def multi_node(
+        node_devices: List[List[str]],
+        intra_link: LinkType = LinkType.NVLINK,
+        inter_link: LinkType = LinkType.INFINIBAND,
+        dragonfly_group_size: int = 4,
+    ) -> "Topology":
+        """Multi-node cluster: intra-node clique + dragonfly inter-node fabric.
+
+        The dragonfly arranges nodes into groups of ``dragonfly_group_size``;
+        nodes within a group are fully connected at the NIC rate and each
+        group pair is bridged by one global link at the same rate (bandwidth
+        tapering of real dragonflies is approximated by routing all
+        group-to-group traffic through the single global link).
+        """
+        topo = Topology()
+        for devs in node_devices:
+            for d in devs:
+                topo.add_device(d)
+            for a, b in itertools.combinations(devs, 2):
+                topo.add_link(a, b, intra_link)
+        n_nodes = len(node_devices)
+        gateway = [devs[0] for devs in node_devices]  # NIC attach point per node
+        groups: List[List[int]] = [
+            list(range(g, min(g + dragonfly_group_size, n_nodes)))
+            for g in range(0, n_nodes, dragonfly_group_size)
+        ]
+        # intra-group: full mesh of node gateways
+        for grp in groups:
+            for i, j in itertools.combinations(grp, 2):
+                topo.add_link(gateway[i], gateway[j], inter_link)
+        # inter-group: one global link between the lead nodes of each group
+        for gi, gj in itertools.combinations(range(len(groups)), 2):
+            a = gateway[groups[gi][0]]
+            b = gateway[groups[gj][0]]
+            if not topo.has_direct_link(a, b):
+                topo.add_link(a, b, inter_link)
+        return topo

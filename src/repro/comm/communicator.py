@@ -1,0 +1,382 @@
+"""Rank-facing communication API.
+
+A :class:`Communicator` is one rank's view of a :class:`ProcessGroup`.  The
+method set mirrors the standard collective vocabulary (mpi4py / NCCL):
+``all_reduce``, ``all_gather``, ``reduce_scatter``, ``broadcast``,
+``reduce``, ``scatter``, ``gather``, ``all_to_all``, ``barrier``,
+``send``/``recv`` and ``ring_pass`` (one rotation step, the primitive under
+ring self-attention and SUMMA-style algorithms).
+
+All methods accept either real ``numpy`` arrays or :class:`SpecArray`
+stand-ins and return the same kind; reductions are combined in local-rank
+order so results are bitwise deterministic run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.comm.cost import CollectiveCost
+from repro.comm.group import ProcessGroup
+from repro.comm.payload import Payload, SpecArray, is_spec, like
+
+ReduceOp = str  # "sum" | "max" | "min" | "prod"
+
+_REDUCERS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+#: nominal wire size charged for control-plane object exchanges
+_OBJECT_NBYTES = 64
+
+
+def _check_same_shape(payloads: Dict[int, Payload], what: str) -> None:
+    shapes = {tuple(p.shape) for p in payloads.values()}
+    if len(shapes) > 1:
+        raise ValueError(f"{what}: mismatched shapes across ranks: {sorted(shapes)}")
+
+
+def _combine(payloads: Dict[int, Payload], op: ReduceOp) -> Payload:
+    """Reduce payloads in local-rank order (deterministic)."""
+    ordered = [payloads[i] for i in sorted(payloads)]
+    first = ordered[0]
+    if is_spec(first):
+        return first.copy()
+    fn = _REDUCERS[op]
+    acc = ordered[0].copy()
+    for arr in ordered[1:]:
+        acc = fn(acc, arr)
+    return acc
+
+
+def _split_axis(x: Payload, parts: int, axis: int) -> List[Payload]:
+    if x.shape[axis] % parts != 0:
+        raise ValueError(
+            f"axis {axis} of shape {x.shape} not divisible into {parts} parts"
+        )
+    if is_spec(x):
+        shape = list(x.shape)
+        shape[axis] //= parts
+        return [SpecArray(tuple(shape), x.dtype) for _ in range(parts)]
+    return [np.ascontiguousarray(c) for c in np.split(x, parts, axis=axis)]
+
+
+def _concat_axis(chunks: List[Payload], axis: int) -> Payload:
+    first = chunks[0]
+    if is_spec(first):
+        shape = list(first.shape)
+        shape[axis] = sum(c.shape[axis] for c in chunks)
+        return SpecArray(tuple(shape), first.dtype)
+    return np.concatenate(chunks, axis=axis)
+
+
+class Communicator:
+    """One rank's handle on a process group."""
+
+    def __init__(self, group: ProcessGroup, global_rank: int) -> None:
+        self.group = group
+        self.global_rank = global_rank
+        self.rank = group.local_rank(global_rank)
+        self.size = group.size
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def world(ctx: Any) -> "Communicator":
+        """Communicator over all ranks of the running SPMD program."""
+        return Communicator(ctx.runtime.world_group, ctx.rank)
+
+    def split(self, color: int, key: int = 0) -> "Communicator":
+        """MPI_Comm_split: ranks with equal ``color`` form a subgroup ordered
+        by ``(key, global rank)``.  Collective over the parent group."""
+
+        def finalize(payloads: Dict[int, Any]):
+            results: Dict[int, Any] = {}
+            groups: Dict[int, List] = {}
+            for local, (c, k) in payloads.items():
+                groups.setdefault(c, []).append((k, self.group.global_rank(local)))
+            membership: Dict[int, List[int]] = {}
+            for c, members in groups.items():
+                membership[c] = [g for _, g in sorted(members)]
+            for local, (c, _k) in payloads.items():
+                results[local] = membership[c]
+            return results, CollectiveCost(self.group.cost_model.alpha, 0), "split", 1
+
+        ranks = self.group.rendezvous(self.global_rank, (color, key), finalize)
+        return Communicator(self.group.runtime.group(ranks), self.global_rank)
+
+    def subgroup(self, local_ranks: Sequence[int]) -> "Communicator":
+        """Communicator over a subset of this group (must include self)."""
+        ranks = [self.group.global_rank(lr) for lr in local_ranks]
+        return Communicator(self.group.runtime.group(ranks), self.global_rank)
+
+    # -- collectives ---------------------------------------------------------
+
+    def all_reduce(self, x: Payload, op: ReduceOp = "sum") -> Payload:
+        """Reduce across the group; every rank receives the full result."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            _check_same_shape(payloads, "all_reduce")
+            combined = _combine(payloads, op)
+            cost = self.group.cost_model.allreduce(self.group.ranks, int(x.nbytes))
+            results = {
+                i: (combined if i == 0 or is_spec(combined) else combined.copy())
+                for i in payloads
+            }
+            return results, cost, "all_reduce", x.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def all_gather(self, x: Payload, axis: int = 0) -> Payload:
+        """Concatenate every rank's payload along ``axis``; all ranks receive
+        the concatenation (in local-rank order)."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            chunks = [payloads[i] for i in sorted(payloads)]
+            gathered = _concat_axis(chunks, axis)
+            cost = self.group.cost_model.allgather(self.group.ranks, int(x.nbytes))
+            results = {
+                i: (gathered if i == 0 or is_spec(gathered) else gathered.copy())
+                for i in payloads
+            }
+            return results, cost, "all_gather", x.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def reduce_scatter(self, x: Payload, axis: int = 0, op: ReduceOp = "sum") -> Payload:
+        """Reduce across the group, then scatter the result: rank i receives
+        the i-th chunk of the reduction along ``axis``."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            _check_same_shape(payloads, "reduce_scatter")
+            combined = _combine(payloads, op)
+            chunks = _split_axis(combined, self.size, axis)
+            cost = self.group.cost_model.reduce_scatter(self.group.ranks, int(x.nbytes))
+            return dict(enumerate(chunks)), cost, "reduce_scatter", x.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def broadcast(self, x: Optional[Payload], root: int = 0) -> Payload:
+        """Send root's payload to every rank (``root`` is a local rank)."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            src = payloads[root]
+            if src is None:
+                raise ValueError("broadcast: root payload is None")
+            cost = self.group.cost_model.broadcast(self.group.ranks, int(src.nbytes))
+            results = {
+                i: (src if i == root or is_spec(src) else src.copy())
+                for i in payloads
+            }
+            return results, cost, "broadcast", src.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def reduce(self, x: Payload, root: int = 0, op: ReduceOp = "sum") -> Optional[Payload]:
+        """Reduce to the local rank ``root``; other ranks receive ``None``."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            _check_same_shape(payloads, "reduce")
+            combined = _combine(payloads, op)
+            cost = self.group.cost_model.reduce(self.group.ranks, int(x.nbytes))
+            results: Dict[int, Optional[Payload]] = {i: None for i in payloads}
+            results[root] = combined
+            return results, cost, "reduce", x.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def scatter(self, x: Optional[Payload], root: int = 0, axis: int = 0) -> Payload:
+        """Split root's payload into ``size`` chunks along ``axis``; rank i
+        receives chunk i."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            src = payloads[root]
+            if src is None:
+                raise ValueError("scatter: root payload is None")
+            chunks = _split_axis(src, self.size, axis)
+            cost = self.group.cost_model.scatter(
+                self.group.global_rank(root), self.group.ranks, int(chunks[0].nbytes)
+            )
+            return dict(enumerate(chunks)), cost, "scatter", src.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def gather(self, x: Payload, root: int = 0, axis: int = 0) -> Optional[Payload]:
+        """Concatenate payloads on local rank ``root``; others get ``None``."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            chunks = [payloads[i] for i in sorted(payloads)]
+            gathered = _concat_axis(chunks, axis)
+            cost = self.group.cost_model.gather(
+                self.group.global_rank(root), self.group.ranks, int(x.nbytes)
+            )
+            results: Dict[int, Optional[Payload]] = {i: None for i in payloads}
+            results[root] = gathered
+            return results, cost, "gather", x.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def all_to_all(self, chunks: List[Payload]) -> List[Payload]:
+        """Personalized exchange: rank i sends ``chunks[j]`` to rank j and
+        receives rank j's ``chunks[i]``."""
+        if len(chunks) != self.size:
+            raise ValueError(
+                f"all_to_all needs {self.size} chunks, got {len(chunks)}"
+            )
+        nbytes_local = sum(int(c.nbytes) for c in chunks)
+
+        def finalize(payloads: Dict[int, List[Payload]]):
+            results = {
+                i: [payloads[j][i] for j in sorted(payloads)] for i in payloads
+            }
+            cost = self.group.cost_model.all_to_all(self.group.ranks, nbytes_local)
+            return results, cost, "all_to_all", chunks[0].dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, chunks, finalize)
+
+    def barrier(self) -> None:
+        def finalize(payloads: Dict[int, Any]):
+            cost = self.group.cost_model.barrier(self.group.ranks)
+            return {i: None for i in payloads}, cost, "barrier", 1
+
+        self.group.rendezvous(self.global_rank, None, finalize)
+
+    def ring_pass(self, x: Payload, shift: int = 1) -> Payload:
+        """One ring rotation: send to ``(rank+shift) % size``, receive from
+        ``(rank-shift) % size``.  All transfers overlap, so the step costs
+        the slowest ring edge."""
+
+        def finalize(payloads: Dict[int, Payload]):
+            p = self.size
+            results = {i: payloads[(i - shift) % p] for i in payloads}
+            cm = self.group.cost_model
+            seconds = 0.0
+            wire = 0
+            for i in sorted(payloads):
+                src = self.group.global_rank(i)
+                dst = self.group.global_rank((i + shift) % p)
+                c = cm.p2p(src, dst, int(payloads[i].nbytes))
+                seconds = max(seconds, c.seconds)
+                wire += c.wire_bytes
+            cost = CollectiveCost(seconds, wire)
+            return results, cost, "ring_pass", x.dtype.itemsize
+
+        return self.group.rendezvous(self.global_rank, x, finalize)
+
+    def all_gather_object(self, obj: Any) -> List[Any]:
+        """Control-plane allgather of small Python objects (OOM flags, batch
+        search results).  Charged a nominal wire size."""
+
+        def finalize(payloads: Dict[int, Any]):
+            ordered = [payloads[i] for i in sorted(payloads)]
+            cost = self.group.cost_model.allgather(self.group.ranks, _OBJECT_NBYTES)
+            return {i: list(ordered) for i in payloads}, cost, "all_gather_object", 1
+
+        return self.group.rendezvous(self.global_rank, obj, finalize)
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def send(self, x: Payload, dst: int, tag: Any = 0) -> None:
+        """Send ``x`` to local rank ``dst``.  Returns once the payload is
+        enqueued; the sender's clock is charged the full transfer (eager
+        synchronous model)."""
+        src_g = self.global_rank
+        dst_g = self.group.global_rank(dst)
+        cost = self.group.cost_model.p2p(src_g, dst_g, int(x.nbytes))
+        clock = self.group.runtime.clocks[src_g]
+        t_avail = clock.time + cost.seconds
+        clock.advance(cost.seconds, "comm")
+        self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
+        payload = x if is_spec(x) else x.copy()
+        self.group.runtime.mailboxes.put(
+            (src_g, dst_g, (id(self.group), tag)), (payload, t_avail)
+        )
+
+    def recv(self, src: int, tag: Any = 0) -> Payload:
+        """Blocking receive from local rank ``src``."""
+        src_g = self.group.global_rank(src)
+        dst_g = self.global_rank
+        runtime = self.group.runtime
+        payload, t_avail = runtime.mailboxes.get(
+            (src_g, dst_g, (id(self.group), tag)), runtime.aborting
+        )
+        runtime.clocks[dst_g].sync_to(t_avail, "comm")
+        return payload
+
+    def sendrecv(self, x: Payload, dst: int, src: int, tag: Any = 0) -> Payload:
+        """Combined send+recv (deadlock-free pairwise exchange)."""
+        self.send(x, dst, tag)
+        return self.recv(src, tag)
+
+    def isend(self, x: Payload, dst: int, tag: Any = 0) -> "Request":
+        """Non-blocking send (mpi4py style).  The eager mailbox transport
+        makes the payload immediately available, so the returned request is
+        already complete; the sender's clock is still charged the full
+        transfer on wait()."""
+        src_g = self.global_rank
+        dst_g = self.group.global_rank(dst)
+        cost = self.group.cost_model.p2p(src_g, dst_g, int(x.nbytes))
+        clock = self.group.runtime.clocks[src_g]
+        t_avail = clock.time + cost.seconds
+        self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
+        payload = x if is_spec(x) else x.copy()
+        self.group.runtime.mailboxes.put(
+            (src_g, dst_g, (id(self.group), tag)), (payload, t_avail)
+        )
+        return Request(kind="send", comm=self, seconds=cost.seconds)
+
+    def irecv(self, src: int, tag: Any = 0) -> "Request":
+        """Non-blocking receive; ``wait()`` blocks until the message lands."""
+        return Request(kind="recv", comm=self, src=src, tag=tag)
+
+
+class Request:
+    """Handle for a non-blocking operation (``Request.wait`` completes it)."""
+
+    def __init__(self, kind: str, comm: "Communicator", seconds: float = 0.0,
+                 src: int = -1, tag: Any = 0) -> None:
+        self._kind = kind
+        self._comm = comm
+        self._seconds = seconds
+        self._src = src
+        self._tag = tag
+        self._done = False
+        self._result: Optional[Payload] = None
+
+    def test(self) -> bool:
+        """True once the operation can complete without blocking."""
+        if self._done or self._kind == "send":
+            return True
+        runtime = self._comm.group.runtime
+        src_g = self._comm.group.global_rank(self._src)
+        key = (src_g, self._comm.global_rank, (id(self._comm.group), self._tag))
+        with runtime.mailboxes._cond:
+            return bool(runtime.mailboxes._boxes.get(key))
+
+    def wait(self) -> Optional[Payload]:
+        """Complete the op: send charges the transfer time, recv blocks for
+        and returns the payload."""
+        if self._done:
+            return self._result
+        if self._kind == "send":
+            self._comm.group.runtime.clocks[self._comm.global_rank].advance(
+                self._seconds, "comm"
+            )
+        else:
+            self._result = self._comm.recv(self._src, self._tag)
+        self._done = True
+        return self._result
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def counters(self):
+        return self.group.counters
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(rank={self.rank}/{self.size}, group={self.group.ranks})"

@@ -1,0 +1,172 @@
+"""Alpha-beta cost model for collectives over a topology.
+
+Each collective maps to its standard ring/tree algorithm; the cost of a call
+over a group is::
+
+    time = alpha * steps + latency_term + wire_bytes_per_rank / bandwidth
+
+where ``bandwidth`` is the bottleneck link bandwidth of the algorithm's
+communication pattern on the actual topology graph.  This single rule is
+what makes System II (PCIe between distant GPUs) slow for group-wide
+collectives while leaving adjacent-pair traffic at NVLink speed — the
+mechanism behind the paper's Fig 10/11.
+
+Wire accounting (``wire_bytes``, totalled over ranks) follows the classic
+algorithm volumes:
+
+=================  ============================  =======================
+collective         time (beta term, per rank)    total wire bytes
+=================  ============================  =======================
+allreduce (ring)   2(p-1)/p * n / bw             2(p-1) * n
+allgather (ring)   (p-1) * n_local / bw          p(p-1) * n_local
+reducescatter      (p-1)/p * n / bw              (p-1) * n
+broadcast (ring)   n / bw (pipelined)            (p-1) * n
+reduce (ring)      n / bw (pipelined)            (p-1) * n
+scatter/gather     (p-1) * n_local / bw_root     (p-1) * n_local
+all_to_all         (p-1)/p * n / bw              (p-1) * n
+p2p                n / bw(a,b)                   n
+=================  ============================  =======================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cluster.machine import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Result of a cost query: simulated seconds and wire traffic."""
+
+    seconds: float
+    wire_bytes: int
+
+    def wire_elements(self, itemsize: int) -> int:
+        return self.wire_bytes // max(itemsize, 1)
+
+
+class CostModel:
+    """Collective/p2p cost queries bound to one cluster."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self.alpha = cluster.alpha
+        self.bw_ramp = getattr(cluster, "bw_ramp_time", 0.0)
+
+    def _eff(self, bw: float, nbytes: int) -> float:
+        """Effective bandwidth after the NCCL-style message-size ramp: a
+        link achieves half its peak for messages of ``bw * bw_ramp_time``
+        bytes, so small payloads on fast links are protocol-bound."""
+        if self.bw_ramp <= 0:
+            return bw
+        knee = bw * self.bw_ramp
+        return bw * nbytes / (nbytes + knee)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _names(self, ranks: List[int]) -> List[str]:
+        return self.cluster.gpu_names(ranks)
+
+    def _ring(self, ranks: List[int]) -> Tuple[float, float]:
+        """(bottleneck ring bandwidth, summed ring latency) for a group."""
+        names = self._names(ranks)
+        topo = self.cluster.topology
+        bw = topo.ring_bandwidth(names)
+        lat = sum(topo.latency(a, b) for a, b in zip(names, names[1:] + names[:1]))
+        return bw, lat
+
+    def _star(self, root: int, ranks: List[int]) -> Tuple[float, float]:
+        """(bottleneck root<->member bandwidth, max latency) for scatter/gather."""
+        topo = self.cluster.topology
+        rn = self.cluster.gpus[root].name
+        bw = math.inf
+        lat = 0.0
+        for r in ranks:
+            if r == root:
+                continue
+            b, l = topo.path_stats(rn, self.cluster.gpus[r].name)
+            bw = min(bw, b)
+            lat = max(lat, l)
+        return bw, lat
+
+    # -- collectives ------------------------------------------------------------
+
+    def allreduce(self, ranks: List[int], nbytes: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes == 0:
+            return CollectiveCost(0.0, 0)
+        bw, lat = self._ring(ranks)
+        steps = 2 * (p - 1)
+        seconds = steps * self.alpha + lat + (2 * (p - 1) / p) * nbytes / self._eff(bw, nbytes)
+        return CollectiveCost(seconds, 2 * (p - 1) * nbytes)
+
+    def allgather(self, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes_local == 0:
+            return CollectiveCost(0.0, 0)
+        bw, lat = self._ring(ranks)
+        seconds = (p - 1) * self.alpha + lat + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
+        return CollectiveCost(seconds, p * (p - 1) * nbytes_local)
+
+    def reduce_scatter(self, ranks: List[int], nbytes_in: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes_in == 0:
+            return CollectiveCost(0.0, 0)
+        bw, lat = self._ring(ranks)
+        seconds = (p - 1) * self.alpha + lat + ((p - 1) / p) * nbytes_in / self._eff(bw, nbytes_in)
+        return CollectiveCost(seconds, (p - 1) * nbytes_in)
+
+    def broadcast(self, ranks: List[int], nbytes: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes == 0:
+            return CollectiveCost(0.0, 0)
+        bw, lat = self._ring(ranks)
+        seconds = p * self.alpha + lat + nbytes / self._eff(bw, nbytes)
+        return CollectiveCost(seconds, (p - 1) * nbytes)
+
+    def reduce(self, ranks: List[int], nbytes: int) -> CollectiveCost:
+        return self.broadcast(ranks, nbytes)  # symmetric ring algorithm
+
+    def scatter(self, root: int, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes_local == 0:
+            return CollectiveCost(0.0, 0)
+        bw, lat = self._star(root, ranks)
+        seconds = (p - 1) * self.alpha + lat + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
+        return CollectiveCost(seconds, (p - 1) * nbytes_local)
+
+    def gather(self, root: int, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+        return self.scatter(root, ranks, nbytes_local)
+
+    def all_to_all(self, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes_local == 0:
+            return CollectiveCost(0.0, 0)
+        names = self._names(ranks)
+        bw = self.cluster.topology.min_bandwidth(names)
+        seconds = (p - 1) * self.alpha + ((p - 1) / p) * nbytes_local / self._eff(bw, nbytes_local)
+        return CollectiveCost(seconds, (p - 1) * nbytes_local)
+
+    def barrier(self, ranks: List[int]) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2:
+            return CollectiveCost(0.0, 0)
+        return CollectiveCost(self.alpha * math.ceil(math.log2(p)), 0)
+
+    def p2p(self, src: int, dst: int, nbytes: int) -> CollectiveCost:
+        if nbytes == 0 or src == dst:
+            return CollectiveCost(0.0, 0)
+        a = self.cluster.gpus[src].name
+        b = self.cluster.gpus[dst].name
+        bw, lat = self.cluster.topology.path_stats(a, b)
+        return CollectiveCost(self.alpha + lat + nbytes / self._eff(bw, nbytes), nbytes)
+
+    def host_transfer(self, rank: int, nbytes: int) -> CollectiveCost:
+        """CPU <-> GPU transfer (offloading traffic)."""
+        if nbytes == 0:
+            return CollectiveCost(0.0, 0)
+        bw = self.cluster.h2d_bandwidth(rank)
+        return CollectiveCost(self.alpha + nbytes / self._eff(bw, nbytes), nbytes)

@@ -1,0 +1,59 @@
+"""Wire-traffic counters.
+
+``CommCounters`` accumulates, per process group, the total number of bytes
+and elements that crossed the interconnect, broken down by collective kind.
+"Total" follows the paper's Table 1 convention: the sum over all ranks of
+elements each rank put on the wire (so a ring allreduce of S elements over p
+ranks counts 2(p-1)·S in total).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CommCounters:
+    """Thread-safe traffic accumulator for one process group."""
+
+    bytes_total: int = 0
+    elements_total: int = 0
+    calls_total: int = 0
+    by_op_bytes: Dict[str, int] = field(default_factory=dict)
+    by_op_elements: Dict[str, int] = field(default_factory=dict)
+    by_op_calls: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, op: str, wire_bytes: int, wire_elements: int) -> None:
+        with self._lock:
+            self.bytes_total += wire_bytes
+            self.elements_total += wire_elements
+            self.calls_total += 1
+            self.by_op_bytes[op] = self.by_op_bytes.get(op, 0) + wire_bytes
+            self.by_op_elements[op] = self.by_op_elements.get(op, 0) + wire_elements
+            self.by_op_calls[op] = self.by_op_calls.get(op, 0) + 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_total = 0
+            self.elements_total = 0
+            self.calls_total = 0
+            self.by_op_bytes.clear()
+            self.by_op_elements.clear()
+            self.by_op_calls.clear()
+
+    def merged_with(self, other: "CommCounters") -> "CommCounters":
+        out = CommCounters()
+        for src in (self, other):
+            out.bytes_total += src.bytes_total
+            out.elements_total += src.elements_total
+            out.calls_total += src.calls_total
+            for k, v in src.by_op_bytes.items():
+                out.by_op_bytes[k] = out.by_op_bytes.get(k, 0) + v
+            for k, v in src.by_op_elements.items():
+                out.by_op_elements[k] = out.by_op_elements.get(k, 0) + v
+            for k, v in src.by_op_calls.items():
+                out.by_op_calls[k] = out.by_op_calls.get(k, 0) + v
+        return out

@@ -1,0 +1,153 @@
+"""Process groups and the collective rendezvous.
+
+A :class:`ProcessGroup` is the meeting point for a fixed set of global ranks.
+Collectives are sequence-numbered per group (MPI semantics: all members must
+issue group collectives in the same order); each call forms a *round* that
+completes when every member has arrived, at which point the last arriver
+
+1. combines the payloads (the actual data movement/arithmetic),
+2. computes the call's cost from the cost model,
+3. synchronizes all member clocks to ``max(entry times) + cost``, and
+4. records wire traffic in the group's counters.
+
+The rendezvous polls the runtime abort flag while blocked, so one failing
+rank aborts everyone instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.comm.cost import CollectiveCost, CostModel
+from repro.comm.counters import CommCounters
+
+_POLL_INTERVAL = 0.05
+_DEADLOCK_TIMEOUT = 120.0
+
+#: finalize(payloads by local rank) ->
+#:   (results by local rank, cost, op name, itemsize for element accounting)
+FinalizeFn = Callable[
+    [Dict[int, Any]], Tuple[Dict[int, Any], CollectiveCost, str, int]
+]
+
+
+class _Round:
+    __slots__ = ("payloads", "entry_times", "results", "done", "claimed", "error")
+
+    def __init__(self) -> None:
+        self.payloads: Dict[int, Any] = {}
+        self.entry_times: Dict[int, float] = {}
+        self.results: Optional[Dict[int, Any]] = None
+        self.done = False
+        self.claimed = 0
+        self.error: Optional[BaseException] = None
+
+
+class ProcessGroup:
+    """A fixed, ordered set of global ranks with collective state.
+
+    Create via ``runtime.group(ranks)`` (idempotent) — never directly, or
+    different ranks would rendezvous on different objects.
+    """
+
+    def __init__(self, runtime: Any, ranks: List[int]) -> None:
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in group: {ranks}")
+        self.runtime = runtime
+        self.ranks = list(ranks)
+        self.size = len(ranks)
+        self._local = {g: i for i, g in enumerate(ranks)}
+        self.cost_model = CostModel(runtime.cluster)
+        self.counters = CommCounters()
+        self._cond = threading.Condition()
+        self._rounds: Dict[int, _Round] = {}
+        self._seq: Dict[int, int] = {r: 0 for r in ranks}
+
+    def local_rank(self, global_rank: int) -> int:
+        try:
+            return self._local[global_rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {global_rank} is not a member of group {self.ranks}"
+            ) from None
+
+    def global_rank(self, local_rank: int) -> int:
+        return self.ranks[local_rank]
+
+    def __contains__(self, global_rank: int) -> bool:
+        return global_rank in self._local
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessGroup(ranks={self.ranks})"
+
+    # ------------------------------------------------------------------
+
+    def rendezvous(self, my_global_rank: int, payload: Any, finalize: FinalizeFn) -> Any:
+        """Enter a collective round; returns this rank's share of the result.
+
+        ``finalize`` must be logically identical on all ranks; the last
+        arriver's instance runs.
+        """
+        me = self.local_rank(my_global_rank)
+        clock = self.runtime.clocks[my_global_rank]
+
+        if self.size == 1:
+            results, cost, op, itemsize = finalize({0: payload})
+            clock.advance(cost.seconds, "comm")
+            if cost.wire_bytes:
+                self.counters.record(op, cost.wire_bytes, cost.wire_elements(itemsize))
+            return results[0]
+
+        seq = self._seq[my_global_rank]
+        self._seq[my_global_rank] = seq + 1
+
+        with self._cond:
+            rnd = self._rounds.get(seq)
+            if rnd is None:
+                rnd = _Round()
+                self._rounds[seq] = rnd
+            rnd.payloads[me] = payload
+            rnd.entry_times[me] = clock.time
+
+            if len(rnd.payloads) == self.size:
+                # Last arriver finalizes on behalf of everyone.
+                try:
+                    results, cost, op, itemsize = finalize(rnd.payloads)
+                    t_end = max(rnd.entry_times.values()) + cost.seconds
+                    for g in self.ranks:
+                        self.runtime.clocks[g].sync_to(t_end, "comm")
+                    if cost.wire_bytes:
+                        self.counters.record(
+                            op, cost.wire_bytes, cost.wire_elements(itemsize)
+                        )
+                    rnd.results = results
+                except BaseException as exc:  # propagate to all members
+                    rnd.error = exc
+                rnd.done = True
+                self._cond.notify_all()
+            else:
+                deadline = _DEADLOCK_TIMEOUT
+                while not rnd.done:
+                    if self.runtime.aborting():
+                        self.runtime.check_abort()
+                    if deadline <= 0:
+                        raise RuntimeError(
+                            f"collective deadlock in group {self.ranks}: round "
+                            f"{seq} incomplete after {_DEADLOCK_TIMEOUT}s host time"
+                        )
+                    self._cond.wait(_POLL_INTERVAL)
+                    deadline -= _POLL_INTERVAL
+
+            if rnd.error is not None:
+                rnd.claimed += 1
+                if rnd.claimed == self.size:
+                    del self._rounds[seq]
+                raise rnd.error
+
+            assert rnd.results is not None
+            result = rnd.results[me]
+            rnd.claimed += 1
+            if rnd.claimed == self.size:
+                del self._rounds[seq]
+            return result

@@ -1,0 +1,153 @@
+"""Training configuration schema (Listing 1 of the paper).
+
+Users describe the parallelization declaratively::
+
+    config = dict(parallel=dict(tensor=dict(size=4, mode="2d"),
+                                pipeline=2),
+                  fp16=dict(enabled=True),
+                  zero=dict(stage=3, offload="adaptive"))
+
+``Config.from_dict`` validates the schema and fills defaults;
+``repro.initialize`` consumes it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+TENSOR_MODES = ("none", "1d", "2d", "2.5d", "3d", "sequence")
+
+
+@dataclass
+class TensorParallelConfig:
+    size: int = 1
+    mode: str = "none"
+    depth: int = 1  # 2.5d only
+
+    def validate(self) -> None:
+        if self.mode not in TENSOR_MODES:
+            raise ValueError(f"unknown tensor parallel mode {self.mode!r}; choose from {TENSOR_MODES}")
+        if self.size < 1:
+            raise ValueError(f"tensor parallel size must be >= 1, got {self.size}")
+        if self.mode == "none" and self.size != 1:
+            raise ValueError("tensor mode 'none' requires size 1")
+        if self.mode in ("1d", "sequence"):
+            return
+        if self.mode == "2d":
+            q = math.isqrt(self.size)
+            if q * q != self.size:
+                raise ValueError(f"2d tensor parallelism needs a square GPU count, got {self.size}")
+        elif self.mode == "2.5d":
+            if self.depth < 1:
+                raise ValueError(f"2.5d depth must be >= 1, got {self.depth}")
+            if self.size % self.depth != 0:
+                raise ValueError(f"2.5d size {self.size} not divisible by depth {self.depth}")
+            q = math.isqrt(self.size // self.depth)
+            if q * q * self.depth != self.size:
+                raise ValueError(
+                    f"2.5d tensor parallelism needs size = depth*q^2, got size={self.size}, depth={self.depth}"
+                )
+        elif self.mode == "3d":
+            cube = round(self.size ** (1 / 3))
+            if cube**3 != self.size:
+                raise ValueError(f"3d tensor parallelism needs a cubic GPU count, got {self.size}")
+
+
+@dataclass
+class FP16Config:
+    enabled: bool = False
+    initial_scale: float = 2.0**16
+    min_scale: float = 1.0
+    growth_interval: int = 1000
+    backoff_factor: float = 0.5
+    growth_factor: float = 2.0
+
+
+@dataclass
+class ZeroConfig:
+    stage: int = 0  # 0 = off, 1/2/3 per DeepSpeed convention
+    offload: str = "none"  # none | static | adaptive
+    chunk_mb: float = 32.0
+    use_chunks: bool = True
+
+    def validate(self) -> None:
+        if self.stage not in (0, 1, 2, 3):
+            raise ValueError(f"zero stage must be 0-3, got {self.stage}")
+        if self.offload not in ("none", "static", "adaptive"):
+            raise ValueError(f"unknown offload policy {self.offload!r}")
+
+
+@dataclass
+class Config:
+    """Validated top-level configuration."""
+
+    tensor: TensorParallelConfig = field(default_factory=TensorParallelConfig)
+    pipeline: int = 1
+    data: Optional[int] = None  # inferred from world size when None
+    fp16: FP16Config = field(default_factory=FP16Config)
+    zero: ZeroConfig = field(default_factory=ZeroConfig)
+    gradient_clipping: float = 0.0
+    num_microbatches: int = 1
+    seed: int = 0
+
+    @staticmethod
+    def from_dict(d: Optional[Dict[str, Any]] = None) -> "Config":
+        d = dict(d or {})
+        parallel = dict(d.pop("parallel", {}) or {})
+        tensor_d = dict(parallel.pop("tensor", {}) or {})
+        tensor_size = int(tensor_d.pop("size", 1))
+        cfg = Config(
+            tensor=TensorParallelConfig(
+                size=tensor_size,
+                mode=str(tensor_d.pop("mode", "none" if tensor_size == 1 else "1d")),
+                depth=int(tensor_d.pop("depth", 1)),
+            ),
+            pipeline=int(parallel.pop("pipeline", 1)),
+            data=parallel.pop("data", None),
+            gradient_clipping=float(d.pop("gradient_clipping", 0.0)),
+            num_microbatches=int(d.pop("num_microbatches", 1)),
+            seed=int(d.pop("seed", 0)),
+        )
+        if tensor_d:
+            raise ValueError(f"unknown keys in parallel.tensor config: {sorted(tensor_d)}")
+        if parallel:
+            raise ValueError(f"unknown keys in parallel config: {sorted(parallel)}")
+        fp16_d = dict(d.pop("fp16", {}) or {})
+        if fp16_d:
+            cfg.fp16 = FP16Config(**fp16_d)
+        zero_d = dict(d.pop("zero", {}) or {})
+        if zero_d:
+            cfg.zero = ZeroConfig(**zero_d)
+        if d:
+            raise ValueError(f"unknown top-level config keys: {sorted(d)}")
+        cfg.validate()
+        return cfg
+
+    def validate(self) -> None:
+        self.tensor.validate()
+        self.zero.validate()
+        if self.pipeline < 1:
+            raise ValueError(f"pipeline size must be >= 1, got {self.pipeline}")
+        if self.num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+        if self.data is not None and self.data < 1:
+            raise ValueError("data parallel size must be >= 1")
+
+    def model_parallel_size(self) -> int:
+        return self.tensor.size * self.pipeline
+
+    def infer_data_size(self, world_size: int) -> int:
+        mp = self.model_parallel_size()
+        if world_size % mp != 0:
+            raise ValueError(
+                f"world size {world_size} not divisible by tensor*pipeline = {mp}"
+            )
+        data = world_size // mp
+        if self.data is not None and self.data != data:
+            raise ValueError(
+                f"configured data parallel size {self.data} inconsistent with "
+                f"world {world_size} / (tensor*pipeline) {mp} = {data}"
+            )
+        return data

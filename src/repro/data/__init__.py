@@ -1,0 +1,15 @@
+"""Synthetic datasets standing in for ImageNet-1k and Wikipedia."""
+
+from repro.data.synthetic import (
+    DataLoader,
+    synthetic_image_classification,
+    synthetic_token_stream,
+    lm_batches,
+)
+
+__all__ = [
+    "DataLoader",
+    "synthetic_image_classification",
+    "synthetic_token_stream",
+    "lm_batches",
+]

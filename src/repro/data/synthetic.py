@@ -1,0 +1,113 @@
+"""Synthetic data generators.
+
+The paper trains on ImageNet-1k (ViT) and Wikipedia (BERT/GPT); offline we
+substitute learnable synthetic tasks with the same tensor shapes:
+
+* ``synthetic_image_classification`` — images drawn as class prototypes
+  plus Gaussian noise.  Linearly separable enough that accuracy climbs
+  within a few epochs (what Fig 7 needs: *curves* that either coincide
+  across parallel modes or don't), while noisy enough to need real
+  optimization.
+* ``synthetic_token_stream`` — tokens from a random first-order Markov
+  chain, so next-token prediction has learnable structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def synthetic_image_classification(
+    n_samples: int,
+    image_size: int = 32,
+    channels: int = 3,
+    n_classes: int = 10,
+    noise: float = 0.7,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Returns (images [N, H, W, C] float32, labels [N] int64)."""
+    rng = np.random.default_rng(seed)
+    prototypes = rng.standard_normal((n_classes, image_size, image_size, channels))
+    labels = rng.integers(0, n_classes, n_samples)
+    images = prototypes[labels] + noise * rng.standard_normal(
+        (n_samples, image_size, image_size, channels)
+    )
+    return images.astype(np.float32), labels.astype(np.int64)
+
+
+def synthetic_token_stream(
+    n_tokens: int,
+    vocab_size: int = 1024,
+    seed: int = 0,
+    branching: int = 4,
+) -> np.ndarray:
+    """A token stream from a sparse random Markov chain: each token has
+    ``branching`` likely successors, so an LM can reduce perplexity."""
+    rng = np.random.default_rng(seed)
+    successors = rng.integers(0, vocab_size, (vocab_size, branching))
+    out = np.empty(n_tokens, dtype=np.int64)
+    tok = int(rng.integers(0, vocab_size))
+    for i in range(n_tokens):
+        out[i] = tok
+        tok = int(successors[tok, rng.integers(0, branching)])
+    return out
+
+
+def lm_batches(
+    stream: np.ndarray, batch_size: int, seq_len: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cut a token stream into (inputs, next-token targets) of shape
+    [n_batches, batch, seq]."""
+    window = seq_len + 1
+    n = (len(stream) - 1) // (batch_size * seq_len)
+    need = n * batch_size * seq_len + 1
+    if need > len(stream):
+        raise ValueError("stream too short")
+    flat = stream[: n * batch_size * seq_len].reshape(n * batch_size, seq_len)
+    nxt = stream[1 : n * batch_size * seq_len + 1].reshape(n * batch_size, seq_len)
+    _ = window
+    return (
+        flat.reshape(n, batch_size, seq_len),
+        nxt.reshape(n, batch_size, seq_len),
+    )
+
+
+class DataLoader:
+    """Minimal epoch iterator over in-memory arrays with optional
+    shuffling; yields (data, label) global batches (parallel bundles shard
+    them per rank)."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = True,
+    ) -> None:
+        if len(data) != len(labels):
+            raise ValueError("data/labels length mismatch")
+        self.data = data
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = np.random.default_rng(seed)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.data) // self.batch_size
+        if not self.drop_last and len(self.data) % self.batch_size:
+            n += 1
+        return n
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        idx = np.arange(len(self.data))
+        if self.shuffle:
+            self.rng.shuffle(idx)
+        end = len(self.data) - (len(self.data) % self.batch_size if self.drop_last else 0)
+        for start in range(0, end, self.batch_size):
+            sel = idx[start : start + self.batch_size]
+            yield self.data[sel], self.labels[sel]

@@ -1,0 +1,7 @@
+"""Execution engine — the ``colossalai.initialize`` / ``engine.*`` API of
+Listing 1."""
+
+from repro.engine.engine import Engine
+from repro.engine.initialize import initialize, launch
+
+__all__ = ["Engine", "initialize", "launch"]

@@ -1,0 +1,69 @@
+"""Top-level entry points: ``launch`` and ``initialize``.
+
+``launch`` is the SPMD program runner (the analogue of
+``colossalai.launch_from_torch``): it takes a config dict and a per-rank
+function, builds the runtime + :class:`ParallelContext` on every rank and
+executes the function.
+
+``initialize`` assembles an :class:`Engine` from user components exactly as
+Listing 1 shows, wiring in the configured features (fp16 wrapping, pipeline
+schedule, optimizer clipping).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.cluster.machine import ClusterSpec
+from repro.config import Config
+from repro.context.parallel_context import ParallelContext
+from repro.engine.engine import Engine
+from repro.nn.module import Module
+from repro.parallel.pipeline.schedule import GPipeSchedule, PipelineSchedule
+from repro.runtime.spmd import RankContext, SpmdRuntime
+
+
+def launch(
+    config: Union[Dict[str, Any], Config, None],
+    cluster: ClusterSpec,
+    fn: Callable[[RankContext, ParallelContext], Any],
+    world_size: Optional[int] = None,
+    materialize: bool = True,
+    runtime: Optional[SpmdRuntime] = None,
+) -> List[Any]:
+    """Run ``fn(ctx, pc)`` SPMD over the cluster with the parallel context
+    built from ``config``.  Returns per-rank results."""
+    cfg = config if isinstance(config, Config) else Config.from_dict(config)
+
+    def wrapper(ctx: RankContext) -> Any:
+        pc = ParallelContext(ctx, cfg)
+        return fn(ctx, pc)
+
+    rt = runtime if runtime is not None else SpmdRuntime(cluster, world_size)
+    return rt.run(wrapper, materialize=materialize, seed=cfg.seed)
+
+
+def initialize(
+    model: Module,
+    optimizer: Any,
+    criterion: Optional[Callable] = None,
+    pc: Optional[ParallelContext] = None,
+    config: Optional[Config] = None,
+    schedule: Optional[PipelineSchedule] = None,
+) -> Engine:
+    """Build an Engine with the configured acceleration features injected.
+
+    Mirrors ``colossalai.initialize(model, optimizer, criterion, ...)``.
+    """
+    if pc is None:
+        from repro.context.parallel_context import global_context
+
+        pc = global_context()
+    cfg = config if config is not None else pc.config
+    if cfg.fp16.enabled:
+        from repro.amp.fp16 import cast_model_to
+
+        cast_model_to(model, "float16")
+    if schedule is None and pc.pipeline_size > 1:
+        schedule = GPipeSchedule(pc, cfg.num_microbatches)
+    return Engine(model, optimizer, criterion, pc, cfg, schedule=schedule)

@@ -1,0 +1,51 @@
+"""Model-bundle plumbing shared by the zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def crng(seed: int, *component: int) -> np.random.Generator:
+    """Deterministic per-component RNG: every parallel mode draws the same
+    global weight for component ``(seed, *component)`` regardless of build
+    order, then keeps its shard — the root of cross-mode parity."""
+    return np.random.default_rng((0x5EED, seed) + tuple(component))
+
+
+@dataclass
+class ModelBundle:
+    """A model plus the mode-specific glue the training loop needs.
+
+    ``shard_input(global_batch)``   -> this rank's input payload
+    ``shard_target(global_target)`` -> this rank's target slice
+    ``loss_fn(output, local_target)`` -> scalar loss Tensor equal to the
+    serial global-batch loss
+    ``gather_output(output)``       -> full logits as numpy (for metrics)
+    """
+
+    model: Module
+    shard_input: Callable[[Any], Any]
+    shard_target: Callable[[Any], Any]
+    loss_fn: Callable[[Tensor, Any], Tensor]
+    gather_output: Callable[[Tensor], np.ndarray]
+    mode: str = "serial"
+    extra: dict = field(default_factory=dict)
+
+    def train_step_fn(self):
+        """Convenience closure: (engine, data, target) -> loss value."""
+
+        def step(engine, data, target) -> Optional[float]:
+            engine.zero_grad()
+            out = engine(self.shard_input(data))
+            loss = self.loss_fn(out, self.shard_target(target))
+            engine.backward(loss)
+            engine.step()
+            return loss.item() if loss.materialized else None
+
+        return step

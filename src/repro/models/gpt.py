@@ -1,0 +1,125 @@
+"""GPT models as block lists for the ZeRO offload engine (§5.4 / Fig 14).
+
+``build_gpt_blocks`` returns the model as a list of blocks — embedding,
+each causal Transformer layer, LM head — which is exactly the granularity
+the :class:`ZeroOffloadEngine` fetches, recomputes and reduce-scatters.
+
+Presets match the paper's workloads: GPT-2 scaled to 10B parameters and
+OPT-13B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.models.common import crng
+from repro.nn import init as init_mod
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module, Parameter
+from repro.nn.transformer import TransformerLayer
+from repro.tensor.tensor import Tensor
+
+_TOK, _POS, _HEAD = 0, 1, 1001
+_LAYER0 = 2
+
+
+@dataclass
+class GPTConfig:
+    vocab_size: int = 50257
+    hidden_size: int = 1024
+    n_layers: int = 24
+    n_heads: int = 16
+    seq_len: int = 1024
+    mlp_ratio: int = 4
+    dtype: str = "float16"
+    seed: int = 17
+
+    def param_count(self) -> int:
+        """Approximate parameter count (the 12 h^2 rule + embeddings)."""
+        per_layer = 12 * self.hidden_size**2 + 13 * self.hidden_size
+        emb = (self.vocab_size + self.seq_len) * self.hidden_size
+        head = self.hidden_size * self.vocab_size
+        return self.n_layers * per_layer + emb + head
+
+
+class GPTEmbeddingBlock(Module):
+    def __init__(self, cfg: GPTConfig) -> None:
+        super().__init__()
+        self.token_emb = Embedding(
+            cfg.vocab_size, cfg.hidden_size, dtype=cfg.dtype, rng=crng(cfg.seed, _TOK)
+        )
+        self.pos_emb = Parameter(
+            init_mod.param_payload(
+                (cfg.seq_len, cfg.hidden_size), init_mod.normal(0.02),
+                crng(cfg.seed, _POS), cfg.dtype,
+            )
+        )
+
+    def forward(self, token_ids) -> Tensor:
+        x = self.token_emb(token_ids)
+        return ops.add(x, self.pos_emb)
+
+
+class GPTHeadBlock(Module):
+    def __init__(self, cfg: GPTConfig) -> None:
+        super().__init__()
+        self.norm = LayerNorm(cfg.hidden_size, dtype=cfg.dtype, rng=crng(cfg.seed, _HEAD))
+        self.head = Linear(
+            cfg.hidden_size, cfg.vocab_size, bias=False,
+            weight_init=init_mod.lecun_normal(), dtype=cfg.dtype,
+            rng=crng(cfg.seed, _HEAD + 1),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.norm(x))
+
+
+def build_gpt_blocks(cfg: GPTConfig) -> Tuple[List[Module], Callable]:
+    """(blocks, criterion) for block-wise ZeRO training."""
+    blocks: List[Module] = [GPTEmbeddingBlock(cfg)]
+    for i in range(cfg.n_layers):
+        blocks.append(
+            TransformerLayer(
+                cfg.hidden_size, cfg.n_heads, cfg.mlp_ratio, causal=True,
+                dtype=cfg.dtype, rng=crng(cfg.seed, _LAYER0 + i),
+            )
+        )
+    blocks.append(GPTHeadBlock(cfg))
+    ce = CrossEntropyLoss()
+
+    def criterion(logits: Tensor, targets) -> Tensor:
+        return ce(logits, targets)
+
+    return blocks, criterion
+
+
+def gpt2_10b(seq_len: int = 1024) -> GPTConfig:
+    """GPT-2 architecture scaled to ~10B parameters (§5.4): 50 layers,
+    hidden 4096, 32 heads -> 12*4096^2*50 + embeddings ~= 10.5B."""
+    return GPTConfig(
+        vocab_size=50257,
+        hidden_size=4096,
+        n_layers=50,
+        n_heads=32,
+        seq_len=seq_len,
+        mlp_ratio=4,
+        dtype="float16",
+    )
+
+
+def opt_13b(seq_len: int = 1024) -> GPTConfig:
+    """OPT-13B [41]: 40 layers, hidden 5120, 40 heads (~12.9B params)."""
+    return GPTConfig(
+        vocab_size=50272,
+        hidden_size=5120,
+        n_layers=40,
+        n_heads=40,
+        seq_len=seq_len,
+        mlp_ratio=4,
+        dtype="float16",
+    )

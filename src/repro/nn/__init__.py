@@ -1,0 +1,31 @@
+"""Neural-network building blocks (serial reference implementations).
+
+The parallel packages (:mod:`repro.parallel`) provide drop-in parallel
+versions of these layers; parity tests assert that each parallel layer
+matches its serial counterpart here bit-for-bit (up to float tolerance).
+"""
+
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.layers import Dropout, Embedding, Identity, LayerNorm, Linear, PatchEmbedding
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import FeedForward, TransformerLayer
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "Identity",
+    "PatchEmbedding",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerLayer",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "init",
+]

@@ -1,0 +1,114 @@
+"""Multi-head self-attention (serial reference).
+
+The quadratic-in-sequence-length memory of the score matrix here is exactly
+the "non-model data" bottleneck sequence parallelism attacks (§2.3); the
+ring variant lives in :mod:`repro.parallel.sequence`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.comm.payload import SpecArray, is_spec
+from repro.nn import init as init_mod
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def causal_mask_payload(seq: int, dtype, spec: bool):
+    """Additive attention mask: 0 on/below the diagonal, -inf above."""
+    if spec:
+        return SpecArray((seq, seq), dtype)
+    # keep the "minus infinity" representable: float16 tops out at ~6.5e4
+    neg = -1e4 if np.dtype(dtype).itemsize < 4 else -1e9
+    mask = np.triu(np.full((seq, seq), neg, dtype=np.dtype(dtype)), k=1)
+    return mask
+
+
+def split_heads(x: Tensor, n_heads: int) -> Tensor:
+    """[B, S, H] -> [B, n_heads, S, H/n_heads]."""
+    b, s, h = x.shape
+    x = ops.reshape(x, (b, s, n_heads, h // n_heads))
+    return ops.transpose(x, (0, 2, 1, 3))
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """[B, n_heads, S, d] -> [B, S, n_heads*d]."""
+    b, nh, s, d = x.shape
+    x = ops.transpose(x, (0, 2, 1, 3))
+    return ops.reshape(x, (b, s, nh * d))
+
+
+def attention_core(
+    q: Tensor, k: Tensor, v: Tensor, causal: bool = False, dropout_p: float = 0.0,
+    training: bool = True,
+) -> Tensor:
+    """Scaled dot-product attention over [B, nh, S, d] tensors."""
+    d = q.shape[-1]
+    # scale q, not the scores: the scores buffer is the largest activation
+    # in the layer ([B, nh, S, S]); scaling it would double its footprint
+    q = ops.mul(q, 1.0 / math.sqrt(d))
+    scores = ops.matmul(q, ops.swapaxes(k, -1, -2))
+    if causal:
+        mask = Tensor(
+            causal_mask_payload(q.shape[-2], q.dtype, is_spec(q.payload)),
+            device=q.device,
+        )
+        scores = ops.add(scores, mask)
+    probs = ops.softmax(scores, axis=-1)
+    if dropout_p > 0.0:
+        probs = ops.dropout(probs, dropout_p, training=training)
+    return ops.matmul(probs, v)
+
+
+class MultiHeadAttention(Module):
+    """Standard MHA block: QKV projection, per-head attention, output proj."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        attn_dropout: float = 0.0,
+        out_dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_size % n_heads != 0:
+            raise ValueError(
+                f"hidden size {hidden_size} not divisible by {n_heads} heads"
+            )
+        self.hidden_size = hidden_size
+        self.n_heads = n_heads
+        self.causal = causal
+        self.attn_dropout = attn_dropout
+        self.qkv = Linear(
+            hidden_size, 3 * hidden_size,
+            weight_init=init_mod.lecun_normal(), dtype=dtype, rng=rng,
+        )
+        self.out = Linear(
+            hidden_size, hidden_size,
+            weight_init=init_mod.lecun_normal(), dtype=dtype, rng=rng,
+        )
+        self.dropout = Dropout(out_dropout) if out_dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        qkv = self.qkv(x)  # [B, S, 3H]
+        q, k, v = ops.split(qkv, 3, axis=-1)
+        q = split_heads(q, self.n_heads)
+        k = split_heads(k, self.n_heads)
+        v = split_heads(v, self.n_heads)
+        attn = attention_core(
+            q, k, v, causal=self.causal,
+            dropout_p=self.attn_dropout, training=self.training,
+        )
+        y = self.out(merge_heads(attn))
+        if self.dropout is not None:
+            y = self.dropout(y)
+        return y

@@ -1,0 +1,79 @@
+"""Transformer layer (Fig 2 of the paper): Multi-Head Attention block +
+Feed Forward block, pre-norm residual wiring."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.nn import init as init_mod
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class FeedForward(Module):
+    """The MLP block: Linear(H -> r*H) + GELU + Linear(r*H -> H).
+
+    This is the ``Y = W2 (gelu(W1 X))`` module of the paper's Fig 4 — the
+    canonical target of tensor parallelism.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dense_1 = Linear(
+            hidden_size, mlp_ratio * hidden_size,
+            weight_init=init_mod.lecun_normal(), dtype=dtype, rng=rng,
+        )
+        self.dense_2 = Linear(
+            mlp_ratio * hidden_size, hidden_size,
+            weight_init=init_mod.lecun_normal(), dtype=dtype, rng=rng,
+        )
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = ops.gelu(self.dense_1(x))
+        h = self.dense_2(h)
+        if self.dropout is not None:
+            h = self.dropout(h)
+        return h
+
+
+class TransformerLayer(Module):
+    """Pre-norm Transformer layer: x + MHA(LN(x)); x + FFN(LN(x))."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        mlp_ratio: int = 4,
+        attn_dropout: float = 0.0,
+        dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.norm_1 = LayerNorm(hidden_size, dtype=dtype, rng=rng)
+        self.attention = MultiHeadAttention(
+            hidden_size, n_heads,
+            attn_dropout=attn_dropout, out_dropout=dropout, causal=causal,
+            dtype=dtype, rng=rng,
+        )
+        self.norm_2 = LayerNorm(hidden_size, dtype=dtype, rng=rng)
+        self.mlp = FeedForward(hidden_size, mlp_ratio, dropout=dropout, dtype=dtype, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ops.add(x, self.attention(self.norm_1(x)))
+        x = ops.add(x, self.mlp(self.norm_2(x)))
+        return x

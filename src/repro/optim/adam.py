@@ -1,0 +1,93 @@
+"""Adam and AdamW (Kingma & Ba [17]; decoupled weight decay).
+
+Keeps fp32 master weights when the parameter storage dtype is narrower
+(mixed-precision training), plus fp32 ``m``/``v`` moments — the 3x-plus
+model-data blowup of "stateful optimizers" that §2.1 of the paper
+describes and ZeRO exists to shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor.tensor import Tensor
+from repro.tensor import zeros
+
+
+class Adam(Optimizer):
+    FLOPS_PER_ELEMENT = 12.0
+    STATE_FLOATS_PER_ELEMENT = 2  # m + v (master weights added when fp16)
+    DECOUPLED_WD = False
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(
+            params, dict(lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+        )
+
+    def _init_state(self, p: Tensor) -> Dict[str, Any]:
+        state: Dict[str, Any] = {
+            "m": zeros(p.shape, dtype="float32", device=p.device, tag="optim"),
+            "v": zeros(p.shape, dtype="float32", device=p.device, tag="optim"),
+            "t": 0,
+        }
+        if p.dtype != np.float32 and p.materialized:
+            master = Tensor(
+                p.numpy().astype(np.float32), device=p.device, tag="optim"
+            )
+            state["master"] = master
+        elif p.dtype != np.float32:
+            state["master"] = zeros(p.shape, dtype="float32", device=p.device, tag="optim")
+        return state
+
+    def _update(self, p: Tensor, grad: np.ndarray, state: Dict[str, Any]) -> None:
+        lr = self.defaults["lr"]
+        b1, b2 = self.defaults["betas"]
+        eps = self.defaults["eps"]
+        wd = self.defaults["weight_decay"]
+        state["t"] += 1
+        t = state["t"]
+        g = grad.astype(np.float32, copy=False)
+        weights = state["master"].numpy() if "master" in state else p.numpy()
+        if wd and not self.DECOUPLED_WD:
+            g = g + wd * weights
+        m = state["m"].numpy()
+        v = state["v"].numpy()
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * g * g
+        mhat = m / (1 - b1**t)
+        vhat = v / (1 - b2**t)
+        update = mhat / (np.sqrt(vhat) + eps)
+        if wd and self.DECOUPLED_WD:
+            update = update + wd * weights
+        weights -= lr * update
+        if "master" in state:
+            p.payload[...] = weights.astype(p.dtype)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay — the optimizer of the paper's ViT
+    convergence experiment (lr 0.003, wd 0.3, §5.2)."""
+
+    DECOUPLED_WD = True
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 3e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.3,
+    ) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)

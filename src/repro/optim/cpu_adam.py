@@ -1,0 +1,48 @@
+"""CPU Adam — the DeepSpeed zero-offload design (§2.4 / §3.2 of the paper).
+
+The Adam math is identical to :class:`Adam`, but moments and master weights
+live in *host* memory and the update runs at host-CPU FLOP rates, so the
+simulated clock reflects the real cost trade of offloaded updates (slow
+CPU math + PCIe traffic vs freed GPU memory).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+import numpy as np
+
+from repro.optim.adam import Adam
+from repro.runtime.spmd import current_rank_context, in_spmd
+from repro.tensor.tensor import Tensor
+from repro.tensor import zeros
+
+
+class CPUAdam(Adam):
+    DECOUPLED_WD = True
+
+    def _host_device(self):
+        if in_spmd():
+            return current_rank_context().cpu
+        return None
+
+    def _init_state(self, p: Tensor) -> Dict[str, Any]:
+        host = self._host_device()
+        dev = host if host is not None else p.device
+        state: Dict[str, Any] = {
+            "m": zeros(p.shape, dtype="float32", device=dev, tag="optim"),
+            "v": zeros(p.shape, dtype="float32", device=dev, tag="optim"),
+            "t": 0,
+        }
+        if p.dtype != np.float32:
+            if p.materialized:
+                state["master"] = Tensor(
+                    p.numpy().astype(np.float32), device=dev, tag="optim"
+                )
+            else:
+                state["master"] = zeros(p.shape, dtype="float32", device=dev, tag="optim")
+        return state
+
+    def _charge(self, n_elements: int, device=None) -> None:
+        host = self._host_device()
+        super()._charge(n_elements, device=host if host is not None else device)

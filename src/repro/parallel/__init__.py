@@ -1,0 +1,19 @@
+"""Parallel execution methods — the paper's §2/§3 inventory.
+
+* :mod:`repro.parallel.comm_ops` — differentiable collectives (the f/g
+  conjugate pairs every TP scheme is built from)
+* :mod:`repro.parallel.data` — data parallelism (DDP with bucketed
+  gradient allreduce)
+* :mod:`repro.parallel.tensor1d` — Megatron-style 1D tensor parallelism
+* :mod:`repro.parallel.tensor2d` — SUMMA-based 2D tensor parallelism
+* :mod:`repro.parallel.tensor25d` — 2.5D (depth-replicated 2D grids)
+* :mod:`repro.parallel.tensor3d` — 3D (Agarwal) tensor parallelism
+* :mod:`repro.parallel.sequence` — sequence parallelism with ring
+  self-attention
+* :mod:`repro.parallel.pipeline` — pipeline parallelism (GPipe / 1F1B)
+"""
+
+from repro.parallel import comm_ops
+from repro.parallel.data import DistributedDataParallel, sync_gradients
+
+__all__ = ["comm_ops", "DistributedDataParallel", "sync_gradients"]

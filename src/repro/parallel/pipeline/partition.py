@@ -1,0 +1,80 @@
+"""Stage partitioning.
+
+``partition_balanced`` solves the contiguous balanced-partition problem
+exactly (minimize the maximum per-stage cost) with the classic
+binary-search-over-answer + greedy-feasibility algorithm; layer costs
+default to 1 (uniform) but callers pass parameter counts or FLOP estimates
+for heterogeneous models (embedding + transformer + head).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def partition_uniform(n_layers: int, n_stages: int) -> List[Tuple[int, int]]:
+    """Contiguous [start, end) ranges of near-equal length; earlier stages
+    get the remainder layers."""
+    if n_stages < 1 or n_layers < n_stages:
+        raise ValueError(f"cannot split {n_layers} layers into {n_stages} stages")
+    base, rem = divmod(n_layers, n_stages)
+    ranges = []
+    start = 0
+    for s in range(n_stages):
+        size = base + (1 if s < rem else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def _feasible(costs: Sequence[float], n_stages: int, cap: float) -> bool:
+    stages = 1
+    acc = 0.0
+    for c in costs:
+        if c > cap:
+            return False
+        if acc + c > cap:
+            stages += 1
+            acc = c
+            if stages > n_stages:
+                return False
+        else:
+            acc += c
+    return True
+
+
+def partition_balanced(
+    costs: Sequence[float], n_stages: int, tol: float = 1e-6
+) -> List[Tuple[int, int]]:
+    """Contiguous ranges minimizing the max per-stage total cost."""
+    n = len(costs)
+    if n_stages < 1 or n < n_stages:
+        raise ValueError(f"cannot split {n} layers into {n_stages} stages")
+    lo, hi = max(costs), sum(costs)
+    while hi - lo > tol * max(hi, 1.0):
+        mid = (lo + hi) / 2
+        if _feasible(costs, n_stages, mid):
+            hi = mid
+        else:
+            lo = mid
+    cap = hi
+    # greedy fill, but never leave fewer layers than remaining stages need
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    stage = 0
+    for idx, c in enumerate(costs):
+        remaining_stages = n_stages - stage - 1
+        must_break = (n - idx) == remaining_stages  # each later stage needs >= 1 layer
+        if idx > start and (acc + c > cap * (1 + tol) or must_break):
+            ranges.append((start, idx))
+            start = idx
+            acc = 0.0
+            stage += 1
+        acc += c
+    ranges.append((start, n))
+    while len(ranges) < n_stages:  # degenerate: pad by splitting the last range
+        s, e = ranges.pop()
+        ranges.append((s, e - 1))
+        ranges.append((e - 1, e))
+    return ranges

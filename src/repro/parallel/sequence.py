@@ -1,0 +1,251 @@
+"""Sequence parallelism with Ring Self-Attention — Li et al. [21], §2.3.
+
+The model is replicated (like data parallelism) but the *sequence* dimension
+of the input is split across ranks, breaking the memory wall of the
+quadratic attention score matrix: each rank only ever materializes
+``[B, heads, S/p, S]`` scores and ``S/p``-length activations.
+
+The attention core is rebuilt from two ring primitives:
+
+* :class:`RingQK` — scores ``Q_local @ K_r^T`` for every ring position r;
+  K blocks rotate around the ring (p-1 ``ring_pass`` steps).
+* :class:`RingAV` — ``sum_r P_r @ V_r`` with V blocks rotating.
+
+Backward replays the rings for the rotating operand's gradient and uses an
+all-to-all to return each rank's partial gradient for the blocks it
+produced (``dK_r = sum_m dS_{m,r}^T Q_m`` is a reduction *to* rank r).
+
+Parameters carry ``grad_sync_comms = [sequence group]``: every rank saw
+only its tokens, so replicated-parameter gradients are summed across the
+group after backward.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.function import FnCtx, Function
+from repro.autograd import payload_ops as P
+from repro.comm.communicator import Communicator
+from repro.comm.payload import Payload
+from repro.context.parallel_context import ParallelContext, ParallelMode
+from repro.nn import init as init_mod
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.attention import merge_heads, split_heads
+from repro.nn.module import Module, Parameter
+from repro.nn.transformer import FeedForward
+from repro.tensor.sharding import shard_payload
+from repro.tensor.tensor import Tensor
+
+
+class RingQK(Function):
+    """scores[B, nh, S/p, S] = Q_local @ K_global^T via ring rotation."""
+
+    @staticmethod
+    def forward(ctx: FnCtx, q: Tensor, k: Tensor, comm: Communicator) -> Payload:
+        p = comm.size
+        ctx.comm = comm
+        ctx.save_for_backward(q, k)
+        ctx.flops = p * P.matmul_flops(q.shape, P.pswapaxes(k.payload, -1, -2).shape)
+        ctx.backward_flops = 2 * ctx.flops
+        chunks: List[Optional[Payload]] = [None] * p
+        cur = k.payload
+        for t in range(p):
+            src = (comm.rank - t) % p
+            chunks[src] = P.pmatmul(q.payload, P.pswapaxes(cur, -1, -2))
+            if t < p - 1:
+                cur = comm.ring_pass(cur)
+        return P.pconcat(chunks, axis=-1)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        q, k = ctx.saved_tensors
+        comm = ctx.comm
+        p = comm.size
+        g_blocks = P.psplit(g, p, axis=-1)  # g_blocks[r] pairs with K_r
+        # dQ = sum_r g_r @ K_r — replay the K ring
+        dq: Optional[Payload] = None
+        cur = k.payload
+        for t in range(p):
+            src = (comm.rank - t) % p
+            part = P.pmatmul(g_blocks[src], cur)
+            dq = part if dq is None else P.padd(dq, part)
+            if t < p - 1:
+                cur = comm.ring_pass(cur)
+        # dK_r = sum_m g_{m,r}^T @ Q_m — all-to-all the partials, sum locally
+        partials = [
+            P.pmatmul(P.pswapaxes(g_blocks[r], -1, -2), q.payload) for r in range(p)
+        ]
+        received = comm.all_to_all(partials)
+        dk: Optional[Payload] = None
+        for part in received:
+            dk = part if dk is None else P.padd(dk, part)
+        return dq, dk
+
+
+class RingAV(Function):
+    """out[B, nh, S/p, d] = probs @ V_global via ring rotation of V."""
+
+    @staticmethod
+    def forward(ctx: FnCtx, probs: Tensor, v: Tensor, comm: Communicator) -> Payload:
+        p = comm.size
+        ctx.comm = comm
+        ctx.save_for_backward(probs, v)
+        p_blocks = P.psplit(probs.payload, p, axis=-1)
+        ctx.flops = p * P.matmul_flops(p_blocks[0].shape, v.shape)
+        ctx.backward_flops = 2 * ctx.flops
+        out: Optional[Payload] = None
+        cur = v.payload
+        for t in range(p):
+            src = (comm.rank - t) % p
+            part = P.pmatmul(p_blocks[src], cur)
+            out = part if out is None else P.padd(out, part)
+            if t < p - 1:
+                cur = comm.ring_pass(cur)
+        return out
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        probs, v = ctx.saved_tensors
+        comm = ctx.comm
+        p = comm.size
+        p_blocks = P.psplit(probs.payload, p, axis=-1)
+        # dP_r = g @ V_r^T — replay the V ring
+        chunks: List[Optional[Payload]] = [None] * p
+        cur = v.payload
+        for t in range(p):
+            src = (comm.rank - t) % p
+            chunks[src] = P.pmatmul(g, P.pswapaxes(cur, -1, -2))
+            if t < p - 1:
+                cur = comm.ring_pass(cur)
+        dprobs = P.pconcat(chunks, axis=-1)
+        # dV_r = sum_m P_{m,r}^T @ g_m — all-to-all partials
+        partials = [P.pmatmul(P.pswapaxes(p_blocks[r], -1, -2), g) for r in range(p)]
+        received = comm.all_to_all(partials)
+        dv: Optional[Payload] = None
+        for part in received:
+            dv = part if dv is None else P.padd(dv, part)
+        return dprobs, dv
+
+
+def _mark_seq_synced(module: Module, comm: Communicator) -> None:
+    for p in module.parameters():
+        existing = getattr(p, "grad_sync_comms", [])
+        p.grad_sync_comms = list(existing) + [comm]
+
+
+class RingSelfAttention(Module):
+    """Drop-in MHA replacement for sequence parallelism.
+
+    QKV and output projections are ordinary replicated Linears acting on
+    the local sub-sequence; the attention core uses RingQK / RingAV.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        comm: Communicator,
+        attn_dropout: float = 0.0,
+        out_dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_size % n_heads != 0:
+            raise ValueError(f"hidden {hidden_size} not divisible by heads {n_heads}")
+        self.comm = comm
+        self.n_heads = n_heads
+        self.attn_dropout = attn_dropout
+        self.causal = causal
+        self.qkv = Linear(
+            hidden_size, 3 * hidden_size,
+            weight_init=init_mod.lecun_normal(), dtype=dtype, rng=rng,
+        )
+        self.out = Linear(
+            hidden_size, hidden_size,
+            weight_init=init_mod.lecun_normal(), dtype=dtype, rng=rng,
+        )
+        self.dropout = Dropout(out_dropout) if out_dropout > 0 else None
+        _mark_seq_synced(self, comm)
+
+    def forward(self, x: Tensor) -> Tensor:
+        qkv = self.qkv(x)  # [B, S/p, 3H]
+        q, k, v = ops.split(qkv, 3, axis=-1)
+        q = split_heads(q, self.n_heads)
+        k = split_heads(k, self.n_heads)
+        v = split_heads(v, self.n_heads)
+        # scale q, not the ring scores: the [B, nh, S/p, S] score buffer is
+        # the layer's largest activation and must not be duplicated
+        q = ops.mul(q, 1.0 / math.sqrt(q.shape[-1]))
+        scores = RingQK.apply(q, k, self.comm)  # [B, nh, S/p, S]
+        if self.causal:
+            scores = ops.add(scores, Tensor(self._causal_mask(scores)))
+        probs = ops.softmax(scores, axis=-1)
+        if self.attn_dropout > 0:
+            probs = ops.dropout(probs, self.attn_dropout, training=self.training)
+        attn = RingAV.apply(probs, v, self.comm)  # [B, nh, S/p, d]
+        y = self.out(merge_heads(attn))
+        if self.dropout is not None:
+            y = self.dropout(y)
+        return y
+
+    def _causal_mask(self, scores: Tensor):
+        """Additive causal mask for the local query block: query at local
+        row i sits at global position rank*s_loc + i and may only attend
+        to keys at global positions <= that."""
+        from repro.comm.payload import SpecArray, is_spec
+
+        s_loc, s_full = scores.shape[-2], scores.shape[-1]
+        if is_spec(scores.payload):
+            return SpecArray((s_loc, s_full), scores.dtype)
+        offset = self.comm.rank * s_loc
+        neg = -1e4 if scores.dtype.itemsize < 4 else -1e9
+        q_pos = offset + np.arange(s_loc)[:, None]
+        k_pos = np.arange(s_full)[None, :]
+        return (k_pos > q_pos).astype(scores.dtype) * np.asarray(neg, dtype=scores.dtype)
+
+
+class SequenceParallelTransformerLayer(Module):
+    """Transformer layer operating on a sub-sequence [B, S/p, H]; only the
+    attention core communicates (the rings)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        comm: Communicator,
+        mlp_ratio: int = 4,
+        attn_dropout: float = 0.0,
+        dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.norm_1 = LayerNorm(hidden_size, dtype=dtype, rng=rng)
+        self.attention = RingSelfAttention(
+            hidden_size, n_heads, comm,
+            attn_dropout=attn_dropout, out_dropout=dropout, causal=causal,
+            dtype=dtype, rng=rng,
+        )
+        self.norm_2 = LayerNorm(hidden_size, dtype=dtype, rng=rng)
+        self.mlp = FeedForward(hidden_size, mlp_ratio, dropout=dropout, dtype=dtype, rng=rng)
+        _mark_seq_synced(self.norm_1, comm)
+        _mark_seq_synced(self.norm_2, comm)
+        _mark_seq_synced(self.mlp, comm)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ops.add(x, self.attention(self.norm_1(x)))
+        x = ops.add(x, self.mlp(self.norm_2(x)))
+        return x
+
+
+def shard_sequence(x, comm: Communicator):
+    """Global [B, S, ...] -> local [B, S/p, ...] along the sequence dim."""
+    return shard_payload(x, 1, comm.size, comm.rank)

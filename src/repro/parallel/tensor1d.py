@@ -1,0 +1,314 @@
+"""1D (Megatron-LM) tensor parallelism — the paper's baseline TP (§2.2, Fig 4).
+
+Weights are split along one dimension across the tensor group:
+
+* :class:`ColumnParallelLinear` — W [in, out/p]; the input is replicated
+  (``copy_to_parallel_region``) and outputs are partial columns.
+* :class:`RowParallelLinear` — W [in/p, out]; inputs are already split
+  along the feature dim and the partial products are summed with an
+  all-reduce (``reduce_from_parallel_region``).
+
+A Transformer layer uses column->row pairs for both MLP and attention, so
+each layer costs 2 all-reduces forward and 2 backward over the *whole*
+tensor group — the communication profile that Table 1's ``2(p-1)·S_X`` row
+describes and that the advanced modes beat at scale.
+
+Every layer draws the *global* weight from the shared model RNG stream and
+keeps only its shard, which makes 1D-TP arithmetic identical to the serial
+reference (tested bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.comm.communicator import Communicator
+from repro.context.parallel_context import ParallelContext, ParallelMode
+from repro.nn import init as init_mod
+from repro.nn.attention import attention_core, merge_heads, split_heads
+from repro.nn.layers import Dropout, LayerNorm
+from repro.nn.module import Module, Parameter
+from repro.parallel.comm_ops import (
+    copy_to_parallel_region,
+    gather_from_parallel_region,
+    reduce_from_parallel_region,
+    scatter_to_parallel_region,
+)
+from repro.tensor.sharding import shard_payload
+from repro.tensor.tensor import Tensor
+
+
+def _shard_param(payload, axis: int, parts: int, index: int) -> Parameter:
+    return Parameter(shard_payload(payload, axis, parts, index))
+
+
+class ColumnParallelLinear(Module):
+    """Linear with output features split across the tensor group."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        comm: Communicator,
+        bias: bool = True,
+        gather_output: bool = False,
+        weight_init: init_mod.InitFn = init_mod.lecun_normal(),
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if out_features % comm.size != 0:
+            raise ValueError(
+                f"out_features {out_features} not divisible by tensor size {comm.size}"
+            )
+        self.comm = comm
+        self.gather_output = gather_output
+        full_w = init_mod.param_payload((in_features, out_features), weight_init, rng, dtype)
+        self.weight = _shard_param(full_w, 1, comm.size, comm.rank)
+        if bias:
+            full_b = init_mod.param_payload((out_features,), init_mod.zeros_init, rng, dtype)
+            self.bias: Optional[Parameter] = _shard_param(full_b, 0, comm.size, comm.rank)
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = copy_to_parallel_region(x, self.comm)
+        y = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            y = ops.add(y, self.bias)
+        if self.gather_output:
+            y = gather_from_parallel_region(y, self.comm, axis=-1)
+        return y
+
+
+class RowParallelLinear(Module):
+    """Linear with input features split across the tensor group."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        comm: Communicator,
+        bias: bool = True,
+        input_is_parallel: bool = True,
+        weight_init: init_mod.InitFn = init_mod.lecun_normal(),
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features % comm.size != 0:
+            raise ValueError(
+                f"in_features {in_features} not divisible by tensor size {comm.size}"
+            )
+        self.comm = comm
+        self.input_is_parallel = input_is_parallel
+        full_w = init_mod.param_payload((in_features, out_features), weight_init, rng, dtype)
+        self.weight = _shard_param(full_w, 0, comm.size, comm.rank)
+        if bias:
+            # bias is replicated: it is added after the all-reduce
+            self.bias: Optional[Parameter] = Parameter(
+                init_mod.param_payload((out_features,), init_mod.zeros_init, rng, dtype)
+            )
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.input_is_parallel:
+            x = scatter_to_parallel_region(x, self.comm, axis=-1)
+        partial = ops.matmul(x, self.weight)
+        y = reduce_from_parallel_region(partial, self.comm)
+        if self.bias is not None:
+            y = ops.add(y, self.bias)
+        return y
+
+
+class ParallelMLP1D(Module):
+    """Fig 4: column-parallel H->rH, GELU, row-parallel rH->H
+    (one all-reduce forward, one backward)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        comm: Communicator,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dense_1 = ColumnParallelLinear(
+            hidden_size, mlp_ratio * hidden_size, comm, dtype=dtype, rng=rng
+        )
+        self.dense_2 = RowParallelLinear(
+            mlp_ratio * hidden_size, hidden_size, comm, dtype=dtype, rng=rng
+        )
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = ops.gelu(self.dense_1(x))
+        h = self.dense_2(h)
+        if self.dropout is not None:
+            h = self.dropout(h)
+        return h
+
+
+class ParallelSelfAttention1D(Module):
+    """Attention with heads split across the tensor group.
+
+    The QKV projection is column-parallel *per section* (each rank gets its
+    heads' slice of Q, K and V), attention runs locally on the head subset,
+    and the output projection is row-parallel.  Requires
+    ``n_heads % tensor_size == 0`` — the constraint the paper calls out when
+    comparing against sequence parallelism (§5.3).
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        comm: Communicator,
+        attn_dropout: float = 0.0,
+        out_dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        p = comm.size
+        if n_heads % p != 0:
+            raise ValueError(
+                f"1D tensor parallelism requires n_heads ({n_heads}) divisible "
+                f"by the tensor parallel size ({p})"
+            )
+        if hidden_size % n_heads != 0:
+            raise ValueError(f"hidden {hidden_size} not divisible by heads {n_heads}")
+        self.comm = comm
+        self.hidden_size = hidden_size
+        self.n_heads = n_heads
+        self.local_heads = n_heads // p
+        self.causal = causal
+        self.attn_dropout = attn_dropout
+
+        # global [H, 3H] weight drawn once; shard each of Q/K/V sections by
+        # columns so the local slice is head-aligned
+        full_w = init_mod.param_payload(
+            (hidden_size, 3 * hidden_size), init_mod.lecun_normal(), rng, dtype
+        )
+        full_b = init_mod.param_payload((3 * hidden_size,), init_mod.zeros_init, rng, dtype)
+        self.qkv_weight = Parameter(_shard_qkv(full_w, p, comm.rank, axis=1))
+        self.qkv_bias = Parameter(_shard_qkv(full_b, p, comm.rank, axis=0))
+        self.out = RowParallelLinear(hidden_size, hidden_size, comm, dtype=dtype, rng=rng)
+        self.dropout = Dropout(out_dropout) if out_dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = copy_to_parallel_region(x, self.comm)
+        qkv = ops.add(ops.matmul(x, self.qkv_weight), self.qkv_bias)  # [B,S,3H/p]
+        q, k, v = ops.split(qkv, 3, axis=-1)
+        q = split_heads(q, self.local_heads)
+        k = split_heads(k, self.local_heads)
+        v = split_heads(v, self.local_heads)
+        attn = attention_core(
+            q, k, v, causal=self.causal,
+            dropout_p=self.attn_dropout, training=self.training,
+        )
+        y = self.out(merge_heads(attn))
+        if self.dropout is not None:
+            y = self.dropout(y)
+        return y
+
+
+def _shard_qkv(full, parts: int, index: int, axis: int):
+    """Shard a fused-QKV weight/bias: take the ``index``-th column slice of
+    each of the Q, K, V sections and re-concatenate."""
+    from repro.autograd import payload_ops as P
+
+    sections = P.psplit(full, 3, axis)
+    shards = [shard_payload(s, axis, parts, index) for s in sections]
+    return P.pconcat(shards, axis)
+
+
+class ParallelTransformerLayer1D(Module):
+    """Pre-norm Transformer layer under 1D tensor parallelism.
+
+    LayerNorms are replicated (their inputs are identical on all tensor
+    ranks after the row-parallel all-reduce)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        comm: Communicator,
+        mlp_ratio: int = 4,
+        attn_dropout: float = 0.0,
+        dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.norm_1 = LayerNorm(hidden_size, dtype=dtype, rng=rng)
+        self.attention = ParallelSelfAttention1D(
+            hidden_size, n_heads, comm,
+            attn_dropout=attn_dropout, out_dropout=dropout, causal=causal,
+            dtype=dtype, rng=rng,
+        )
+        self.norm_2 = LayerNorm(hidden_size, dtype=dtype, rng=rng)
+        self.mlp = ParallelMLP1D(
+            hidden_size, comm, mlp_ratio, dropout=dropout, dtype=dtype, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ops.add(x, self.attention(self.norm_1(x)))
+        x = ops.add(x, self.mlp(self.norm_2(x)))
+        return x
+
+
+class VocabParallelEmbedding1D(Module):
+    """Token embedding with the vocabulary split across the tensor group.
+
+    Each rank holds rows ``[rank*V/p, (rank+1)*V/p)``; out-of-shard lookups
+    contribute zero and the partial embeddings are summed with an
+    all-reduce.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        comm: Communicator,
+        weight_init: init_mod.InitFn = init_mod.normal(0.02),
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings % comm.size != 0:
+            raise ValueError(
+                f"vocab {num_embeddings} not divisible by tensor size {comm.size}"
+            )
+        self.comm = comm
+        self.vocab_per_rank = num_embeddings // comm.size
+        self.vocab_start = comm.rank * self.vocab_per_rank
+        full = init_mod.param_payload(
+            (num_embeddings, embedding_dim), weight_init, rng, dtype
+        )
+        self.weight = _shard_param(full, 0, comm.size, comm.rank)
+
+    def forward(self, indices) -> Tensor:
+        if isinstance(indices, Tensor):
+            indices = indices.payload
+        from repro.comm.payload import is_spec as _is_spec
+
+        if _is_spec(self.weight.payload) or _is_spec(indices):
+            out = ops.embedding(self.weight, indices)
+            return reduce_from_parallel_region(out, self.comm)
+        idx = np.asarray(indices)
+        in_shard = (idx >= self.vocab_start) & (idx < self.vocab_start + self.vocab_per_rank)
+        local_idx = np.where(in_shard, idx - self.vocab_start, 0)
+        emb = ops.embedding(self.weight, local_idx)
+        mask = Tensor(in_shard.astype(self.weight.dtype)[..., None])
+        emb = ops.mul(emb, mask)
+        return reduce_from_parallel_region(emb, self.comm)

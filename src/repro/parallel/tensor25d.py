@@ -1,0 +1,233 @@
+"""2.5D tensor parallelism — Wang et al. [36], §2.2 of the paper.
+
+p = d * q^2 devices form ``d`` depth layers of q x q SUMMA grids.  Each
+depth layer runs standard 2D tensor parallelism on **its own slice of the
+batch** (the ``S_X / d`` in Table 1's 2.5D row); weights are replicated
+across depth, so their gradients are all-reduced over the DEP group after
+backward — depth behaves like data parallelism wrapped around a 2D grid.
+With ``d == 1`` this degenerates to plain 2D, as the paper notes.
+
+Parameters carry ``grad_sync_comms`` attributes; the engine (or
+``sync_parameter_gradients``) applies the depth all-reduce before the
+optimizer step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.comm.communicator import Communicator
+from repro.context.parallel_context import ParallelContext, ParallelMode
+from repro.nn import init as init_mod
+from repro.nn.attention import attention_core, merge_heads, split_heads
+from repro.nn.layers import Dropout
+from repro.nn.module import Module, Parameter
+from repro.parallel.common import add_shared, parallel_layer_norm, sync_parameter_gradients
+from repro.parallel.tensor2d import Summa2DMatMul, _shard_sections
+from repro.tensor.sharding import shard_payload
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "sync_parameter_gradients",  # re-export: callers treat it as 2.5D API too
+    "matmul_25d",
+    "shard_activation_25d",
+    "Linear25D",
+    "LayerNorm25D",
+    "ParallelMLP25D",
+    "ParallelSelfAttention25D",
+    "ParallelTransformerLayer25D",
+]
+
+
+def _mark_depth_synced(param: Parameter, pc: ParallelContext) -> Parameter:
+    param.grad_sync_comms = [pc.comm(ParallelMode.PARALLEL_2P5D_DEP)]
+    return param
+
+
+def matmul_25d(a: Tensor, b: Tensor, pc: ParallelContext) -> Tensor:
+    """SUMMA on this rank's depth layer."""
+    return Summa2DMatMul.apply(
+        a,
+        b,
+        pc.comm(ParallelMode.PARALLEL_2P5D_ROW),
+        pc.comm(ParallelMode.PARALLEL_2P5D_COL),
+    )
+
+
+def shard_activation_25d(x, pc: ParallelContext):
+    """Global [B, ..., H] -> local [B/(d*q) (dep,i), ..., H/q (j)].
+
+    The batch is split depth-first (dep major, grid row minor)."""
+    d, q = pc.tesseract_dep, pc.tesseract_dim
+    x = shard_payload(x, 0, d, pc.dep_rank)
+    x = shard_payload(x, 0, q, pc.row_rank)
+    return shard_payload(x, x.ndim - 1, q, pc.col_rank)
+
+
+class Linear25D(Module):
+    """2D SUMMA linear within a depth layer; weight/bias replicated across
+    depth with summed gradient synchronization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        pc: ParallelContext,
+        bias: bool = True,
+        weight_init: init_mod.InitFn = init_mod.lecun_normal(),
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+        qkv_sections: int = 1,
+    ) -> None:
+        super().__init__()
+        q = pc.tesseract_dim
+        if in_features % q or out_features % (q * qkv_sections):
+            raise ValueError(
+                f"Linear25D({in_features}, {out_features}) not divisible by grid dim {q}"
+            )
+        self.pc = pc
+        full_w = init_mod.param_payload((in_features, out_features), weight_init, rng, dtype)
+        w = shard_payload(full_w, 0, q, pc.row_rank)
+        w = _shard_sections(w, 1, q, pc.col_rank, qkv_sections)
+        self.weight = _mark_depth_synced(Parameter(w), pc)
+        if bias:
+            full_b = init_mod.param_payload((out_features,), init_mod.zeros_init, rng, dtype)
+            self.bias: Optional[Parameter] = _mark_depth_synced(
+                Parameter(_shard_sections(full_b, 0, q, pc.col_rank, qkv_sections)), pc
+            )
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = matmul_25d(x, self.weight, self.pc)
+        if self.bias is not None:
+            y = add_shared(y, self.bias, [self.pc.comm(ParallelMode.PARALLEL_2P5D_COL)])
+        return y
+
+
+class LayerNorm25D(Module):
+    def __init__(
+        self,
+        normalized_size: int,
+        pc: ParallelContext,
+        eps: float = 1e-5,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        q = pc.tesseract_dim
+        self.pc = pc
+        self.eps = eps
+        full_g = init_mod.param_payload((normalized_size,), init_mod.ones_init, rng, dtype)
+        full_b = init_mod.param_payload((normalized_size,), init_mod.zeros_init, rng, dtype)
+        self.gamma = _mark_depth_synced(
+            Parameter(shard_payload(full_g, 0, q, pc.col_rank)), pc
+        )
+        self.beta = _mark_depth_synced(
+            Parameter(shard_payload(full_b, 0, q, pc.col_rank)), pc
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return parallel_layer_norm(
+            x,
+            self.gamma,
+            self.beta,
+            stats_comm=self.pc.comm(ParallelMode.PARALLEL_2P5D_ROW),
+            grad_comms=[self.pc.comm(ParallelMode.PARALLEL_2P5D_COL)],
+            eps=self.eps,
+        )
+
+
+class ParallelMLP25D(Module):
+    def __init__(
+        self,
+        hidden_size: int,
+        pc: ParallelContext,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dense_1 = Linear25D(hidden_size, mlp_ratio * hidden_size, pc, dtype=dtype, rng=rng)
+        self.dense_2 = Linear25D(mlp_ratio * hidden_size, hidden_size, pc, dtype=dtype, rng=rng)
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = ops.gelu(self.dense_1(x))
+        h = self.dense_2(h)
+        if self.dropout is not None:
+            h = self.dropout(h)
+        return h
+
+
+class ParallelSelfAttention25D(Module):
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        pc: ParallelContext,
+        attn_dropout: float = 0.0,
+        out_dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        q = pc.tesseract_dim
+        if n_heads % q != 0:
+            raise ValueError(f"2.5D attention needs n_heads ({n_heads}) divisible by q ({q})")
+        self.pc = pc
+        self.local_heads = n_heads // q
+        self.causal = causal
+        self.attn_dropout = attn_dropout
+        self.qkv = Linear25D(hidden_size, 3 * hidden_size, pc, dtype=dtype, rng=rng, qkv_sections=3)
+        self.out = Linear25D(hidden_size, hidden_size, pc, dtype=dtype, rng=rng)
+        self.dropout = Dropout(out_dropout) if out_dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        qkv = self.qkv(x)
+        q_, k, v = ops.split(qkv, 3, axis=-1)
+        q_ = split_heads(q_, self.local_heads)
+        k = split_heads(k, self.local_heads)
+        v = split_heads(v, self.local_heads)
+        attn = attention_core(
+            q_, k, v, causal=self.causal,
+            dropout_p=self.attn_dropout, training=self.training,
+        )
+        y = self.out(merge_heads(attn))
+        if self.dropout is not None:
+            y = self.dropout(y)
+        return y
+
+
+class ParallelTransformerLayer25D(Module):
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        pc: ParallelContext,
+        mlp_ratio: int = 4,
+        attn_dropout: float = 0.0,
+        dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.norm_1 = LayerNorm25D(hidden_size, pc, dtype=dtype, rng=rng)
+        self.attention = ParallelSelfAttention25D(
+            hidden_size, n_heads, pc,
+            attn_dropout=attn_dropout, out_dropout=dropout, causal=causal,
+            dtype=dtype, rng=rng,
+        )
+        self.norm_2 = LayerNorm25D(hidden_size, pc, dtype=dtype, rng=rng)
+        self.mlp = ParallelMLP25D(hidden_size, pc, mlp_ratio, dropout=dropout, dtype=dtype, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ops.add(x, self.attention(self.norm_1(x)))
+        x = ops.add(x, self.mlp(self.norm_2(x)))
+        return x

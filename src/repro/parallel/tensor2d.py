@@ -1,0 +1,291 @@
+"""2D tensor parallelism (SUMMA) — Xu et al. [39], §2.2 of the paper.
+
+Devices form a q x q grid (p = q^2).  Activations are sharded
+``[B/q (grid row i), S, H/q (grid col j)]`` and weights ``[K/q (i), N/q (j)]``
+— input, weight *and* output are all partitioned, which is the memory
+advantage over 1D TP that Fig 8 measures.
+
+The distributed matmul is SUMMA: q steps of (row-broadcast an A block,
+column-broadcast a B block, accumulate a local product).  Communication is
+confined to one row or one column of the grid — groups of size q = sqrt(p)
+instead of p — which is the hardware-compatibility advantage on
+partially-connected machines (System II, Fig 11b).
+
+Total fwd+bwd wire volume is ``3(q-1)(S_X + S_W)`` — exactly Table 1's 2D
+row; the Table 1 bench asserts the counters match this closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.function import FnCtx, Function
+from repro.autograd import payload_ops as P
+from repro.comm.communicator import Communicator
+from repro.comm.payload import Payload
+from repro.context.parallel_context import ParallelContext, ParallelMode
+from repro.nn import init as init_mod
+from repro.nn.attention import attention_core, merge_heads, split_heads
+from repro.nn.layers import Dropout
+from repro.nn.module import Module, Parameter
+from repro.parallel.common import add_shared, parallel_layer_norm
+from repro.tensor.sharding import shard_payload
+from repro.tensor.tensor import Tensor
+
+
+class Summa2DMatMul(Function):
+    """C = A @ B over the 2D grid.
+
+    A (activations): rows sharded by grid row i, cols (K) by grid col j.
+    B (weight):      rows (K) sharded by i, cols (N) by j.
+    C:               rows by i, cols (N) by j — same layout as A.
+    """
+
+    @staticmethod
+    def forward(
+        ctx: FnCtx,
+        a: Tensor,
+        b: Tensor,
+        row_comm: Communicator,
+        col_comm: Communicator,
+    ) -> Payload:
+        q = row_comm.size
+        i, j = col_comm.rank, row_comm.rank  # grid coordinates
+        ctx.row_comm, ctx.col_comm = row_comm, col_comm
+        ctx.save_for_backward(a, b)
+        ctx.flops = q * P.matmul_flops(a.shape, b.shape)
+        ctx.backward_flops = 2 * ctx.flops
+        c: Optional[Payload] = None
+        for t in range(q):
+            a_t = row_comm.broadcast(a.payload if j == t else None, root=t)
+            b_t = col_comm.broadcast(b.payload if i == t else None, root=t)
+            part = P.pmatmul(a_t, b_t)
+            c = part if c is None else P.padd(c, part)
+        return c
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        a, b = ctx.saved_tensors
+        row_comm, col_comm = ctx.row_comm, ctx.col_comm
+        q = row_comm.size
+        i, j = col_comm.rank, row_comm.rank
+        # flatten leading dims of a for the weight gradient
+        a2d = P.preshape(a.payload, (-1, a.shape[-1]))
+        g2d = P.preshape(g, (-1, g.shape[-1]))
+
+        da: Optional[Payload] = None
+        for t in range(q):
+            b_t = col_comm.broadcast(b.payload if i == t else None, root=t)
+            part = P.pmatmul(g, P.pswapaxes(b_t, -1, -2))
+            red = row_comm.reduce(part, root=t)
+            if j == t:
+                da = red
+        db: Optional[Payload] = None
+        for t in range(q):
+            a_t = row_comm.broadcast(a2d if j == t else None, root=t)
+            part = P.pmatmul(P.pswapaxes(a_t, -1, -2), g2d)
+            red = col_comm.reduce(part, root=t)
+            if i == t:
+                db = red
+        return da, db
+
+
+def matmul_2d(a: Tensor, b: Tensor, pc: ParallelContext) -> Tensor:
+    return Summa2DMatMul.apply(
+        a, b, pc.comm(ParallelMode.PARALLEL_2D_ROW), pc.comm(ParallelMode.PARALLEL_2D_COL)
+    )
+
+
+def shard_activation_2d(x: np.ndarray, pc: ParallelContext) -> np.ndarray:
+    """Slice a global activation [B, ..., H] to this rank's 2D chunk
+    [B/q (i), ..., H/q (j)]."""
+    q = pc.summa_dim
+    x = shard_payload(x, 0, q, pc.row_rank)
+    return shard_payload(x, x.ndim - 1 if hasattr(x, "ndim") else -1, q, pc.col_rank)
+
+
+class Linear2D(Module):
+    """Linear layer with SUMMA matmul; bias sharded by grid column and
+    synchronized across grid rows."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        pc: ParallelContext,
+        bias: bool = True,
+        weight_init: init_mod.InitFn = init_mod.lecun_normal(),
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+        qkv_sections: int = 1,
+    ) -> None:
+        super().__init__()
+        q = pc.summa_dim
+        if in_features % q or out_features % (q * qkv_sections):
+            raise ValueError(
+                f"Linear2D({in_features}, {out_features}) not divisible by grid dim {q}"
+            )
+        self.pc = pc
+        full_w = init_mod.param_payload((in_features, out_features), weight_init, rng, dtype)
+        full_b = init_mod.param_payload((out_features,), init_mod.zeros_init, rng, dtype) if bias else None
+        w = shard_payload(full_w, 0, q, pc.row_rank)
+        w = _shard_sections(w, 1, q, pc.col_rank, qkv_sections)
+        self.weight = Parameter(w)
+        if full_b is not None:
+            self.bias: Optional[Parameter] = Parameter(
+                _shard_sections(full_b, 0, q, pc.col_rank, qkv_sections)
+            )
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = matmul_2d(x, self.weight, self.pc)
+        if self.bias is not None:
+            # bias replicated across grid rows (i): sync its grad over COL group
+            y = add_shared(x=y, param=self.bias, sync_comms=[self.pc.comm(ParallelMode.PARALLEL_2D_COL)])
+        return y
+
+
+def _shard_sections(payload, axis: int, parts: int, index: int, sections: int):
+    """Shard ``payload`` along ``axis`` per-section (for fused QKV weights:
+    each of the ``sections`` equal blocks is sharded independently so the
+    local slice stays head-aligned)."""
+    if sections == 1:
+        return shard_payload(payload, axis, parts, index)
+    blocks = P.psplit(payload, sections, axis)
+    shards = [shard_payload(b, axis, parts, index) for b in blocks]
+    return P.pconcat(shards, axis)
+
+
+class LayerNorm2D(Module):
+    """LayerNorm over the j-sharded hidden dim; affine params are sharded by
+    j, replicated over i (grads synced over the COL group)."""
+
+    def __init__(
+        self,
+        normalized_size: int,
+        pc: ParallelContext,
+        eps: float = 1e-5,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        q = pc.summa_dim
+        self.pc = pc
+        self.eps = eps
+        full_g = init_mod.param_payload((normalized_size,), init_mod.ones_init, rng, dtype)
+        full_b = init_mod.param_payload((normalized_size,), init_mod.zeros_init, rng, dtype)
+        self.gamma = Parameter(shard_payload(full_g, 0, q, pc.col_rank))
+        self.beta = Parameter(shard_payload(full_b, 0, q, pc.col_rank))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return parallel_layer_norm(
+            x,
+            self.gamma,
+            self.beta,
+            stats_comm=self.pc.comm(ParallelMode.PARALLEL_2D_ROW),
+            grad_comms=[self.pc.comm(ParallelMode.PARALLEL_2D_COL)],
+            eps=self.eps,
+        )
+
+
+class ParallelMLP2D(Module):
+    def __init__(
+        self,
+        hidden_size: int,
+        pc: ParallelContext,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dense_1 = Linear2D(hidden_size, mlp_ratio * hidden_size, pc, dtype=dtype, rng=rng)
+        self.dense_2 = Linear2D(mlp_ratio * hidden_size, hidden_size, pc, dtype=dtype, rng=rng)
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = ops.gelu(self.dense_1(x))
+        h = self.dense_2(h)
+        if self.dropout is not None:
+            h = self.dropout(h)
+        return h
+
+
+class ParallelSelfAttention2D(Module):
+    """Attention on the 2D grid: batch sharded by i, heads sharded by j.
+
+    After the 2D QKV projection each rank holds [B/q, S, 3H/q] with its
+    n_heads/q heads' features, so the attention core is entirely local —
+    no communication beyond the SUMMA matmuls.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        pc: ParallelContext,
+        attn_dropout: float = 0.0,
+        out_dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        q = pc.summa_dim
+        if n_heads % q != 0:
+            raise ValueError(f"2D attention needs n_heads ({n_heads}) divisible by q ({q})")
+        self.pc = pc
+        self.local_heads = n_heads // q
+        self.causal = causal
+        self.attn_dropout = attn_dropout
+        self.qkv = Linear2D(hidden_size, 3 * hidden_size, pc, dtype=dtype, rng=rng, qkv_sections=3)
+        self.out = Linear2D(hidden_size, hidden_size, pc, dtype=dtype, rng=rng)
+        self.dropout = Dropout(out_dropout) if out_dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        qkv = self.qkv(x)  # [B/q, S, 3H/q], head-aligned sections
+        q_, k, v = ops.split(qkv, 3, axis=-1)
+        q_ = split_heads(q_, self.local_heads)
+        k = split_heads(k, self.local_heads)
+        v = split_heads(v, self.local_heads)
+        attn = attention_core(
+            q_, k, v, causal=self.causal,
+            dropout_p=self.attn_dropout, training=self.training,
+        )
+        y = self.out(merge_heads(attn))
+        if self.dropout is not None:
+            y = self.dropout(y)
+        return y
+
+
+class ParallelTransformerLayer2D(Module):
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        pc: ParallelContext,
+        mlp_ratio: int = 4,
+        attn_dropout: float = 0.0,
+        dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.norm_1 = LayerNorm2D(hidden_size, pc, dtype=dtype, rng=rng)
+        self.attention = ParallelSelfAttention2D(
+            hidden_size, n_heads, pc,
+            attn_dropout=attn_dropout, out_dropout=dropout, causal=causal,
+            dtype=dtype, rng=rng,
+        )
+        self.norm_2 = LayerNorm2D(hidden_size, pc, dtype=dtype, rng=rng)
+        self.mlp = ParallelMLP2D(hidden_size, pc, mlp_ratio, dropout=dropout, dtype=dtype, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ops.add(x, self.attention(self.norm_1(x)))
+        x = ops.add(x, self.mlp(self.norm_2(x)))
+        return x

@@ -1,0 +1,336 @@
+"""3D tensor parallelism — Bian et al. [4], §2.2 of the paper.
+
+p = l^3 devices form a cube with axes (i, j, k).  Following the paper, a
+tensor of shape [P, Q] is partitioned into chunks [P/l^2, Q/l]: the batch
+dimension is split twice (over i and over one of j/k) and the feature
+dimension once (over the remaining axis).
+
+The distributed matmul is the Agarwal 3D algorithm, expressed with three
+collectives::
+
+    forward:   A  = all_gather(X  over cx)       # recover batch sub-shard
+               B  = all_gather(W  over cw)       # recover weight row shard
+               Cp = A @ B                        # partial over rs axis
+               C  = reduce_scatter(Cp over cc)   # sum partials + re-shard batch
+
+    backward:  dC = all_gather(g over cc)
+               dX = reduce_scatter(dC @ B^T over cx)
+               dW = reduce_scatter(A^T @ dC over cw)
+
+Each collective involves only ``l = p^(1/3)`` ranks — the smallest groups of
+any TP mode, which is why 3D wins at large scale (Table 3, 64 GPUs).
+
+Activation layouts alternate between consecutive linears: a linear that
+consumes features sharded by j produces features sharded by k and vice
+versa (the reduce-scatter re-shards the batch along the axis the input
+features were gathered from).  :class:`Layout3D` tracks this; a Transformer
+layer is layout-closed (QKV: j->k, out/dense2: k->j).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.function import FnCtx, Function
+from repro.autograd import payload_ops as P
+from repro.comm.communicator import Communicator
+from repro.comm.payload import Payload
+from repro.context.parallel_context import ParallelContext, ParallelMode
+from repro.nn import init as init_mod
+from repro.nn.attention import attention_core, merge_heads, split_heads
+from repro.nn.layers import Dropout
+from repro.nn.module import Module, Parameter
+from repro.parallel.common import add_shared, parallel_layer_norm
+from repro.tensor.sharding import shard_payload
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class Layout3D:
+    """Which cube axes shard the activation: features by ``feature_mode``,
+    batch by OUTPUT (i) and by ``batch_sub_mode``."""
+
+    feature_mode: ParallelMode
+    batch_sub_mode: ParallelMode
+
+    def flipped(self) -> "Layout3D":
+        return Layout3D(self.batch_sub_mode, self.feature_mode)
+
+
+#: canonical entry layout: features sharded by WEIGHT (j), batch by i then k
+LAYOUT_JK = Layout3D(ParallelMode.PARALLEL_3D_WEIGHT, ParallelMode.PARALLEL_3D_INPUT)
+LAYOUT_KJ = LAYOUT_JK.flipped()
+
+
+class Matmul3D(Function):
+    """C = X @ W with the collective pattern described in the module
+    docstring.  ``cx`` gathers X's batch sub-shard, ``cw`` gathers W's row
+    sub-shard, ``cc`` reduce-scatters the output partials."""
+
+    @staticmethod
+    def forward(
+        ctx: FnCtx,
+        x: Tensor,
+        w: Tensor,
+        cx: Communicator,
+        cw: Communicator,
+        cc: Communicator,
+    ) -> Payload:
+        ctx.cx, ctx.cw, ctx.cc = cx, cw, cc
+        a = cx.all_gather(x.payload, axis=0)
+        b = cw.all_gather(w.payload, axis=0)
+        ctx.a, ctx.b = a, b
+        ctx.x_shape, ctx.w_shape = x.shape, w.shape
+        ctx.flops = P.matmul_flops(a.shape if len(a.shape) > 1 else a.shape, b.shape)
+        ctx.backward_flops = 2 * ctx.flops
+        cp = P.pmatmul(a, b)
+        return cc.reduce_scatter(cp, axis=0)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        a, b = ctx.a, ctx.b
+        dcg = ctx.cc.all_gather(g, axis=0)
+        dx_part = P.pmatmul(dcg, P.pswapaxes(b, -1, -2))
+        dx = ctx.cx.reduce_scatter(dx_part, axis=0)
+        a2d = P.preshape(a, (-1, a.shape[-1]))
+        g2d = P.preshape(dcg, (-1, dcg.shape[-1]))
+        dw_part = P.pmatmul(P.pswapaxes(a2d, -1, -2), g2d)
+        dw = ctx.cw.reduce_scatter(dw_part, axis=0)
+        return dx, dw
+
+
+def shard_activation_3d(x, pc: ParallelContext, layout: Layout3D = LAYOUT_JK):
+    """Global [B, ..., H] -> local [B/l^2, ..., H/l].
+
+    Batch blocks are i-major then batch_sub-axis; features by the layout's
+    feature axis."""
+    l = pc.cubic_dim
+    sub_rank = pc.comm(layout.batch_sub_mode).rank
+    feat_rank = pc.comm(layout.feature_mode).rank
+    x = shard_payload(x, 0, l, pc.cube_i)
+    x = shard_payload(x, 0, l, sub_rank)
+    return shard_payload(x, x.ndim - 1, l, feat_rank)
+
+
+class Linear3D(Module):
+    """3D-parallel linear.  Consumes activations in ``layout`` and produces
+    them in ``layout.flipped()``.
+
+    Weight chunk: rows (K) block index = in_feature_rank * l + i, cols (N)
+    block = out_feature_rank (= the layout's batch_sub axis).  Bias is
+    sharded by the output feature axis and replicated over (i, j_or_k);
+    its gradient is synced over those groups.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        pc: ParallelContext,
+        layout: Layout3D = LAYOUT_JK,
+        bias: bool = True,
+        weight_init: init_mod.InitFn = init_mod.lecun_normal(),
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+        qkv_sections: int = 1,
+    ) -> None:
+        super().__init__()
+        l = pc.cubic_dim
+        if in_features % (l * l) or out_features % (l * qkv_sections):
+            raise ValueError(
+                f"Linear3D({in_features}, {out_features}) needs in % l^2 == 0 "
+                f"and out % l == 0 (l={l})"
+            )
+        self.pc = pc
+        self.layout = layout
+        in_rank = pc.comm(layout.feature_mode).rank
+        out_rank = pc.comm(layout.batch_sub_mode).rank
+        full_w = init_mod.param_payload((in_features, out_features), weight_init, rng, dtype)
+        w = shard_payload(full_w, 0, l, in_rank)
+        w = shard_payload(w, 0, l, pc.cube_i)
+        w = _shard_sections_3d(w, 1, l, out_rank, qkv_sections)
+        self.weight = Parameter(w)
+        if bias:
+            full_b = init_mod.param_payload((out_features,), init_mod.zeros_init, rng, dtype)
+            self.bias: Optional[Parameter] = Parameter(
+                _shard_sections_3d(full_b, 0, l, out_rank, qkv_sections)
+            )
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pc = self.pc
+        cx = pc.comm(self.layout.batch_sub_mode)
+        cw = pc.comm(ParallelMode.PARALLEL_3D_OUTPUT)
+        cc = pc.comm(self.layout.feature_mode)
+        y = Matmul3D.apply(x, self.weight, cx, cw, cc)
+        if self.bias is not None:
+            # output batch is sharded over (i, feature_mode-axis): sync there
+            y = add_shared(
+                y, self.bias,
+                [pc.comm(ParallelMode.PARALLEL_3D_OUTPUT), pc.comm(self.layout.feature_mode)],
+            )
+        return y
+
+
+def _shard_sections_3d(payload, axis: int, parts: int, index: int, sections: int):
+    if sections == 1:
+        return shard_payload(payload, axis, parts, index)
+    blocks = P.psplit(payload, sections, axis)
+    shards = [shard_payload(b, axis, parts, index) for b in blocks]
+    return P.pconcat(shards, axis)
+
+
+class LayerNorm3D(Module):
+    """LayerNorm for activations in ``layout``: statistics all-reduced over
+    the feature axis; affine params sharded by the feature axis and synced
+    over the batch axes."""
+
+    def __init__(
+        self,
+        normalized_size: int,
+        pc: ParallelContext,
+        layout: Layout3D = LAYOUT_JK,
+        eps: float = 1e-5,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        l = pc.cubic_dim
+        self.pc = pc
+        self.layout = layout
+        self.eps = eps
+        feat_rank = pc.comm(layout.feature_mode).rank
+        full_g = init_mod.param_payload((normalized_size,), init_mod.ones_init, rng, dtype)
+        full_b = init_mod.param_payload((normalized_size,), init_mod.zeros_init, rng, dtype)
+        self.gamma = Parameter(shard_payload(full_g, 0, l, feat_rank))
+        self.beta = Parameter(shard_payload(full_b, 0, l, feat_rank))
+
+    def forward(self, x: Tensor) -> Tensor:
+        pc = self.pc
+        return parallel_layer_norm(
+            x,
+            self.gamma,
+            self.beta,
+            stats_comm=pc.comm(self.layout.feature_mode),
+            grad_comms=[
+                pc.comm(ParallelMode.PARALLEL_3D_OUTPUT),
+                pc.comm(self.layout.batch_sub_mode),
+            ],
+            eps=self.eps,
+        )
+
+
+class ParallelMLP3D(Module):
+    """dense_1 flips the layout, dense_2 flips it back."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        pc: ParallelContext,
+        layout: Layout3D = LAYOUT_JK,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dense_1 = Linear3D(
+            hidden_size, mlp_ratio * hidden_size, pc, layout, dtype=dtype, rng=rng
+        )
+        self.dense_2 = Linear3D(
+            mlp_ratio * hidden_size, hidden_size, pc, layout.flipped(), dtype=dtype, rng=rng
+        )
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = ops.gelu(self.dense_1(x))
+        h = self.dense_2(h)
+        if self.dropout is not None:
+            h = self.dropout(h)
+        return h
+
+
+class ParallelSelfAttention3D(Module):
+    """QKV projection flips layout; attention runs locally on the
+    n_heads/l head shard; the output projection flips the layout back."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        pc: ParallelContext,
+        layout: Layout3D = LAYOUT_JK,
+        attn_dropout: float = 0.0,
+        out_dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        l = pc.cubic_dim
+        if n_heads % l != 0:
+            raise ValueError(f"3D attention needs n_heads ({n_heads}) divisible by l ({l})")
+        self.pc = pc
+        self.local_heads = n_heads // l
+        self.causal = causal
+        self.attn_dropout = attn_dropout
+        self.qkv = Linear3D(
+            hidden_size, 3 * hidden_size, pc, layout, dtype=dtype, rng=rng, qkv_sections=3
+        )
+        self.out = Linear3D(hidden_size, hidden_size, pc, layout.flipped(), dtype=dtype, rng=rng)
+        self.dropout = Dropout(out_dropout) if out_dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        qkv = self.qkv(x)
+        q_, k, v = ops.split(qkv, 3, axis=-1)
+        q_ = split_heads(q_, self.local_heads)
+        k = split_heads(k, self.local_heads)
+        v = split_heads(v, self.local_heads)
+        attn = attention_core(
+            q_, k, v, causal=self.causal,
+            dropout_p=self.attn_dropout, training=self.training,
+        )
+        y = self.out(merge_heads(attn))
+        if self.dropout is not None:
+            y = self.dropout(y)
+        return y
+
+
+class ParallelTransformerLayer3D(Module):
+    """Layout-closed Transformer layer (input and output both in
+    ``layout``)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        pc: ParallelContext,
+        layout: Layout3D = LAYOUT_JK,
+        mlp_ratio: int = 4,
+        attn_dropout: float = 0.0,
+        dropout: float = 0.0,
+        causal: bool = False,
+        dtype: Union[str, np.dtype] = "float32",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.norm_1 = LayerNorm3D(hidden_size, pc, layout, dtype=dtype, rng=rng)
+        self.attention = ParallelSelfAttention3D(
+            hidden_size, n_heads, pc, layout,
+            attn_dropout=attn_dropout, out_dropout=dropout, causal=causal,
+            dtype=dtype, rng=rng,
+        )
+        self.norm_2 = LayerNorm3D(hidden_size, pc, layout, dtype=dtype, rng=rng)
+        self.mlp = ParallelMLP3D(
+            hidden_size, pc, layout, mlp_ratio, dropout=dropout, dtype=dtype, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ops.add(x, self.attention(self.norm_1(x)))
+        x = ops.add(x, self.mlp(self.norm_2(x)))
+        return x

@@ -1,0 +1,105 @@
+"""Vocab-parallel cross-entropy.
+
+With a column-parallel LM head the logits arrive sharded along the vocab
+dimension ([N, V/p] per rank).  Gathering them (as ``gather_output=True``
+does) materializes the full [N, V] matrix — typically the largest
+activation in an LM.  This op computes the softmax cross-entropy *without
+gathering*, using three scalar-per-row collectives:
+
+1. all-reduce(max) of the row maxima (numerical stability),
+2. all-reduce(sum) of the row exp-sums,
+3. all-reduce(sum) of each row's target logit (only the rank owning the
+   target's vocab slice contributes).
+
+Backward is fully local: ``softmax_local - onehot_local`` (the one-hot hits
+only the owner rank's shard).  Wire traffic drops from O(N·V) to O(N).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.function import FnCtx, Function
+from repro.comm.communicator import Communicator
+from repro.comm.payload import Payload, SpecArray, is_spec
+from repro.tensor.tensor import Tensor
+
+
+class VocabParallelCrossEntropy(Function):
+    """Mean CE over logits [N, V/p] sharded by vocab across ``comm``."""
+
+    @staticmethod
+    def forward(ctx: FnCtx, logits: Tensor, targets, comm: Communicator) -> Payload:
+        ctx.comm = comm
+        ctx.flops = 8 * logits.size
+        n, v_local = logits.shape[-2], logits.shape[-1]
+        if is_spec(logits.payload):
+            ctx.spec = (logits.shape, logits.dtype)
+            stats = SpecArray((n,), logits.dtype)
+            comm.all_reduce(stats, op="max")
+            comm.all_reduce(stats)
+            comm.all_reduce(stats)
+            return SpecArray((), logits.dtype)
+        ctx.spec = None
+        t = np.asarray(targets.payload if isinstance(targets, Tensor) else targets)
+        t = t.reshape(-1)
+        flat = logits.payload.reshape(-1, v_local)
+        if flat.shape[0] != t.size:
+            raise ValueError(
+                f"targets ({t.size}) do not match logit rows ({flat.shape[0]})"
+            )
+        vocab_start = comm.rank * v_local
+        # 1. global row max
+        local_max = np.max(flat, axis=-1)
+        global_max = comm.all_reduce(local_max.astype(np.float32), op="max")
+        shifted = flat.astype(np.float32) - global_max[:, None]
+        e = np.exp(shifted)
+        # 2. global exp sum
+        local_sum = np.sum(e, axis=-1)
+        global_sum = comm.all_reduce(local_sum)
+        # 3. target logit (owner rank contributes, others send zero)
+        in_shard = (t >= vocab_start) & (t < vocab_start + v_local)
+        local_idx = np.where(in_shard, t - vocab_start, 0)
+        rows = np.arange(t.size)
+        target_shifted = np.where(in_shard, shifted[rows, local_idx], 0.0)
+        target_global = comm.all_reduce(target_shifted.astype(np.float32))
+
+        loss = np.mean(np.log(global_sum) - target_global)
+        ctx.softmax = e / global_sum[:, None]
+        ctx.in_shard = in_shard
+        ctx.local_idx = local_idx
+        ctx.n_rows = t.size
+        ctx.out_dtype = logits.dtype
+        return np.asarray(loss, dtype=logits.dtype)
+
+    @staticmethod
+    def backward(ctx: FnCtx, g: Payload):
+        if ctx.spec is not None or is_spec(g):
+            shape, dtype = ctx.spec
+            return (SpecArray(shape, dtype),)
+        grad = ctx.softmax.copy()
+        rows = np.arange(ctx.n_rows)
+        grad[rows[ctx.in_shard], ctx.local_idx[ctx.in_shard]] -= 1.0
+        grad *= float(g) / ctx.n_rows
+        return (grad.astype(ctx.out_dtype),)
+
+
+def vocab_parallel_cross_entropy(
+    logits: Tensor, targets, comm: Communicator
+) -> Tensor:
+    """Mean softmax cross-entropy over vocab-sharded logits.
+
+    ``logits``: [N, V/p] or [B, S, V/p]; ``targets``: matching int ids.
+    """
+    from repro.autograd import ops
+
+    if logits.ndim == 3:
+        b, s, v = logits.shape
+        logits = ops.reshape(logits, (b * s, v))
+        if isinstance(targets, Tensor):
+            targets = targets.payload
+        if not is_spec(targets) and not isinstance(targets, SpecArray):
+            targets = np.asarray(targets).reshape(-1)
+    return VocabParallelCrossEntropy.apply(logits, targets, comm)

@@ -1,0 +1,21 @@
+"""SPMD execution runtime.
+
+Launches one Python thread per simulated rank (the program style follows
+mpi4py: every rank runs the same function), owns the per-rank simulated
+clocks, and provides deterministic failure propagation so that an exception
+on one rank aborts collectives on all others instead of deadlocking.
+"""
+
+from repro.runtime.clock import SimClock
+from repro.runtime.errors import RemoteRankError, SpmdAborted
+from repro.runtime.spmd import RankContext, SpmdRuntime, current_rank_context, spmd_launch
+
+__all__ = [
+    "SimClock",
+    "RemoteRankError",
+    "SpmdAborted",
+    "RankContext",
+    "SpmdRuntime",
+    "current_rank_context",
+    "spmd_launch",
+]

@@ -1,0 +1,26 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class SpmdAborted(RuntimeError):
+    """Raised inside a rank when the SPMD program is aborting because some
+    other rank failed; carries the rank that caused the abort."""
+
+    def __init__(self, failed_rank: int, cause: BaseException) -> None:
+        self.failed_rank = failed_rank
+        self.cause = cause
+        super().__init__(
+            f"SPMD program aborted: rank {failed_rank} failed with "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class RemoteRankError(RuntimeError):
+    """Raised by :meth:`SpmdRuntime.run` on the launcher thread when a rank
+    raised; wraps the original exception."""
+
+    def __init__(self, rank: int, cause: BaseException) -> None:
+        self.rank = rank
+        self.cause = cause
+        super().__init__(f"rank {rank} raised {type(cause).__name__}: {cause}")

@@ -1,0 +1,249 @@
+"""SPMD thread launcher.
+
+``SpmdRuntime.run(fn)`` executes ``fn(ctx)`` once per rank, each on its own
+thread, in the style of ``mpiexec -n N python script.py``.  NumPy releases
+the GIL for array work, so rank threads overlap where it matters; more
+importantly, *simulated* time is tracked per rank by :class:`SimClock`, so
+host-thread scheduling never affects measured results.
+
+Failure handling: if any rank raises, the runtime trips an abort flag that
+every blocking communication primitive polls; all other ranks then raise
+:class:`SpmdAborted`, threads are joined and the original exception is
+re-raised on the launcher thread wrapped in :class:`RemoteRankError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.machine import ClusterSpec
+from repro.runtime.clock import SimClock
+from repro.runtime.errors import RemoteRankError, SpmdAborted
+
+_thread_local = threading.local()
+
+#: Seconds between abort-flag polls while blocked in a rendezvous.
+_POLL_INTERVAL = 0.05
+#: Host-time limit for any single blocking communication call.  Generous —
+#: it exists to turn accidental deadlocks into diagnosable errors.
+_DEADLOCK_TIMEOUT = 120.0
+
+
+class RankContext:
+    """Everything one rank's thread needs: identity, device handles, clock,
+    RNG, execution mode and a slot for the parallel context."""
+
+    def __init__(
+        self,
+        runtime: "SpmdRuntime",
+        rank: int,
+        materialize: bool,
+        seed: int,
+    ) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.world_size = runtime.world_size
+        self.cluster = runtime.cluster
+        self.device = runtime.cluster.device(rank)
+        self.cpu = runtime.cluster.cpu_of(rank)
+        self.clock = runtime.clocks[rank]
+        self.materialize = materialize
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.parallel_context: Optional[Any] = None  # set by repro.context
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RankContext(rank={self.rank}/{self.world_size}, device={self.device.name})"
+
+
+def current_rank_context() -> RankContext:
+    """The :class:`RankContext` of the calling thread.
+
+    Raises if called outside an SPMD program — library code that needs the
+    context should receive it explicitly where possible; this accessor exists
+    for deep call sites (tensor allocation, autograd ops).
+    """
+    ctx = getattr(_thread_local, "ctx", None)
+    if ctx is None:
+        raise RuntimeError(
+            "no SPMD rank context on this thread; call inside SpmdRuntime.run()"
+        )
+    return ctx
+
+
+def in_spmd() -> bool:
+    return getattr(_thread_local, "ctx", None) is not None
+
+
+class _Mailboxes:
+    """Point-to-point message store: (src, dst, tag) -> FIFO of payloads."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._boxes: Dict[Tuple[int, int, Any], List[Any]] = {}
+
+    def put(self, key: Tuple[int, int, Any], item: Any) -> None:
+        with self._cond:
+            self._boxes.setdefault(key, []).append(item)
+            self._cond.notify_all()
+
+    def get(self, key: Tuple[int, int, Any], should_abort: Callable[[], bool]) -> Any:
+        deadline = _DEADLOCK_TIMEOUT
+        with self._cond:
+            while True:
+                box = self._boxes.get(key)
+                if box:
+                    item = box.pop(0)
+                    if not box:
+                        del self._boxes[key]
+                    return item
+                if should_abort():
+                    raise _make_abort_error()
+                if deadline <= 0:
+                    raise RuntimeError(
+                        f"recv deadlock: no message for (src,dst,tag)={key} "
+                        f"after {_DEADLOCK_TIMEOUT}s of host time"
+                    )
+                self._cond.wait(_POLL_INTERVAL)
+                deadline -= _POLL_INTERVAL
+
+
+def _make_abort_error() -> SpmdAborted:
+    ctx = current_rank_context()
+    failed_rank, cause = ctx.runtime.failure  # type: ignore[misc]
+    return SpmdAborted(failed_rank, cause)
+
+
+class SpmdRuntime:
+    """Owns the cluster, clocks, process-group registry and mailboxes for one
+    SPMD program (or a sequence of them over the same cluster)."""
+
+    def __init__(self, cluster: ClusterSpec, world_size: Optional[int] = None) -> None:
+        if world_size is None:
+            world_size = cluster.world_size
+        if world_size > cluster.world_size:
+            raise ValueError(
+                f"world_size {world_size} exceeds cluster size {cluster.world_size}"
+            )
+        self.cluster = cluster
+        self.world_size = world_size
+        self.clocks = [SimClock() for _ in range(world_size)]
+        self.mailboxes = _Mailboxes()
+        self._abort = threading.Event()
+        self.failure: Optional[Tuple[int, BaseException]] = None
+        self._group_lock = threading.Lock()
+        self._groups: Dict[Tuple[int, ...], Any] = {}
+
+    # -- failure propagation -------------------------------------------------
+
+    def signal_failure(self, rank: int, exc: BaseException) -> None:
+        if self.failure is None:
+            self.failure = (rank, exc)
+        self._abort.set()
+
+    def aborting(self) -> bool:
+        return self._abort.is_set()
+
+    def check_abort(self) -> None:
+        if self._abort.is_set():
+            failed_rank, cause = self.failure  # type: ignore[misc]
+            raise SpmdAborted(failed_rank, cause)
+
+    # -- process groups -------------------------------------------------------
+
+    def group(self, ranks: Sequence[int]) -> Any:
+        """Idempotently create/fetch the :class:`ProcessGroup` over ``ranks``.
+
+        Safe to call concurrently from every member rank; all receive the
+        same object.  (Deferred import: comm builds on runtime.)
+        """
+        from repro.comm.group import ProcessGroup
+
+        key = tuple(ranks)
+        with self._group_lock:
+            grp = self._groups.get(key)
+            if grp is None:
+                grp = ProcessGroup(self, list(key))
+                self._groups[key] = grp
+            return grp
+
+    @property
+    def world_group(self) -> Any:
+        return self.group(range(self.world_size))
+
+    # -- launching -------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        materialize: bool = True,
+        seed: int = 0,
+        reset_clocks: bool = True,
+        **kwargs: Any,
+    ) -> List[Any]:
+        """Run ``fn(ctx, *args, **kwargs)`` on every rank; return per-rank
+        results in rank order.
+
+        ``materialize=False`` runs the program in spec mode: tensors carry
+        shapes/bytes but no data (used for billion-parameter experiments).
+        """
+        if reset_clocks:
+            for c in self.clocks:
+                c.reset()
+        self._abort.clear()
+        self.failure = None
+
+        results: List[Any] = [None] * self.world_size
+        errors: List[Optional[BaseException]] = [None] * self.world_size
+
+        def worker(rank: int) -> None:
+            ctx = RankContext(self, rank, materialize, seed=seed * 100003 + rank)
+            _thread_local.ctx = ctx
+            try:
+                results[rank] = fn(ctx, *args, **kwargs)
+            except SpmdAborted:
+                pass  # secondary failure; the primary is re-raised below
+            except BaseException as exc:  # noqa: BLE001 - must propagate anything
+                errors[rank] = exc
+                self.signal_failure(rank, exc)
+            finally:
+                _thread_local.ctx = None
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+            for r in range(self.world_size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if self.failure is not None:
+            rank, cause = self.failure
+            raise RemoteRankError(rank, cause) from cause
+        return results
+
+    # -- results ---------------------------------------------------------------
+
+    def max_time(self) -> float:
+        """Simulated makespan of the last program (slowest rank)."""
+        return max(c.time for c in self.clocks)
+
+
+def spmd_launch(
+    cluster: ClusterSpec,
+    fn: Callable[..., Any],
+    *args: Any,
+    world_size: Optional[int] = None,
+    materialize: bool = True,
+    seed: int = 0,
+    **kwargs: Any,
+) -> List[Any]:
+    """One-shot convenience: build a runtime, run ``fn`` on every rank,
+    return per-rank results."""
+    rt = SpmdRuntime(cluster, world_size)
+    return rt.run(fn, *args, materialize=materialize, seed=seed, **kwargs)

@@ -1,0 +1,39 @@
+"""Device tensors.
+
+A :class:`Tensor` couples a payload (a real :class:`numpy.ndarray`, or a
+:class:`~repro.comm.payload.SpecArray` stand-in in spec mode) with a
+byte-accurate :class:`Storage` registered on a simulated device's memory
+pool.  Allocation, views, release and the high-water mark all behave the
+same in both modes, which is what lets the paper's memory experiments run
+at billion-parameter scale without materializing data.
+"""
+
+from repro.tensor.tensor import (
+    Storage,
+    Tensor,
+    default_device,
+    from_numpy,
+    full,
+    ones,
+    randn,
+    set_default_device,
+    tensor,
+    zeros,
+)
+from repro.tensor.sharding import ShardSpec, local_shard_shape, shard_payload
+
+__all__ = [
+    "Storage",
+    "Tensor",
+    "default_device",
+    "set_default_device",
+    "tensor",
+    "from_numpy",
+    "zeros",
+    "ones",
+    "full",
+    "randn",
+    "ShardSpec",
+    "local_shard_shape",
+    "shard_payload",
+]

@@ -1,0 +1,340 @@
+"""Tensor and Storage.
+
+Storage lifetime drives memory accounting: creating a storage registers its
+bytes with the owning device's pool (raising
+:class:`~repro.cluster.device.DeviceOutOfMemoryError` when over capacity);
+releasing it — explicitly or by garbage collection — returns them.  Views
+(reshape/transpose/slices) share storage, so only genuinely new buffers
+count, mirroring a caching GPU allocator closely enough for the paper's
+"max allocated memory" range tests (Fig 8).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.device import Device, DeviceKind
+from repro.comm.payload import Payload, SpecArray, is_spec
+from repro.runtime.spmd import in_spmd, current_rank_context
+from repro.utils.units import GB
+
+_fallback_lock = threading.Lock()
+_fallback_device: Optional[Device] = None
+
+
+def default_device() -> Device:
+    """The device tensors land on when none is given.
+
+    Inside an SPMD program this is the calling rank's GPU; outside (plain
+    unit tests, notebooks) it is a lazily-created host device with a large
+    pool so accounting still works.
+    """
+    if in_spmd():
+        return current_rank_context().device
+    global _fallback_device
+    with _fallback_lock:
+        if _fallback_device is None:
+            _fallback_device = Device(
+                name="local", kind=DeviceKind.CPU, memory_capacity=256 * GB
+            )
+        return _fallback_device
+
+
+def set_default_device(device: Optional[Device]) -> None:
+    """Override the out-of-SPMD fallback device (tests use this to assert
+    accounting against a small pool)."""
+    global _fallback_device
+    with _fallback_lock:
+        _fallback_device = device
+
+
+class Storage:
+    """A reference-counted byte allocation on one device."""
+
+    __slots__ = ("device", "nbytes", "tag", "_finalizer", "__weakref__")
+
+    def __init__(self, device: Device, nbytes: int, tag: str = "activation") -> None:
+        self.device = device
+        self.nbytes = int(nbytes)
+        self.tag = tag
+        device.memory.alloc(self.nbytes, tag, owner=device)
+        self._finalizer = weakref.finalize(
+            self, device.memory.free_bytes, self.nbytes, tag
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self._finalizer.alive
+
+    def release(self) -> None:
+        """Return the bytes to the pool now (idempotent)."""
+        self._finalizer()
+
+
+def _as_payload(
+    data: Any, dtype: Optional[Union[str, np.dtype]], materialize: bool
+) -> Payload:
+    if isinstance(data, SpecArray):
+        return data if dtype is None else data.astype(dtype)
+    if isinstance(data, Tensor):
+        raise TypeError("wrap of Tensor in Tensor; use .payload or view methods")
+    arr = np.asarray(data)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    if not materialize:
+        return SpecArray(arr.shape, arr.dtype)
+    return arr
+
+
+def _default_materialize() -> bool:
+    if in_spmd():
+        return current_rank_context().materialize
+    return True
+
+
+class Tensor:
+    """A device tensor, optionally tracked by autograd.
+
+    Parameters
+    ----------
+    data:
+        array-like, :class:`numpy.ndarray` or :class:`SpecArray`.
+    dtype:
+        storage dtype (``float16`` storage is accounted at 2 bytes/elem even
+        though math runs in whatever numpy promotes to).
+    device:
+        target :class:`Device`; defaults to the current rank's GPU.
+    requires_grad:
+        include in autograd.
+    tag:
+        memory-pool tag (``"param"``, ``"grad"``, ``"optim"``,
+        ``"activation"``) for peak-memory breakdowns.
+    is_view:
+        storage is shared with another tensor — do not allocate.
+    """
+
+    __slots__ = (
+        "payload",
+        "device",
+        "storage",
+        "requires_grad",
+        "grad",
+        "grad_fn",
+        "tag",
+        "name",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        data: Any,
+        dtype: Optional[Union[str, np.dtype]] = None,
+        device: Optional[Device] = None,
+        requires_grad: bool = False,
+        tag: str = "activation",
+        base: Optional["Tensor"] = None,
+        materialize: Optional[bool] = None,
+    ) -> None:
+        if materialize is None:
+            materialize = _default_materialize()
+        self.payload: Payload = _as_payload(data, dtype, materialize)
+        self.device = device if device is not None else default_device()
+        self.tag = tag
+        if base is not None:
+            self.storage = base.storage  # view: share allocation
+        else:
+            self.storage = Storage(self.device, int(self.payload.nbytes), tag)
+        self.requires_grad = requires_grad
+        self.grad: Optional[Tensor] = None
+        self.grad_fn: Optional[Any] = None  # repro.autograd.function.Node
+        self.name: Optional[str] = None
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.payload.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.payload.dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.payload.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.payload.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes)
+
+    @property
+    def materialized(self) -> bool:
+        return not is_spec(self.payload)
+
+    @property
+    def data(self) -> Optional[np.ndarray]:
+        """The numpy array, or ``None`` in spec mode."""
+        return None if is_spec(self.payload) else self.payload
+
+    def numpy(self) -> np.ndarray:
+        if is_spec(self.payload):
+            raise RuntimeError("spec-mode tensor has no materialized data")
+        return self.payload
+
+    def item(self) -> float:
+        return float(self.numpy().reshape(-1)[0])
+
+    def release(self) -> None:
+        """Free this tensor's storage immediately."""
+        self.storage.release()
+
+    def detach(self) -> "Tensor":
+        """A view sharing storage, cut out of the autograd graph."""
+        t = Tensor.__new__(Tensor)
+        t.payload = self.payload
+        t.device = self.device
+        t.storage = self.storage
+        t.tag = self.tag
+        t.requires_grad = False
+        t.grad = None
+        t.grad_fn = None
+        t.name = None
+        return t
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- autograd entry point ----------------------------------------------------
+
+    def backward(self, grad: Optional["Tensor"] = None) -> None:
+        from repro.autograd.engine import backward as _backward
+
+        _backward(self, grad)
+
+    # -- operators (lazy import to avoid tensor<->autograd cycle) ---------------
+
+    def _ops(self):
+        from repro.autograd import ops
+
+        return ops
+
+    def __add__(self, other):
+        return self._ops().add(self, other)
+
+    def __radd__(self, other):
+        return self._ops().add(self, other)
+
+    def __sub__(self, other):
+        return self._ops().sub(self, other)
+
+    def __mul__(self, other):
+        return self._ops().mul(self, other)
+
+    def __rmul__(self, other):
+        return self._ops().mul(self, other)
+
+    def __truediv__(self, other):
+        return self._ops().div(self, other)
+
+    def __neg__(self):
+        return self._ops().neg(self)
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, other)
+
+    def __pow__(self, exponent):
+        return self._ops().power(self, exponent)
+
+    def reshape(self, *shape):
+        return self._ops().reshape(self, *shape)
+
+    def transpose(self, *axes):
+        return self._ops().transpose(self, *axes)
+
+    def sum(self, axis=None, keepdims=False):
+        return self._ops().sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return self._ops().mean_(self, axis=axis, keepdims=keepdims)
+
+    def __getitem__(self, idx):
+        return self._ops().slice_(self, idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "spec" if is_spec(self.payload) else "data"
+        grad = ", grad_fn" if self.grad_fn is not None else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype.name}, {mode}{grad})"
+
+
+# -- factory helpers --------------------------------------------------------------
+
+
+def tensor(
+    data: Any,
+    dtype: Optional[Union[str, np.dtype]] = None,
+    requires_grad: bool = False,
+    device: Optional[Device] = None,
+    tag: str = "activation",
+) -> Tensor:
+    return Tensor(data, dtype=dtype, device=device, requires_grad=requires_grad, tag=tag)
+
+
+def from_numpy(arr: np.ndarray, requires_grad: bool = False, tag: str = "activation") -> Tensor:
+    return Tensor(arr, requires_grad=requires_grad, tag=tag)
+
+
+def _filled(
+    shape: Sequence[int],
+    value: float,
+    dtype: Union[str, np.dtype],
+    requires_grad: bool,
+    device: Optional[Device],
+    tag: str,
+) -> Tensor:
+    shape = tuple(int(s) for s in shape)
+    if _default_materialize():
+        data: Any = np.full(shape, value, dtype=np.dtype(dtype))
+    else:
+        data = SpecArray(shape, dtype)
+    return Tensor(data, device=device, requires_grad=requires_grad, tag=tag)
+
+
+def zeros(shape, dtype="float32", requires_grad=False, device=None, tag="activation") -> Tensor:
+    return _filled(shape, 0.0, dtype, requires_grad, device, tag)
+
+
+def ones(shape, dtype="float32", requires_grad=False, device=None, tag="activation") -> Tensor:
+    return _filled(shape, 1.0, dtype, requires_grad, device, tag)
+
+
+def full(shape, value, dtype="float32", requires_grad=False, device=None, tag="activation") -> Tensor:
+    return _filled(shape, value, dtype, requires_grad, device, tag)
+
+
+def randn(
+    shape,
+    std: float = 1.0,
+    dtype="float32",
+    requires_grad=False,
+    device=None,
+    tag="activation",
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Gaussian init; uses the rank's seeded RNG inside SPMD for
+    reproducibility."""
+    shape = tuple(int(s) for s in shape)
+    if _default_materialize():
+        if rng is None:
+            rng = current_rank_context().rng if in_spmd() else np.random.default_rng()
+        data: Any = (rng.standard_normal(shape) * std).astype(np.dtype(dtype))
+    else:
+        data = SpecArray(shape, dtype)
+    return Tensor(data, device=device, requires_grad=requires_grad, tag=tag)

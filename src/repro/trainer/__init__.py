@@ -1,0 +1,22 @@
+"""Trainer with lifecycle hooks (§4 extensibility)."""
+
+from repro.trainer.trainer import Trainer
+from repro.trainer.hooks import (
+    Hook,
+    LRSchedulerHook,
+    LossLoggingHook,
+    MetricHook,
+    ThroughputHook,
+)
+from repro.trainer.metric import Accuracy, AverageMeter
+
+__all__ = [
+    "Trainer",
+    "Hook",
+    "LossLoggingHook",
+    "LRSchedulerHook",
+    "MetricHook",
+    "ThroughputHook",
+    "Accuracy",
+    "AverageMeter",
+]

@@ -1,0 +1,89 @@
+"""Trainer: epoch/step loop driving an Engine, with hooks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.engine.engine import Engine
+from repro.runtime.spmd import current_rank_context, in_spmd
+from repro.tensor.tensor import Tensor
+from repro.trainer.hooks import Hook
+
+
+class Trainer:
+    """Runs ``engine`` over a dataloader for N epochs.
+
+    The dataloader yields ``(data, label)`` pairs; ``shard_input`` /
+    ``loss_fn`` indirections let parallel model bundles slice inputs and
+    compute mode-aware losses without the loop knowing the parallel mode.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        hooks: Optional[List[Hook]] = None,
+        shard_input: Optional[Callable[[Any], Any]] = None,
+        loss_fn: Optional[Callable] = None,
+    ) -> None:
+        self.engine = engine
+        self.hooks = sorted(hooks or [], key=lambda h: h.priority)
+        self.shard_input = shard_input or (lambda x: x)
+        self.loss_fn = loss_fn
+        self.step = 0
+        self.epoch = 0
+        self.history: Dict[str, List[float]] = {}
+
+    def sim_time(self) -> float:
+        if in_spmd():
+            return current_rank_context().clock.time
+        return 0.0
+
+    def _fire(self, event: str, *args: Any) -> None:
+        for h in self.hooks:
+            getattr(h, event)(self, *args)
+
+    def fit(self, dataloader: Iterable, epochs: int = 1) -> Dict[str, List[float]]:
+        self._fire("on_fit_start")
+        for _ in range(epochs):
+            self.epoch += 1
+            self.engine.train()
+            self._fire("on_epoch_start")
+            for data, label in dataloader:
+                self._fire("before_step")
+                self.engine.zero_grad()
+                if self.engine.schedule is not None:
+                    loss_val = self.engine.execute_schedule(data, label)
+                    output = None
+                else:
+                    x = self.shard_input(data)
+                    if not isinstance(x, Tensor):
+                        x = Tensor(x)
+                    output = self.engine(x)
+                    if self.loss_fn is not None:
+                        loss = self.loss_fn(output, label)
+                    else:
+                        loss = self.engine.criterion(output, label)
+                    self.engine.backward(loss)
+                    loss_val = loss.item() if loss.materialized else None
+                self.engine.step()
+                self.step += 1
+                self._fire("after_step", output, label, loss_val)
+            self._fire("on_epoch_end")
+        self._fire("on_fit_end")
+        return self.history
+
+    def evaluate(
+        self, dataloader: Iterable, metric_fn: Callable[[Any, Any], None]
+    ) -> None:
+        """Run inference over a dataloader, feeding (output, label) to
+        ``metric_fn``."""
+        from repro.autograd.function import no_grad
+
+        self.engine.eval()
+        with no_grad():
+            for data, label in dataloader:
+                x = self.shard_input(data)
+                if not isinstance(x, Tensor):
+                    x = Tensor(x)
+                output = self.engine(x)
+                metric_fn(output, label)

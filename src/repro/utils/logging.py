@@ -1,0 +1,43 @@
+"""Logging helpers.
+
+A thin wrapper over :mod:`logging` that gives every subsystem a namespaced
+logger under the ``repro`` root and keeps the default configuration quiet so
+that benchmark output stays readable.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a logger in the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"comm"`` yields the ``repro.comm`` logger.
+    """
+    _configure_root()
+    if name == "repro" or name.startswith("repro."):
+        full = name
+    else:
+        full = f"repro.{name}"
+    return logging.getLogger(full)

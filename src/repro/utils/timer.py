@@ -1,0 +1,95 @@
+"""Wall-clock timers used by the trainer hooks and benchmarks.
+
+These measure *host* time.  Simulated device/communication time lives in
+:mod:`repro.runtime.clock` — do not confuse the two.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Timer:
+    """A simple start/stop accumulator timer."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+        self._count: int = 0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Timer already started")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the duration of the last interval in seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer not started")
+        interval = time.perf_counter() - self._start
+        self._elapsed += interval
+        self._count += 1
+        self._start = None
+        return interval
+
+    def reset(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+        self._count = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds across completed intervals."""
+        return self._elapsed
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._elapsed / self._count if self._count else 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.running:
+            self.stop()
+
+
+class MultiTimer:
+    """A named collection of :class:`Timer` objects."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def __call__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer()
+        return self._timers[name]
+
+    def start(self, name: str) -> None:
+        self(name).start()
+
+    def stop(self, name: str) -> float:
+        return self(name).stop()
+
+    def elapsed(self, name: str) -> float:
+        return self(name).elapsed
+
+    def reset(self, name: Optional[str] = None) -> None:
+        if name is None:
+            for t in self._timers.values():
+                t.reset()
+        else:
+            self(name).reset()
+
+    def summary(self) -> Dict[str, float]:
+        return {k: t.elapsed for k, t in self._timers.items()}

@@ -1,0 +1,17 @@
+"""Byte-size units and formatting."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``format_bytes(3 * GB)
+    == '3.00 GiB'``."""
+    n = float(n)
+    for unit, suffix in ((GB, "GiB"), (MB, "MiB"), (KB, "KiB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.2f} {suffix}"
+    return f"{n:.0f} B"

@@ -1,0 +1,46 @@
+"""Shared machinery for TP-vs-serial parity tests.
+
+Every tensor-parallel mode must reproduce the serial TransformerLayer
+bit-for-bit (up to float32 tolerance): outputs, input gradients, and weight
+gradient *shards*.  These helpers build the serial reference once and
+return the slices each mode's ranks should hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import TransformerLayer
+from repro.tensor import Tensor
+
+H, NH, B, S, RATIO = 16, 4, 8, 6, 2
+SEED = 7
+ATOL = 1e-4
+
+
+def make_input(seed: int = 42) -> np.ndarray:
+    return (
+        np.random.default_rng(seed).standard_normal((B, S, H)).astype(np.float32)
+    )
+
+
+def serial_reference(x_global: np.ndarray):
+    """Run the serial layer; return its key outputs and grads."""
+    layer = TransformerLayer(H, NH, mlp_ratio=RATIO, rng=np.random.default_rng(SEED))
+    x = Tensor(x_global.copy(), requires_grad=True)
+    y = layer(x)
+    y.sum().backward()
+    return {
+        "out": y.numpy().copy(),
+        "x_grad": x.grad.numpy().copy(),
+        "mlp_w1_grad": layer.mlp.dense_1.weight.grad.numpy().copy(),
+        "qkv_w_grad": layer.attention.qkv.weight.grad.numpy().copy(),
+        "ln1_gamma_grad": layer.norm_1.gamma.grad.numpy().copy(),
+    }
+
+
+def block(arr: np.ndarray, axis: int, parts: int, index: int) -> np.ndarray:
+    n = arr.shape[axis] // parts
+    sl = [slice(None)] * arr.ndim
+    sl[axis] = slice(index * n, (index + 1) * n)
+    return arr[tuple(sl)]

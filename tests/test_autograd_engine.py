@@ -1,0 +1,224 @@
+"""Tests for the backward engine: accumulation, graph mechanics, memory
+behaviour, checkpointing, spec mode."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.autograd import checkpoint, no_grad, ops
+from repro.cluster.device import Device, DeviceKind
+from repro.comm.payload import SpecArray
+from repro.tensor import Tensor, set_default_device
+from repro.utils.units import MB
+
+
+class TestBackwardMechanics:
+    def test_scalar_seed_required(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = ops.mul(x, 2.0)
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_explicit_grad_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = ops.mul(x, 3.0)
+        y.backward(Tensor(np.array([1.0, 2.0, 3.0])))
+        np.testing.assert_allclose(x.grad.numpy(), [3.0, 6.0, 9.0])
+
+    def test_backward_on_leaf_accumulates_seed(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        x.backward(Tensor(np.array([5.0, 6.0])))
+        np.testing.assert_allclose(x.grad.numpy(), [5.0, 6.0])
+
+    def test_backward_on_detached_raises(self):
+        x = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_multi_use_accumulation(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = ops.add(ops.mul(x, 3.0), ops.mul(x, 4.0))  # 7x
+        y.backward()
+        assert x.grad.numpy()[0] == 7.0
+
+    def test_repeated_backward_accumulates_into_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        for _ in range(2):
+            ops.mul(x, 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad.numpy(), [4.0, 4.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        ops.mul(x, 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = ops.mul(x, 2.0)
+        b = ops.mul(x, 5.0)
+        y = ops.mul(a, b)  # 10 x^2 -> dy/dx = 20x = 60
+        y.backward()
+        assert x.grad.numpy()[0] == pytest.approx(60.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        h = x
+        for _ in range(3000):
+            h = ops.add(h, 1.0)
+        h.sum().backward()
+        np.testing.assert_allclose(x.grad.numpy(), [1.0, 1.0])
+
+    def test_stop_at_non_grad_inputs(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        c = Tensor(np.ones(2))  # constant
+        y = ops.mul(x, c).sum()
+        y.backward()
+        assert c.grad is None
+        assert x.grad is not None
+
+
+class TestNoGrad:
+    def test_no_graph_built(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = ops.mul(x, 2.0)
+        assert y.grad_fn is None
+        assert not y.requires_grad
+
+    def test_nested_restores(self):
+        from repro.autograd.function import grad_enabled
+
+        with no_grad():
+            with no_grad():
+                assert not grad_enabled()
+            assert not grad_enabled()
+        assert grad_enabled()
+
+
+class TestMemoryBehaviour:
+    def setup_method(self):
+        self.dev = Device("mem", DeviceKind.GPU, memory_capacity=512 * MB)
+        set_default_device(self.dev)
+
+    def teardown_method(self):
+        set_default_device(None)
+
+    def test_activations_freed_after_backward(self):
+        x = Tensor(SpecArray((256, 1024), "float32"), requires_grad=True)
+        ws = [
+            Tensor(SpecArray((1024, 1024), "float32"), requires_grad=True, tag="param")
+            for _ in range(4)
+        ]
+        h = x
+        for w in ws:
+            h = ops.gelu(ops.matmul(h, w))
+        after_fwd = self.dev.memory.allocated
+        loss = h.sum()
+        loss.backward()
+        del h, loss
+        gc.collect()
+        residual = self.dev.memory.allocated
+        # params + grads + x + x.grad remain; forward activations are gone
+        expected = sum(w.nbytes for w in ws) * 2 + x.nbytes * 2
+        assert residual <= expected + 4096
+        # forward really did hold activations: 2 per layer (matmul + gelu)
+        held = after_fwd - sum(w.nbytes for w in ws) - x.nbytes
+        assert held >= 8 * x.nbytes
+
+    def test_peak_shape_rises_through_forward(self):
+        x = Tensor(SpecArray((64, 64)), requires_grad=True)
+        w = Tensor(SpecArray((64, 64)), requires_grad=True)
+        base = self.dev.memory.allocated
+        h = ops.matmul(x, w)
+        assert self.dev.memory.allocated > base
+
+    def test_view_ops_do_not_allocate(self):
+        x = Tensor(SpecArray((64, 64)), requires_grad=True)
+        base = self.dev.memory.allocated
+        ops.reshape(x, (4096,))
+        ops.transpose(x, (1, 0))
+        assert self.dev.memory.allocated == base
+
+
+class TestCheckpoint:
+    def test_grad_equivalence(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((4, 8)), requires_grad=True)
+        w = Tensor(rng.standard_normal((8, 8)), requires_grad=True)
+
+        def block(x, w):
+            return ops.gelu(ops.matmul(x, w))
+
+        block(x, w).sum().backward()
+        gx, gw = x.grad.numpy().copy(), w.grad.numpy().copy()
+        x.zero_grad(), w.zero_grad()
+        checkpoint(block, x, w).sum().backward()
+        np.testing.assert_allclose(x.grad.numpy(), gx, rtol=1e-6)
+        np.testing.assert_allclose(w.grad.numpy(), gw, rtol=1e-6)
+
+    def test_memory_saved(self):
+        dev = Device("ckpt", DeviceKind.GPU, memory_capacity=512 * MB)
+        set_default_device(dev)
+        try:
+            def run(use_ckpt):
+                dev.memory.reset_peak()
+                x = Tensor(SpecArray((128, 512)), requires_grad=True)
+                ws = [Tensor(SpecArray((512, 512)), requires_grad=True) for _ in range(4)]
+
+                def block(x, *ws):
+                    h = x
+                    for w in ws:
+                        h = ops.gelu(ops.matmul(h, w))
+                    return h
+
+                if use_ckpt:
+                    out = checkpoint(block, x, *ws)
+                else:
+                    out = block(x, *ws)
+                return dev.memory.peak  # peak during forward
+
+            peak_plain = run(False)
+            gc.collect()
+            peak_ckpt = run(True)
+            assert peak_ckpt < peak_plain
+        finally:
+            set_default_device(None)
+
+    def test_forward_value_unchanged(self):
+        x = Tensor(np.full((2, 2), 0.5), requires_grad=True)
+        out = checkpoint(lambda a: ops.tanh(a), x)
+        np.testing.assert_allclose(out.numpy(), np.tanh(0.5))
+
+
+class TestSpecBackward:
+    def test_shapes_propagate(self):
+        x = Tensor(SpecArray((8, 16)), requires_grad=True)
+        w = Tensor(SpecArray((16, 4)), requires_grad=True)
+        loss = ops.cross_entropy(ops.matmul(x, w), None)
+        loss.backward()
+        assert x.grad.shape == (8, 16)
+        assert w.grad.shape == (16, 4)
+
+    def test_flops_charged_in_both_modes(self):
+        from repro.cluster import uniform_cluster
+        from repro.runtime import SpmdRuntime
+
+        def prog(ctx):
+            x = Tensor(
+                SpecArray((64, 64)) if not ctx.materialize else np.zeros((64, 64), dtype=np.float32),
+                requires_grad=True,
+            )
+            w = Tensor(
+                SpecArray((64, 64)) if not ctx.materialize else np.zeros((64, 64), dtype=np.float32),
+                requires_grad=True,
+            )
+            ops.matmul(x, w).sum().backward()
+            return ctx.clock.time
+
+        rt = SpmdRuntime(uniform_cluster(1))
+        t_real = rt.run(prog)[0]
+        t_spec = rt.run(prog, materialize=False)[0]
+        assert t_real == pytest.approx(t_spec)
+        assert t_real > 0

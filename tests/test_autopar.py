@@ -1,0 +1,201 @@
+"""Automatic parallelization: layout-conversion search + strategy advisor."""
+
+import numpy as np
+import pytest
+
+from repro.autopar import (
+    Layout,
+    ParallelPlan,
+    convert_payload,
+    plan_conversion,
+    suggest_plans,
+)
+from repro.autopar.advisor import Workload, estimate_plan
+from repro.cluster import system_i, system_ii, system_iv, uniform_cluster
+from repro.comm import Communicator
+
+from conftest import run_spmd
+
+
+class TestLayout:
+    def test_local_shape(self):
+        mesh = {"x": 2, "y": 4}
+        l = Layout.make(2, {0: ["x"], 1: ["y"]})
+        assert l.local_shape((8, 8), mesh) == (4, 2)
+
+    def test_multi_axis_dim(self):
+        mesh = {"x": 2, "y": 2}
+        l = Layout.make(2, {0: ["x", "y"]})
+        assert l.local_shape((8, 4), mesh) == (2, 4)
+        assert l.shard_factor(mesh) == 4
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Layout.make(2, {0: ["x"], 1: ["x"]})
+
+    def test_indivisible_rejected(self):
+        l = Layout.make(1, {0: ["x"]})
+        with pytest.raises(ValueError):
+            l.local_shape((7,), {"x": 2})
+
+    def test_remove_requires_innermost(self):
+        l = Layout.make(1, {0: ["x", "y"]})
+        with pytest.raises(ValueError):
+            l.with_removed(0, "x")
+        l2 = l.with_removed(0, "y")
+        assert l2.placement[0] == ("x",)
+
+
+class TestConversionPlanner:
+    MESH = {"x": 2, "y": 2}
+
+    def test_identity_is_free(self):
+        l = Layout.make(2, {0: ["x"]})
+        plan = plan_conversion(l, l, (8, 8), self.MESH)
+        assert plan.steps == [] and plan.cost == 0.0
+
+    def test_transpose_uses_single_all_to_all(self):
+        """Moving an axis between dims should be one all-to-all, not
+        gather + slice (the advantage over a fixed conversion table)."""
+        src = Layout.make(2, {0: ["x"]})
+        dst = Layout.make(2, {1: ["x"]})
+        plan = plan_conversion(src, dst, (8, 8), self.MESH)
+        assert len(plan.steps) == 1
+        assert plan.steps[0].op == "all_to_all"
+
+    def test_gather_only(self):
+        src = Layout.make(2, {0: ["x"]})
+        dst = Layout.make(2, {})
+        plan = plan_conversion(src, dst, (8, 8), self.MESH)
+        assert [s.op for s in plan.steps] == ["all_gather"]
+
+    def test_slice_is_free(self):
+        src = Layout.make(2, {})
+        dst = Layout.make(2, {0: ["x"], 1: ["y"]})
+        plan = plan_conversion(src, dst, (8, 8), self.MESH)
+        assert plan.cost == 0.0
+        assert all(s.op == "slice" for s in plan.steps)
+
+    def test_deep_conversion_found(self):
+        src = Layout.make(2, {0: ["x", "y"]})
+        dst = Layout.make(2, {0: ["y"], 1: ["x"]})
+        plan = plan_conversion(src, dst, (8, 8), self.MESH)
+        assert 1 <= len(plan.steps) <= 4
+
+    def test_cost_monotone_in_size(self):
+        src = Layout.make(2, {0: ["x"]})
+        dst = Layout.make(2, {})
+        small = plan_conversion(src, dst, (8, 8), self.MESH)
+        big = plan_conversion(src, dst, (64, 64), self.MESH)
+        assert big.cost > small.cost
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_conversion(
+                Layout.make(1, {}), Layout.make(2, {}), (4, 4), self.MESH
+            )
+
+
+class TestConversionExecution:
+    """Plans must be *runnable*: executing them SPMD reproduces the direct
+    resharding of the global tensor."""
+
+    @pytest.mark.parametrize(
+        "src_assign,dst_assign",
+        [
+            ({0: ["x"]}, {1: ["x"]}),
+            ({0: ["x"]}, {}),
+            ({}, {0: ["x"]}),
+            ({0: ["x"], 1: ["y"]}, {0: ["y"], 1: ["x"]}),
+            ({0: ["x", "y"]}, {1: ["y", "x"]}),
+        ],
+    )
+    def test_roundtrip_matches_direct_reshard(self, src_assign, dst_assign):
+        mesh = {"x": 2, "y": 2}
+        global_t = np.arange(8 * 8, dtype=np.float32).reshape(8, 8)
+        src = Layout.make(2, src_assign)
+        dst = Layout.make(2, dst_assign)
+        plan = plan_conversion(src, dst, (8, 8), mesh)
+
+        def slice_for(layout, coord):
+            out = global_t
+            for d, axes in enumerate(layout.placement):
+                for a in axes:
+                    out = np.split(out, mesh[a], axis=d)[coord[a]]
+            return out
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            coord = {"x": ctx.rank // 2, "y": ctx.rank % 2}
+            comms = {
+                "x": comm.split(color=coord["y"], key=coord["x"]),
+                "y": comm.split(color=coord["x"], key=coord["y"]),
+            }
+            local = slice_for(src, coord).copy()
+            out = convert_payload(local, plan, comms, coord)
+            return coord, out
+
+        for coord, out in run_spmd(4, prog):
+            np.testing.assert_array_equal(out, slice_for(dst, coord))
+
+
+class TestAdvisor:
+    WORK = Workload(n_layers=16, hidden=3072, n_heads=48, seq_len=196)
+
+    def test_plans_fit_memory(self):
+        plans = suggest_plans(system_i(), self.WORK, global_batch=256, world_size=8)
+        assert plans
+        for est in plans:
+            assert est.fits
+            assert est.memory_bytes <= system_i().gpus[0].memory_capacity
+
+    def test_topology_constraints_respected(self):
+        plans = suggest_plans(system_i(), self.WORK, global_batch=256, world_size=8)
+        for est in plans:
+            p = est.plan
+            assert p.data * p.tensor * p.pipeline == 8
+            if p.mode == "2d":
+                import math
+
+                q = math.isqrt(p.tensor)
+                assert q * q == p.tensor
+
+    def test_fig11_mode_preference(self):
+        """Forced to tensor=4, the advisor prefers 1D on System I and
+        2D on System II — the Fig 11 conclusion."""
+        def mode_times(cluster):
+            out = {}
+            for mode in ("1d", "2d"):
+                est = estimate_plan(
+                    cluster, self.WORK, ParallelPlan(1, 4, mode, 1), global_batch=256
+                )
+                out[mode] = est.step_seconds
+            return out
+
+        t1 = mode_times(system_i())
+        t2 = mode_times(system_ii())
+        assert t1["1d"] < t1["2d"]
+        assert t2["2d"] < t2["1d"]
+
+    def test_oom_plans_rejected(self):
+        """A model far beyond a single tiny GPU must force model parallelism."""
+        big = Workload(n_layers=32, hidden=4096, n_heads=64, seq_len=512)
+        cluster = uniform_cluster(8, memory_gb=16)
+        plans = suggest_plans(cluster, big, global_batch=64, world_size=8)
+        assert plans
+        assert all(e.plan.tensor * e.plan.pipeline > 1 for e in plans)
+
+    def test_pipeline_bubble_accounted(self):
+        est1 = estimate_plan(
+            system_i(), self.WORK, ParallelPlan(1, 1, "1d", 1), global_batch=256
+        )
+        est4 = estimate_plan(
+            system_i(), self.WORK, ParallelPlan(1, 1, "1d", 4), global_batch=256
+        )
+        assert est4.bubble_fraction > 0
+        assert est1.bubble_fraction == 0
+
+    def test_invalid_batch_plans_skipped(self):
+        plans = suggest_plans(system_i(), self.WORK, global_batch=7, world_size=4)
+        for est in plans:
+            assert est.plan.data == 1  # 7 not divisible by larger dp

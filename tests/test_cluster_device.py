@@ -1,0 +1,147 @@
+"""Tests for devices and memory pools."""
+
+import pytest
+
+from repro.cluster import (
+    Device,
+    DeviceKind,
+    DeviceOutOfMemoryError,
+    MemoryPool,
+    system_i,
+    system_ii,
+    system_iii,
+    system_iv,
+    uniform_cluster,
+)
+from repro.cluster.device import a100, host_cpu, p100
+from repro.utils.units import GB
+
+
+class TestMemoryPool:
+    def test_alloc_free_roundtrip(self):
+        pool = MemoryPool(1000)
+        pool.alloc(400, tag="param")
+        assert pool.allocated == 400
+        pool.free_bytes(400, tag="param")
+        assert pool.allocated == 0
+
+    def test_peak_tracks_high_water(self):
+        pool = MemoryPool(1000)
+        pool.alloc(300)
+        pool.alloc(500)
+        pool.free_bytes(500)
+        assert pool.peak == 800
+        assert pool.allocated == 300
+
+    def test_oom_raised_at_capacity(self):
+        pool = MemoryPool(100)
+        pool.alloc(60)
+        with pytest.raises(DeviceOutOfMemoryError):
+            pool.alloc(41)
+        # failed alloc must not change accounting
+        assert pool.allocated == 60
+
+    def test_exact_fit_allowed(self):
+        pool = MemoryPool(100)
+        pool.alloc(100)
+        assert pool.free == 0
+
+    def test_underflow_detected(self):
+        pool = MemoryPool(100)
+        pool.alloc(10)
+        with pytest.raises(RuntimeError):
+            pool.free_bytes(20)
+
+    def test_tag_breakdown(self):
+        pool = MemoryPool(1000)
+        pool.alloc(100, tag="param")
+        pool.alloc(200, tag="grad")
+        pool.alloc(50, tag="param")
+        b = pool.breakdown()
+        assert b["param"] == 150
+        assert b["grad"] == 200
+
+    def test_can_alloc(self):
+        pool = MemoryPool(100)
+        assert pool.can_alloc(100)
+        pool.alloc(60)
+        assert not pool.can_alloc(41)
+
+    def test_reset_peak(self):
+        pool = MemoryPool(100)
+        pool.alloc(80)
+        pool.free_bytes(80)
+        pool.reset_peak()
+        assert pool.peak == 0
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(100).alloc(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+
+class TestDevice:
+    def test_compute_seconds_scale(self):
+        d = a100("g0")
+        t16 = d.compute_seconds(1e12, "float16")
+        t32 = d.compute_seconds(1e12, "float32")
+        assert t32 > t16  # fp32 peak is lower
+
+    def test_compute_zero_flops(self):
+        assert a100("g0").compute_seconds(0) == 0.0
+
+    def test_unknown_dtype_falls_back(self):
+        d = a100("g0")
+        assert d.compute_seconds(1e12, "bfloat16") > 0
+
+    def test_presets(self):
+        assert a100("x", memory_gb=80).memory_capacity == 80 * GB
+        assert p100("x").memory_capacity == 16 * GB
+        assert host_cpu("c").kind == DeviceKind.CPU
+
+    def test_oom_error_message(self):
+        d = Device("gpu9", DeviceKind.GPU, memory_capacity=GB)
+        with pytest.raises(DeviceOutOfMemoryError, match="gpu9"):
+            d.memory.alloc(2 * GB, owner=d)
+
+
+class TestSystemPresets:
+    def test_system_i_shape(self):
+        c = system_i()
+        assert c.world_size == 8
+        assert all(g.memory_capacity == 80 * GB for g in c.gpus)
+        # fully connected NVLink: high bandwidth between any pair
+        assert c.topology.bandwidth("gpu0", "gpu7") > 100 * GB
+
+    def test_system_ii_asymmetric(self):
+        c = system_ii()
+        adj = c.topology.bandwidth("gpu0", "gpu1")
+        far = c.topology.bandwidth("gpu0", "gpu2")
+        assert adj > 10 * far  # NVLink vs PCIe
+
+    def test_system_iii_multinode(self):
+        c = system_iii(n_nodes=4)
+        assert c.world_size == 16
+        intra = c.topology.bandwidth("gpu0", "gpu1")
+        inter = c.topology.bandwidth("gpu0", "gpu4")
+        assert intra > inter
+
+    def test_system_iv_single_gpu_nodes(self):
+        c = system_iv(n_nodes=8)
+        assert c.world_size == 8
+        assert all(g.node == i for i, g in enumerate(c.gpus))
+
+    def test_host_links(self):
+        c = uniform_cluster(4)
+        assert c.h2d_bandwidth(0) > 0
+        assert c.cpu_of(2).kind == DeviceKind.CPU
+
+    def test_reset_clears_pools(self):
+        c = uniform_cluster(2)
+        c.gpus[0].memory.alloc(123)
+        c.reset()
+        assert c.gpus[0].memory.allocated == 0
+        assert c.gpus[0].memory.peak == 0

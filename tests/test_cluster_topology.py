@@ -1,0 +1,115 @@
+"""Tests for interconnect topologies and bandwidth probing (Fig 9/10)."""
+
+import pytest
+
+from repro.cluster import LinkType, Topology, system_i, system_ii
+from repro.cluster.bandwidth import measure_broadcast_bandwidth, measure_p2p_bandwidth
+from repro.utils.units import GB, MB
+
+
+class TestTopology:
+    def test_direct_link(self):
+        t = Topology()
+        t.add_device("a")
+        t.add_device("b")
+        t.add_link("a", "b", LinkType.NVLINK)
+        assert t.has_direct_link("a", "b")
+        assert t.link_type("a", "b") == LinkType.NVLINK
+
+    def test_path_bottleneck(self):
+        t = Topology()
+        for n in ("a", "b", "c"):
+            t.add_device(n)
+        t.add_link("a", "b", LinkType.NVLINK)
+        t.add_link("b", "c", LinkType.PCIE)
+        bw, lat = t.path_stats("a", "c")
+        assert bw == pytest.approx(16 * GB)  # PCIe limits the path
+        assert lat > 0
+
+    def test_self_bandwidth_infinite(self):
+        t = Topology.fully_connected(["a", "b"])
+        assert t.bandwidth("a", "a") == float("inf")
+
+    def test_no_path_raises(self):
+        t = Topology()
+        t.add_device("a")
+        t.add_device("b")
+        with pytest.raises(ValueError):
+            t.path_stats("a", "b")
+
+    def test_custom_bandwidth_override(self):
+        t = Topology()
+        t.add_device("a")
+        t.add_device("b")
+        t.add_link("a", "b", LinkType.NVLINK, bandwidth=1.0)
+        assert t.bandwidth("a", "b") == 1.0
+
+    def test_ring_bandwidth_uses_ring_edges_only(self):
+        t = Topology.pairwise_nvlink(["g0", "g1", "g2", "g3"])
+        # ring g0-g1-g2-g3-g0 crosses PCIe at g1-g2 and g3-g0
+        assert t.ring_bandwidth(["g0", "g1", "g2", "g3"]) == pytest.approx(16 * GB)
+        # pair ring stays on NVLink
+        assert t.ring_bandwidth(["g0", "g1"]) > 100 * GB
+
+    def test_min_bandwidth_all_pairs(self):
+        t = Topology.pairwise_nvlink(["g0", "g1", "g2", "g3"])
+        assert t.min_bandwidth(["g0", "g1"]) > t.min_bandwidth(["g0", "g2"])
+
+    def test_fully_connected_builder(self):
+        t = Topology.fully_connected([f"g{i}" for i in range(4)])
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert t.has_direct_link(f"g{i}", f"g{j}")
+
+    def test_multi_node_builder(self):
+        t = Topology.multi_node([["a0", "a1"], ["b0", "b1"], ["c0", "c1"]])
+        assert t.link_type("a0", "a1") == LinkType.NVLINK
+        # cross-node routes through gateways at the NIC rate
+        assert t.bandwidth("a1", "b1") == pytest.approx(25 * GB)
+
+    def test_dragonfly_grouping(self):
+        nodes = [[f"n{i}"] for i in range(8)]
+        t = Topology.multi_node(nodes, dragonfly_group_size=4)
+        # intra-group gateways directly linked
+        assert t.has_direct_link("n0", "n1")
+        # inter-group: only the group leads
+        assert t.has_direct_link("n0", "n4")
+        assert not t.has_direct_link("n1", "n5")
+        # but a path exists
+        assert t.bandwidth("n1", "n5") > 0
+
+
+class TestBandwidthProbe:
+    """The Fig 10 analogue: System I sustains NVLink rates everywhere;
+    System II collapses for distant pairs / wide groups."""
+
+    def test_p2p_system_i_uniform(self):
+        c = system_i()
+        b01 = measure_p2p_bandwidth(c, 0, 1)
+        b07 = measure_p2p_bandwidth(c, 0, 7)
+        assert b01 == pytest.approx(b07, rel=0.01)
+        assert b01 > 100 * GB
+
+    def test_p2p_system_ii_cliff(self):
+        c = system_ii()
+        adjacent = measure_p2p_bandwidth(c, 0, 1)
+        distant = measure_p2p_bandwidth(c, 0, 2)
+        assert adjacent / distant > 5  # the paper reports 184 -> 15 GB/s
+
+    def test_broadcast_system_i_group_invariant(self):
+        c = system_i()
+        b2 = measure_broadcast_bandwidth(c, [0, 1])
+        b8 = measure_broadcast_bandwidth(c, list(range(8)))
+        assert b8 > 0.5 * b2  # stays near NVLink rate
+
+    def test_broadcast_system_ii_group_cliff(self):
+        c = system_ii()
+        pair = measure_broadcast_bandwidth(c, [0, 1])
+        group = measure_broadcast_bandwidth(c, list(range(8)))
+        assert pair / group > 5
+
+    def test_probe_size_effect_small_message(self):
+        c = system_i()
+        big = measure_p2p_bandwidth(c, 0, 1, nbytes=125 * MB)
+        small = measure_p2p_bandwidth(c, 0, 1, nbytes=1024)
+        assert big > small  # latency dominates small messages

@@ -1,0 +1,132 @@
+"""Cost-model details: bandwidth ramp, algorithm formulas, latency terms."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import system_i, system_iv, uniform_cluster
+from repro.comm.cost import CostModel
+from repro.utils.units import GB, MB
+
+
+class TestBandwidthRamp:
+    def test_eff_monotone_in_size(self):
+        cm = CostModel(uniform_cluster(2))
+        bw = 200 * GB
+        e1 = cm._eff(bw, 1 * MB)
+        e2 = cm._eff(bw, 32 * MB)
+        e3 = cm._eff(bw, 1 * GB)
+        assert e1 < e2 < e3 < bw
+
+    def test_half_point_at_knee(self):
+        cluster = uniform_cluster(2)
+        cm = CostModel(cluster)
+        bw = 200 * GB
+        knee = int(bw * cluster.bw_ramp_time)
+        assert cm._eff(bw, knee) == pytest.approx(bw / 2, rel=1e-6)
+
+    def test_knee_scales_with_link_speed(self):
+        """A 10 GB/s link must reach half-peak at a 20x smaller message
+        than a 200 GB/s link (latency-bandwidth product)."""
+        cm = CostModel(uniform_cluster(2))
+        fast_half = 200 * GB * cm.bw_ramp
+        slow_half = 10 * GB * cm.bw_ramp
+        assert fast_half / slow_half == pytest.approx(20.0)
+        # consequence: a 2 MB message is near-peak on the slow link but
+        # heavily degraded on the fast one
+        assert cm._eff(10 * GB, 2 * MB) / (10 * GB) > 0.5
+        assert cm._eff(200 * GB, 2 * MB) / (200 * GB) < 0.1
+
+    def test_ramp_disabled(self):
+        cluster = uniform_cluster(2)
+        cluster.bw_ramp_time = 0.0
+        cm = CostModel(cluster)
+        assert cm._eff(200 * GB, 1) == 200 * GB
+
+
+class TestAlgorithmCosts:
+    def test_allreduce_scales_with_group(self):
+        cm = CostModel(system_i())
+        n = 256 * MB
+        t2 = cm.allreduce([0, 1], n).seconds
+        t8 = cm.allreduce(list(range(8)), n).seconds
+        # ring allreduce beta term: 2(p-1)/p -> 1.0 at p=2, 1.75 at p=8
+        assert 1.2 < t8 / t2 < 2.2
+
+    def test_allgather_vs_reduce_scatter_duality(self):
+        cm = CostModel(system_i())
+        ranks = list(range(4))
+        # RS of n and AG of n/p move the same wire bytes
+        n = 64 * MB
+        rs = cm.reduce_scatter(ranks, n)
+        ag = cm.allgather(ranks, n // 4)
+        assert rs.wire_bytes == pytest.approx(ag.wire_bytes, rel=1e-6)
+
+    def test_zero_bytes_free(self):
+        cm = CostModel(system_i())
+        assert cm.allreduce([0, 1], 0).seconds == 0.0
+        assert cm.p2p(0, 1, 0).seconds == 0.0
+
+    def test_barrier_logarithmic(self):
+        cm = CostModel(system_i())
+        assert cm.barrier([0, 1]).seconds < cm.barrier(list(range(8))).seconds
+
+    def test_p2p_self_free(self):
+        cm = CostModel(system_i())
+        assert cm.p2p(2, 2, 1024).seconds == 0.0
+
+    def test_multinode_slower_than_intranode(self):
+        cm = CostModel(system_iv())
+        n = 64 * MB
+        local_pair = cm.allreduce([0, 1], n).seconds  # adjacent Aries nodes
+        cm_i = CostModel(system_i())
+        nvlink_pair = cm_i.allreduce([0, 1], n).seconds
+        assert local_pair > 5 * nvlink_pair
+
+
+class TestAdaptiveEvictionUnderPressure:
+    """The pre_fetch LRU eviction path: a GPU that fits the shards but not
+    a gathered chunk must evict (not OOM) when fetching."""
+
+    def test_eviction_keeps_training_alive(self):
+        from repro.cluster import uniform_cluster
+        from repro.comm import Communicator
+        from repro.nn import CrossEntropyLoss, Linear, Module
+        from repro.autograd import ops
+        from repro.runtime import SpmdRuntime
+        from repro.zero import AdaptivePolicy, ZeroOffloadEngine
+        from repro.comm.cost import CostModel as CM
+
+        H, C = 64, 4
+
+        class Block(Module):
+            def __init__(self, rng, out=H):
+                super().__init__()
+                self.lin = Linear(H, out, rng=rng)
+
+            def forward(self, x):
+                y = self.lin(x)
+                return ops.gelu(y) if self.lin.out_features == H else y
+
+        # pool sized so all shards + states fit but a fetched full chunk
+        # pressures the pool -> pre_fetch must evict the LRU chunk
+        cluster = uniform_cluster(1, memory_gb=2.5e-4)  # ~260 KB
+
+        rt = SpmdRuntime(cluster)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            rngs = [np.random.default_rng((3, i)) for i in range(4)]
+            blocks = [Block(rngs[0]), Block(rngs[1]), Block(rngs[2]), Block(rngs[3], out=C)]
+            pol = AdaptivePolicy(ctx.device, ctx.cpu, CM(ctx.cluster), ctx.rank)
+            eng = ZeroOffloadEngine(
+                ctx, blocks, comm, pol, criterion=CrossEntropyLoss(),
+                chunk_mb=0.02, lr=1e-2, param_dtype="float32",
+            )
+            X = np.random.default_rng(0).standard_normal((4, H)).astype(np.float32)
+            Y = np.random.default_rng(1).integers(0, C, 4)
+            losses = [eng.train_step(X, Y) for _ in range(2)]
+            return losses, eng.gpu_param_fraction()
+
+        losses, frac = rt.run(prog)[0]
+        assert all(np.isfinite(l) for l in losses)
+        assert frac < 1.0  # something was evicted to the host

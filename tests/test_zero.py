@@ -1,0 +1,437 @@
+"""ZeRO subsystem: sharded tensors, chunks, policies, engine, stage 1/2."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops
+from repro.cluster import uniform_cluster
+from repro.comm import Communicator, SpecArray
+from repro.comm.cost import CostModel
+from repro.nn import CrossEntropyLoss, Linear, Module
+from repro.optim import Adam
+from repro.runtime import SpmdRuntime
+from repro.tensor import Tensor
+from repro.utils.units import GB, MB
+from repro.zero import (
+    AdaptivePolicy,
+    Chunk,
+    ChunkManager,
+    FlatShardingStrategy,
+    ShardedTensor,
+    StaticPolicy,
+    TensorState,
+    ZeroOffloadEngine,
+    ZeroRedundancyOptimizer,
+)
+from repro.zero.policies import NoOffloadPolicy
+
+from conftest import run_spmd
+
+H, C, B = 16, 4, 8
+
+
+class TestFlatShardingStrategy:
+    def test_roundtrip(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            strat = FlatShardingStrategy()
+            full = np.arange(10.0)
+            shard = strat.shard(full, comm)
+            back = strat.gather(shard, comm, (10,))
+            return shard.shape, back.tolist()
+
+        res = run_spmd(4, prog)
+        # 10 padded to 12 -> shards of 3
+        assert res[0][0] == (3,)
+        for shape, back in res:
+            assert back == list(np.arange(10.0))
+
+    def test_shard_elements_padding(self):
+        strat = FlatShardingStrategy()
+        assert strat.shard_elements((10,), 4) == 3
+        assert strat.shard_elements((8,), 4) == 2
+
+    def test_spec_shard(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            s = FlatShardingStrategy().shard(SpecArray((10,)), comm)
+            return isinstance(s, SpecArray), s.shape
+
+        assert run_spmd(2, prog, materialize=False)[0] == (True, (5,))
+
+
+class TestShardedTensor:
+    def test_state_machine_and_hooks(self):
+        events = []
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            st = ShardedTensor(np.arange(8.0), comm)
+            if ctx.rank == 0:
+                st.register_hook("on_gather", lambda s: events.append("g"))
+                st.register_hook("on_release", lambda s: events.append("r"))
+            assert st.state is TensorState.SHARDED
+            full = st.gather()
+            assert st.state is TensorState.GATHERED
+            vals = full.numpy().copy()
+            st.release()
+            assert st.state is TensorState.SHARDED
+            return vals.tolist()
+
+        res = run_spmd(2, prog)
+        assert res[0] == list(np.arange(8.0))
+        assert events == ["g", "r"]
+
+    def test_gather_idempotent(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            st = ShardedTensor(np.arange(4.0), comm)
+            a = st.gather()
+            b = st.gather()
+            return a is b
+
+        assert all(run_spmd(2, prog))
+
+    def test_update_shard_shape_checked(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            st = ShardedTensor(np.arange(4.0), comm)
+            try:
+                st.update_shard(np.zeros(3))
+            except ValueError:
+                return "raised"
+
+        assert run_spmd(2, prog) == ["raised"] * 2
+
+    def test_unknown_hook_rejected(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            st = ShardedTensor(np.arange(4.0), comm)
+            try:
+                st.register_hook("bogus", lambda s: None)
+            except ValueError:
+                return True
+
+        assert all(run_spmd(2, prog))
+
+
+class TestChunkManager:
+    def test_packing_order_and_mapping(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            lin1 = Linear(4, 4, rng=np.random.default_rng(0))
+            lin2 = Linear(4, 4, rng=np.random.default_rng(1))
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(lin1)
+            mgr.close_current()
+            mgr.register_module(lin2)
+            c1 = mgr.chunks_of(lin1)
+            c2 = mgr.chunks_of(lin2)
+            return len(mgr.chunks), [c.index for c in c1], [c.index for c in c2]
+
+        n, i1, i2 = run_spmd(2, prog)[0]
+        assert n == 2 and i1 == [0] and i2 == [1]
+
+    def test_oversized_param_gets_own_chunk(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            big = Linear(32, 32, bias=False, rng=np.random.default_rng(0))
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(big)
+            return mgr.chunks[0].capacity
+
+        assert run_spmd(2, prog)[0] == 1024
+
+    def test_values_preserved_through_packing(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            lin = Linear(4, 4, rng=np.random.default_rng(7))
+            w_before = lin.weight.numpy().copy()
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(lin)
+            return np.allclose(lin.weight.numpy(), w_before)
+
+        assert all(run_spmd(2, prog))
+
+    def test_shard_accounting(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            lin = Linear(8, 8, bias=False, rng=np.random.default_rng(0))
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(lin)
+            # after packing, only shard bytes remain (param storage released)
+            return ctx.device.memory.breakdown().get("param", 0)
+
+        per_rank = run_spmd(2, prog)[0]
+        assert per_rank == 64 // 2 * 4  # 32 elems/rank fp32
+
+    def test_fetch_release_accounting_and_cost(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            lin = Linear(8, 8, bias=False, rng=np.random.default_rng(0))
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(lin)
+            chunk = mgr.chunks[0]
+            cm = CostModel(ctx.cluster)
+            base = ctx.device.memory.allocated
+            chunk.fetch(cm, ctx.rank, ctx.clock)
+            during = ctx.device.memory.allocated
+            chunk.release_full()
+            after = ctx.device.memory.allocated
+            return during - base, after - base, ctx.clock.time
+
+        grew, back, t = run_spmd(2, prog)[0]
+        assert grew == 64 * 4  # full chunk
+        assert back == 0
+        assert t > 0  # allgather charged
+
+    def test_grad_reduce_scatter_averages(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            lin = Linear(2, 2, bias=False, rng=np.random.default_rng(0))
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=4,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(lin)
+            chunk = mgr.chunks[0]
+            lin.weight.grad = Tensor(np.full((2, 2), float(ctx.rank + 1), dtype=np.float32))
+            chunk.reduce_scatter_grads(CostModel(ctx.cluster), ctx.rank, ctx.clock)
+            return chunk.grad_shard.tolist(), lin.weight.grad is None
+
+        res = run_spmd(2, prog)
+        # mean of [1, 2] = 1.5 everywhere
+        assert res[0][0] == [1.5, 1.5]
+        assert res[0][1]  # full grads dropped
+
+    def test_fp16_storage_reuse_ablation(self):
+        """Without reuse, a separate grad-shard allocation appears."""
+
+        def run(reuse):
+            def prog(ctx):
+                comm = Communicator.world(ctx)
+                lin = Linear(8, 8, bias=False, rng=np.random.default_rng(0))
+                mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                                   dtype=np.dtype("float32"))
+                mgr.register_module(lin)
+                chunk = mgr.chunks[0]
+                lin.weight.grad = Tensor(np.ones((8, 8), dtype=np.float32))
+                before = ctx.device.memory.allocated
+                chunk.reduce_scatter_grads(
+                    CostModel(ctx.cluster), ctx.rank, ctx.clock,
+                    reuse_fp16_storage=reuse,
+                )
+                return ctx.device.memory.allocated - before
+
+            return run_spmd(2, prog)[0]
+
+        assert run(True) < run(False)
+
+    def test_move_shard_charges_pcie(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            lin = Linear(8, 8, bias=False, rng=np.random.default_rng(0))
+            mgr = ChunkManager(comm, ctx.device, ctx.cpu, chunk_elements=64,
+                               dtype=np.dtype("float32"))
+            mgr.register_module(lin)
+            chunk = mgr.chunks[0]
+            t0 = ctx.clock.time
+            chunk.move_shard("cpu", CostModel(ctx.cluster), ctx.rank, ctx.clock)
+            moved = ctx.clock.time > t0
+            on_cpu = ctx.cpu.memory.breakdown().get("param", 0) > 0
+            off_gpu = ctx.device.memory.breakdown().get("param", 0) == 0
+            return moved and on_cpu and off_gpu and chunk.location == "cpu"
+
+        assert all(run_spmd(2, prog))
+
+
+def _make_blocks(seed):
+    rngs = [np.random.default_rng((seed, i)) for i in range(3)]
+
+    class Block(Module):
+        def __init__(self, rng, out=H):
+            super().__init__()
+            self.lin = Linear(H, out, rng=rng)
+
+        def forward(self, x):
+            y = self.lin(x)
+            return ops.gelu(y) if self.lin.out_features == H else y
+
+    return [Block(rngs[0]), Block(rngs[1]), Block(rngs[2], out=C)]
+
+
+@pytest.fixture(scope="module")
+def serial_zero_ref():
+    rng0 = np.random.default_rng(5)
+    X = rng0.standard_normal((2 * B, H)).astype(np.float32)
+    Y = rng0.integers(0, C, 2 * B)
+    crit = CrossEntropyLoss()
+
+    class AdamD(Adam):
+        DECOUPLED_WD = True
+
+    blocks = _make_blocks(1)
+    params = [p for b in blocks for p in b.parameters()]
+    opt = AdamD(params, lr=1e-2)
+
+    def fwd(x):
+        for b in blocks:
+            x = b(x)
+        return x
+
+    for _ in range(3):
+        loss = crit(fwd(Tensor(X.copy())), Y)
+        loss.backward()
+        opt.step()
+        opt.zero_grad()
+    return {
+        "X": X,
+        "Y": Y,
+        "crit": crit,
+        "w": blocks[0].lin.weight.numpy().copy(),
+    }
+
+
+class TestZeroOffloadEngine:
+    @pytest.mark.parametrize("policy_cls", [NoOffloadPolicy, StaticPolicy, AdaptivePolicy])
+    def test_parity_with_serial_adam(self, serial_zero_ref, policy_cls):
+        ref = serial_zero_ref
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            blocks = _make_blocks(1)
+            pol = policy_cls(ctx.device, ctx.cpu, CostModel(ctx.cluster), ctx.rank)
+            eng = ZeroOffloadEngine(
+                ctx, blocks, comm, pol, criterion=ref["crit"],
+                chunk_mb=0.001, lr=1e-2, param_dtype="float32",
+            )
+            r = ctx.rank
+            xl, yl = ref["X"][r * B : (r + 1) * B], ref["Y"][r * B : (r + 1) * B]
+            for _ in range(3):
+                eng.train_step(xl, yl)
+            eng.gather_parameters()
+            return blocks[0].lin.weight.numpy().copy()
+
+        for w in run_spmd(2, prog):
+            np.testing.assert_allclose(w, ref["w"], atol=1e-4)
+
+    def test_static_slower_than_adaptive(self, serial_zero_ref):
+        ref = serial_zero_ref
+
+        def time_for(policy_cls):
+            def prog(ctx):
+                comm = Communicator.world(ctx)
+                blocks = _make_blocks(1)
+                pol = policy_cls(ctx.device, ctx.cpu, CostModel(ctx.cluster), ctx.rank)
+                eng = ZeroOffloadEngine(
+                    ctx, blocks, comm, pol, criterion=ref["crit"],
+                    chunk_mb=0.001, lr=1e-2, param_dtype="float32",
+                )
+                eng.train_step(ref["X"][:B], ref["Y"][:B])
+                return ctx.clock.time
+
+            return run_spmd(2, prog)[0]
+
+        assert time_for(StaticPolicy) > time_for(AdaptivePolicy)
+
+    def test_adaptive_offloads_when_gpu_small(self):
+        """With a tiny GPU, the adaptive policy must offload some chunks."""
+        # ~10 KiB of GPU memory: shards fit, but shards + optimizer states
+        # do not, so the policy must offload part of the model
+        cluster = uniform_cluster(1, memory_gb=1e-5)
+        rt = SpmdRuntime(cluster)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            blocks = _make_blocks(1)
+            pol = AdaptivePolicy(ctx.device, ctx.cpu, CostModel(ctx.cluster), ctx.rank)
+            eng = ZeroOffloadEngine(
+                ctx, blocks, comm, pol, criterion=CrossEntropyLoss(),
+                chunk_mb=0.0005, lr=1e-2, param_dtype="float32",
+            )
+            return eng.gpu_param_fraction()
+
+        frac = rt.run(prog)[0]
+        assert frac < 1.0
+
+    def test_spec_mode_step(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            blocks = _make_blocks(1)
+            pol = StaticPolicy(ctx.device, ctx.cpu, CostModel(ctx.cluster), ctx.rank)
+            eng = ZeroOffloadEngine(
+                ctx, blocks, comm, pol, criterion=CrossEntropyLoss(),
+                chunk_mb=0.001, lr=1e-2, param_dtype="float16",
+            )
+            loss = eng.train_step(SpecArray((B, H)), SpecArray((B,), "int64"))
+            return loss, ctx.clock.time, ctx.cpu.memory.peak
+
+        loss, t, cpu_peak = run_spmd(2, prog, materialize=False)[0]
+        assert loss is None and t > 0 and cpu_peak > 0
+
+
+class TestZeroRedundancyOptimizer:
+    def test_stage1_and_stage2_parity(self, serial_zero_ref):
+        ref = serial_zero_ref
+
+        def prog(ctx, stage):
+            blocks = _make_blocks(1)
+            params = [p for b in blocks for p in b.parameters()]
+            comm = Communicator.world(ctx)
+            zopt = ZeroRedundancyOptimizer(params, comm, stage=stage, lr=1e-2)
+            r = ctx.rank
+            xl, yl = ref["X"][r * B : (r + 1) * B], ref["Y"][r * B : (r + 1) * B]
+
+            def fwd(x):
+                for b in blocks:
+                    x = b(x)
+                return x
+
+            for _ in range(3):
+                loss = ref["crit"](fwd(Tensor(xl.copy())), yl)
+                loss.backward()
+                zopt.step()
+                zopt.zero_grad()
+            return blocks[0].lin.weight.numpy().copy()
+
+        for stage in (1, 2):
+            for w in run_spmd(2, prog, stage):
+                np.testing.assert_allclose(w, ref["w"], atol=1e-4)
+
+    def test_state_sharded(self):
+        def prog(ctx):
+            lin = Linear(16, 16, bias=False, rng=np.random.default_rng(0))
+            comm = Communicator.world(ctx)
+            zopt = ZeroRedundancyOptimizer(lin.parameters(), comm, stage=1)
+            return zopt.optimizer_state_bytes()
+
+        # full state would be 3 * 4 * 256 bytes; each rank holds 1/4
+        assert run_spmd(4, prog)[0] == 3 * 4 * 256 // 4
+
+    def test_stage2_uses_reduce_scatter(self):
+        rt = SpmdRuntime(uniform_cluster(2))
+
+        def prog(ctx, stage):
+            lin = Linear(8, 8, bias=False, rng=np.random.default_rng(0))
+            comm = Communicator.world(ctx)
+            zopt = ZeroRedundancyOptimizer(lin.parameters(), comm, stage=stage, lr=0.1)
+            lin(Tensor(np.ones((2, 8), dtype=np.float32))).sum().backward()
+            zopt.step()
+
+        rt.run(prog, 2)
+        ops_used = rt.group((0, 1)).counters.by_op_calls
+        assert "reduce_scatter" in ops_used and "all_reduce" not in ops_used
+
+    def test_invalid_stage(self):
+        lin = Linear(4, 4)
+
+        def prog(ctx):
+            try:
+                ZeroRedundancyOptimizer(lin.parameters(), Communicator.world(ctx), stage=3)
+            except ValueError:
+                return True
+
+        assert all(run_spmd(2, prog))
