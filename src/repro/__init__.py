@@ -24,6 +24,7 @@ Quickstart (Listing 1 of the paper)::
 from repro.config import Config
 from repro.context import ParallelContext, ParallelMode, global_context
 from repro.engine import Engine, initialize, launch
+from repro.faults import FaultPlan
 from repro.runtime import SpmdRuntime, spmd_launch
 
 __version__ = "1.0.0"
@@ -34,6 +35,7 @@ __all__ = [
     "ParallelMode",
     "global_context",
     "Engine",
+    "FaultPlan",
     "initialize",
     "launch",
     "SpmdRuntime",

@@ -50,6 +50,19 @@ class GradScaler:
         self._after_check(finite)
         return finite
 
+    def state_dict(self) -> dict:
+        """Dynamic-scale state for checkpointing."""
+        return {
+            "scale": self.scale,
+            "good_steps": self._good_steps,
+            "overflows": self.overflows,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.scale = state["scale"]
+        self._good_steps = state["good_steps"]
+        self.overflows = state["overflows"]
+
     def _after_check(self, finite: bool) -> None:
         if finite:
             self._good_steps += 1

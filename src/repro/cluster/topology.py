@@ -85,6 +85,29 @@ class Topology:
     def has_direct_link(self, a: str, b: str) -> bool:
         return self.graph.has_edge(a, b)
 
+    def scale_link(self, a: str, b: str, factor: float) -> None:
+        """Set a link's bandwidth to ``factor`` times its *base* rate
+        (fault injection: ``factor`` < 1 degrades, 1.0 restores).
+
+        Idempotent: repeated calls scale the original bandwidth, not the
+        already-scaled value, so re-installing a fault plan is safe.
+        """
+        if factor <= 0:
+            raise ValueError(f"bandwidth scale factor must be positive, got {factor}")
+        if not self.graph.has_edge(a, b):
+            raise ValueError(f"no direct link between {a} and {b}")
+        edge = self.graph.edges[a, b]
+        base = edge.setdefault("base_bandwidth", edge["bandwidth"])
+        edge["bandwidth"] = base * factor
+        self._bw_cache.clear()
+
+    def restore_links(self) -> None:
+        """Undo every :meth:`scale_link` degradation."""
+        for _u, _v, data in self.graph.edges(data=True):
+            if "base_bandwidth" in data:
+                data["bandwidth"] = data["base_bandwidth"]
+        self._bw_cache.clear()
+
     def link_type(self, a: str, b: str) -> Optional[LinkType]:
         if self.graph.has_edge(a, b):
             return self.graph.edges[a, b]["link"]

@@ -21,6 +21,7 @@ import numpy as np
 from repro.comm.cost import CollectiveCost
 from repro.comm.group import ProcessGroup
 from repro.comm.payload import Payload, SpecArray, is_spec, like
+from repro.runtime.errors import CollectiveTimeout
 
 ReduceOp = str  # "sum" | "max" | "min" | "prod"
 
@@ -281,27 +282,61 @@ class Communicator:
 
     # -- point-to-point ---------------------------------------------------------
 
+    def _deliver(self, x: Payload, dst: int, tag: Any) -> CollectiveCost:
+        """Run the fault/retry loop for one p2p transmission and enqueue the
+        payload; returns the successful attempt's cost (the caller decides
+        when the sender's clock is charged for it — blocking ``send``
+        immediately, ``isend`` on ``wait``).
+
+        Each dropped/corrupted attempt charges the failed transfer plus
+        backoff to the sender's clock and counts the retransmitted bytes;
+        a permanently dead link exhausts the retry budget and raises
+        :class:`CollectiveTimeout`.
+        """
+        src_g = self.global_rank
+        dst_g = self.group.global_rank(dst)
+        runtime = self.group.runtime
+        clock = runtime.clocks[src_g]
+        cost = self.group.cost_model.p2p(src_g, dst_g, int(x.nbytes))
+        injector = runtime.fault_injector
+        if injector is not None:
+            injector.check_time_crash(src_g, clock.time)
+            policy = runtime.retry_policy
+            failures = 0
+            while injector.p2p_verdict(src_g, dst_g) != "deliver":
+                failures += 1
+                clock.advance(cost.seconds + policy.backoff(failures), "comm")
+                self.group.counters.record_retry(
+                    "p2p", cost.wire_bytes, int(x.size)
+                )
+                if failures > policy.max_retries:
+                    raise CollectiveTimeout(
+                        "p2p", (src_g, dst_g), attempts=failures
+                    )
+        t_avail = clock.time + cost.seconds
+        self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
+        payload = x if is_spec(x) else x.copy()
+        runtime.mailboxes.put(
+            (src_g, dst_g, (id(self.group), tag)), (payload, t_avail)
+        )
+        return cost
+
     def send(self, x: Payload, dst: int, tag: Any = 0) -> None:
         """Send ``x`` to local rank ``dst``.  Returns once the payload is
         enqueued; the sender's clock is charged the full transfer (eager
-        synchronous model)."""
-        src_g = self.global_rank
-        dst_g = self.group.global_rank(dst)
-        cost = self.group.cost_model.p2p(src_g, dst_g, int(x.nbytes))
-        clock = self.group.runtime.clocks[src_g]
-        t_avail = clock.time + cost.seconds
-        clock.advance(cost.seconds, "comm")
-        self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
-        payload = x if is_spec(x) else x.copy()
-        self.group.runtime.mailboxes.put(
-            (src_g, dst_g, (id(self.group), tag)), (payload, t_avail)
-        )
+        synchronous model), plus retransmissions under injected faults."""
+        cost = self._deliver(x, dst, tag)
+        self.group.runtime.clocks[self.global_rank].advance(cost.seconds, "comm")
 
     def recv(self, src: int, tag: Any = 0) -> Payload:
         """Blocking receive from local rank ``src``."""
         src_g = self.group.global_rank(src)
         dst_g = self.global_rank
         runtime = self.group.runtime
+        if runtime.fault_injector is not None:
+            runtime.fault_injector.check_time_crash(
+                dst_g, runtime.clocks[dst_g].time
+            )
         payload, t_avail = runtime.mailboxes.get(
             (src_g, dst_g, (id(self.group), tag)), runtime.aborting
         )
@@ -317,17 +352,8 @@ class Communicator:
         """Non-blocking send (mpi4py style).  The eager mailbox transport
         makes the payload immediately available, so the returned request is
         already complete; the sender's clock is still charged the full
-        transfer on wait()."""
-        src_g = self.global_rank
-        dst_g = self.group.global_rank(dst)
-        cost = self.group.cost_model.p2p(src_g, dst_g, int(x.nbytes))
-        clock = self.group.runtime.clocks[src_g]
-        t_avail = clock.time + cost.seconds
-        self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
-        payload = x if is_spec(x) else x.copy()
-        self.group.runtime.mailboxes.put(
-            (src_g, dst_g, (id(self.group), tag)), (payload, t_avail)
-        )
+        transfer on wait() (retransmission charges land immediately)."""
+        cost = self._deliver(x, dst, tag)
         return Request(kind="send", comm=self, seconds=cost.seconds)
 
     def irecv(self, src: int, tag: Any = 0) -> "Request":

@@ -16,14 +16,25 @@ from typing import Dict
 
 @dataclass
 class CommCounters:
-    """Thread-safe traffic accumulator for one process group."""
+    """Thread-safe traffic accumulator for one process group.
+
+    Retransmissions (fault-injected drops/corruptions healed by the retry
+    layer) are tracked both separately — ``retries_total`` /
+    ``retry_bytes_total`` / ``by_op_retries`` — and folded into
+    ``bytes_total``, because retransmitted bytes really do cross the wire.
+    They do not increment ``calls_total`` (the call eventually succeeds
+    exactly once).
+    """
 
     bytes_total: int = 0
     elements_total: int = 0
     calls_total: int = 0
+    retries_total: int = 0
+    retry_bytes_total: int = 0
     by_op_bytes: Dict[str, int] = field(default_factory=dict)
     by_op_elements: Dict[str, int] = field(default_factory=dict)
     by_op_calls: Dict[str, int] = field(default_factory=dict)
+    by_op_retries: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, op: str, wire_bytes: int, wire_elements: int) -> None:
@@ -35,14 +46,30 @@ class CommCounters:
             self.by_op_elements[op] = self.by_op_elements.get(op, 0) + wire_elements
             self.by_op_calls[op] = self.by_op_calls.get(op, 0) + 1
 
+    def record_retry(self, op: str, wire_bytes: int, wire_elements: int,
+                     attempts: int = 1) -> None:
+        """Account ``attempts`` failed transmission attempts of ``op`` whose
+        payload totalled ``wire_bytes`` / ``wire_elements`` on the wire."""
+        with self._lock:
+            self.retries_total += attempts
+            self.retry_bytes_total += wire_bytes
+            self.bytes_total += wire_bytes
+            self.elements_total += wire_elements
+            self.by_op_retries[op] = self.by_op_retries.get(op, 0) + attempts
+            self.by_op_bytes[op] = self.by_op_bytes.get(op, 0) + wire_bytes
+            self.by_op_elements[op] = self.by_op_elements.get(op, 0) + wire_elements
+
     def reset(self) -> None:
         with self._lock:
             self.bytes_total = 0
             self.elements_total = 0
             self.calls_total = 0
+            self.retries_total = 0
+            self.retry_bytes_total = 0
             self.by_op_bytes.clear()
             self.by_op_elements.clear()
             self.by_op_calls.clear()
+            self.by_op_retries.clear()
 
     def merged_with(self, other: "CommCounters") -> "CommCounters":
         out = CommCounters()
@@ -50,10 +77,14 @@ class CommCounters:
             out.bytes_total += src.bytes_total
             out.elements_total += src.elements_total
             out.calls_total += src.calls_total
+            out.retries_total += src.retries_total
+            out.retry_bytes_total += src.retry_bytes_total
             for k, v in src.by_op_bytes.items():
                 out.by_op_bytes[k] = out.by_op_bytes.get(k, 0) + v
             for k, v in src.by_op_elements.items():
                 out.by_op_elements[k] = out.by_op_elements.get(k, 0) + v
             for k, v in src.by_op_calls.items():
                 out.by_op_calls[k] = out.by_op_calls.get(k, 0) + v
+            for k, v in src.by_op_retries.items():
+                out.by_op_retries[k] = out.by_op_retries.get(k, 0) + v
         return out

@@ -21,9 +21,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.comm.cost import CollectiveCost, CostModel
 from repro.comm.counters import CommCounters
+from repro.runtime.errors import CollectiveTimeout
 
 _POLL_INTERVAL = 0.05
-_DEADLOCK_TIMEOUT = 120.0
 
 #: finalize(payloads by local rank) ->
 #:   (results by local rank, cost, op name, itemsize for element accounting)
@@ -81,6 +81,14 @@ class ProcessGroup:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessGroup(ranks={self.ranks})"
 
+    def reset_rounds(self) -> None:
+        """Discard in-flight rendezvous state and restart sequence numbers
+        (called between runs so an aborted program leaves no stale rounds)."""
+        with self._cond:
+            self._rounds.clear()
+            self._seq = {r: 0 for r in self.ranks}
+            self._cond.notify_all()
+
     # ------------------------------------------------------------------
 
     def rendezvous(self, my_global_rank: int, payload: Any, finalize: FinalizeFn) -> Any:
@@ -91,6 +99,10 @@ class ProcessGroup:
         """
         me = self.local_rank(my_global_rank)
         clock = self.runtime.clocks[my_global_rank]
+
+        injector = self.runtime.fault_injector
+        if injector is not None:
+            injector.check_time_crash(my_global_rank, clock.time)
 
         if self.size == 1:
             results, cost, op, itemsize = finalize({0: payload})
@@ -114,9 +126,40 @@ class ProcessGroup:
                 # Last arriver finalizes on behalf of everyone.
                 try:
                     results, cost, op, itemsize = finalize(rnd.payloads)
-                    t_end = max(rnd.entry_times.values()) + cost.seconds
+                    failures, permanent = 0, False
+                    retry_seconds = 0.0
+                    if injector is not None:
+                        failures, permanent = injector.collective_verdict(
+                            op, self.ranks, seq
+                        )
+                        if permanent:
+                            # Exhaust the full retransmission budget, then
+                            # give up: every member raises the timeout.
+                            failures = self.runtime.retry_policy.max_retries + 1
+                        if failures:
+                            policy = self.runtime.retry_policy
+                            for a in range(1, failures + 1):
+                                retry_seconds += cost.seconds + policy.backoff(a)
+                            self.counters.record_retry(
+                                op,
+                                failures * cost.wire_bytes,
+                                failures * cost.wire_elements(itemsize),
+                                attempts=failures,
+                            )
+                    if permanent:
+                        t_end = max(rnd.entry_times.values()) + retry_seconds
+                    else:
+                        t_end = (
+                            max(rnd.entry_times.values())
+                            + cost.seconds
+                            + retry_seconds
+                        )
                     for g in self.ranks:
                         self.runtime.clocks[g].sync_to(t_end, "comm")
+                    if permanent:
+                        raise CollectiveTimeout(
+                            op, self.ranks, attempts=failures
+                        )
                     if cost.wire_bytes:
                         self.counters.record(
                             op, cost.wire_bytes, cost.wire_elements(itemsize)
@@ -127,14 +170,14 @@ class ProcessGroup:
                 rnd.done = True
                 self._cond.notify_all()
             else:
-                deadline = _DEADLOCK_TIMEOUT
+                deadline = self.runtime.deadlock_timeout
                 while not rnd.done:
                     if self.runtime.aborting():
                         self.runtime.check_abort()
                     if deadline <= 0:
-                        raise RuntimeError(
-                            f"collective deadlock in group {self.ranks}: round "
-                            f"{seq} incomplete after {_DEADLOCK_TIMEOUT}s host time"
+                        raise CollectiveTimeout(
+                            "collective", self.ranks,
+                            timeout=self.runtime.deadlock_timeout,
                         )
                     self._cond.wait(_POLL_INTERVAL)
                     deadline -= _POLL_INTERVAL

@@ -14,6 +14,7 @@ substitute learnable synthetic tasks with the same tensor shapes:
 
 from __future__ import annotations
 
+import copy
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -102,6 +103,14 @@ class DataLoader:
         if not self.drop_last and len(self.data) % self.batch_size:
             n += 1
         return n
+
+    def state_dict(self) -> dict:
+        """Shuffle-RNG state; captured at epoch boundaries by the Trainer so
+        a resumed run replays the exact same batch order."""
+        return {"rng_state": copy.deepcopy(self.rng.bit_generator.state)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = copy.deepcopy(state["rng_state"])
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         idx = np.arange(len(self.data))

@@ -1,0 +1,45 @@
+"""Fault injection & resilience.
+
+Real clusters in the paper's regime lose ranks, drop messages and suffer
+stragglers; this package makes those behaviours first-class *simulated*
+properties.  A seedable :class:`FaultPlan` schedules deterministic fault
+events against simulated time/steps; a :class:`FaultInjector` executes the
+plan against one :class:`~repro.runtime.spmd.SpmdRuntime`::
+
+    plan = (FaultPlan(seed=42)
+            .drop(src=0, dst=1, count=2)         # transient: retry heals
+            .straggler(rank=2, factor=3.0)        # 3x slower rank
+            .crash(rank=1, at_step=5))            # permanent: resume needed
+    rt = SpmdRuntime(cluster, fault_plan=plan)
+
+Transient faults heal through the communicator's bounded
+retry-with-backoff (retransmitted bytes are counted in ``CommCounters``,
+retry latency is charged to the simulated clocks); permanent faults surface
+as typed errors (``RankFailure``, ``CollectiveTimeout``) that the trainer's
+checkpoint/resume machinery recovers from bitwise-exactly.
+"""
+
+from repro.faults.injector import CORRUPT, DELIVER, DROP, FaultInjector
+from repro.faults.plan import (
+    CollectiveGlitch,
+    FaultEvent,
+    FaultPlan,
+    LinkDegrade,
+    MessageFault,
+    RankCrash,
+    Straggler,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultEvent",
+    "RankCrash",
+    "MessageFault",
+    "CollectiveGlitch",
+    "Straggler",
+    "LinkDegrade",
+    "DELIVER",
+    "DROP",
+    "CORRUPT",
+]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
@@ -69,6 +70,51 @@ class Optimizer:
             self._charge(p.size)
             if p.materialized and p.grad.materialized:
                 self._update(p, p.grad.numpy(), state)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of all per-parameter state, ordered like ``self.params``
+        (checkpointing; Tensor-valued state is copied out as numpy)."""
+        entries: List[Optional[Dict[str, Any]]] = []
+        for p in self.params:
+            st = self.state.get(id(p))
+            if st is None:
+                entries.append(None)
+                continue
+            entry: Dict[str, Any] = {}
+            for k, v in st.items():
+                if isinstance(v, Tensor):
+                    entry[k] = v.numpy().copy() if v.materialized else None
+                elif isinstance(v, np.ndarray):
+                    entry[k] = v.copy()
+                else:
+                    entry[k] = copy.deepcopy(v)
+            entries.append(entry)
+        return {"step_count": self.step_count, "param_state": entries}
+
+    def load_state_dict(self, sd: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this optimizer's
+        parameters (matched by position)."""
+        entries = sd["param_state"]
+        if len(entries) != len(self.params):
+            raise ValueError(
+                f"optimizer state for {len(entries)} params cannot load into "
+                f"{len(self.params)} params"
+            )
+        self.step_count = sd["step_count"]
+        for p, entry in zip(self.params, entries):
+            if entry is None:
+                self.state.pop(id(p), None)
+                continue
+            st = self.state_for(p)
+            for k, v in entry.items():
+                cur = st.get(k)
+                if isinstance(cur, Tensor):
+                    if cur.materialized and v is not None:
+                        cur.payload[...] = np.asarray(v, dtype=cur.dtype)
+                elif isinstance(v, np.ndarray):
+                    st[k] = v.copy()
+                else:
+                    st[k] = copy.deepcopy(v)
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Global L2 clipping over all local grads; returns the norm."""

@@ -7,11 +7,18 @@ on one rank aborts collectives on all others instead of deadlocking.
 """
 
 from repro.runtime.clock import SimClock
-from repro.runtime.errors import RemoteRankError, SpmdAborted
+from repro.runtime.errors import (
+    CollectiveTimeout,
+    RankFailure,
+    RemoteRankError,
+    SpmdAborted,
+)
 from repro.runtime.spmd import RankContext, SpmdRuntime, current_rank_context, spmd_launch
 
 __all__ = [
     "SimClock",
+    "CollectiveTimeout",
+    "RankFailure",
     "RemoteRankError",
     "SpmdAborted",
     "RankContext",

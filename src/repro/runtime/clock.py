@@ -12,8 +12,9 @@ three rules — nothing else in the system hard-codes timing behaviour.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
 class SimClock:
@@ -21,24 +22,77 @@ class SimClock:
 
     Writes can come from the owning rank thread (compute) or from whichever
     thread finalizes a rendezvous (collectives), hence the lock.
+
+    A clock may carry *slowdown windows* (straggler injection): work that
+    would take ``dt`` seconds fault-free takes ``dt * factor`` while the
+    clock reads a time inside ``[start, end)``.  An advance that straddles
+    a window edge is integrated piecewise, so only the portion of the work
+    inside the window is charged at the degraded rate.
     """
 
-    __slots__ = ("_time", "_lock", "_busy")
+    __slots__ = ("_time", "_lock", "_busy", "_slowdowns")
 
     def __init__(self) -> None:
         self._time = 0.0
         self._lock = threading.Lock()
         self._busy: Dict[str, float] = {}
+        self._slowdowns: List[Tuple[float, float, float]] = []
 
     @property
     def time(self) -> float:
         return self._time
 
+    def set_slowdown(self, factor: float, start: float = 0.0,
+                     end: float = math.inf) -> None:
+        """Scale advances by ``factor`` while the clock is within
+        ``[start, end)`` (straggler injection; ``factor`` > 1 is slower)."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        with self._lock:
+            self._slowdowns.append((start, end, factor))
+
+    def clear_slowdowns(self) -> None:
+        with self._lock:
+            self._slowdowns.clear()
+
+    def _factor_at(self, t: float) -> float:
+        f = 1.0
+        for start, end, factor in self._slowdowns:
+            if start <= t < end:
+                f *= factor
+        return f
+
+    def _next_edge_after(self, t: float) -> float:
+        edge = math.inf
+        for start, end, _ in self._slowdowns:
+            for b in (start, end):
+                if t < b < edge:
+                    edge = b
+        return edge
+
+    def _scaled(self, dt: float) -> float:
+        """Simulated seconds consumed by ``dt`` seconds of fault-free work
+        starting at the current time, integrating across window edges."""
+        elapsed, t, work = 0.0, self._time, dt
+        while work > 0.0:
+            f = self._factor_at(t)
+            edge = self._next_edge_after(t)
+            if edge == math.inf or t + work * f <= edge:
+                elapsed += work * f
+                break
+            elapsed += edge - t
+            work -= (edge - t) / f
+            t = edge
+        return elapsed
+
     def advance(self, dt: float, category: str = "compute") -> None:
-        """Move simulated time forward by ``dt`` seconds."""
+        """Move simulated time forward by ``dt`` seconds of work (scaled by
+        any active slowdown window)."""
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative time {dt}")
         with self._lock:
+            if self._slowdowns:
+                dt = self._scaled(dt)
             self._time += dt
             self._busy[category] = self._busy.get(category, 0.0) + dt
 
@@ -58,6 +112,7 @@ class SimClock:
         with self._lock:
             self._time = 0.0
             self._busy.clear()
+            self._slowdowns.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimClock(t={self._time:.6f}s)"

@@ -24,3 +24,40 @@ class RemoteRankError(RuntimeError):
         self.rank = rank
         self.cause = cause
         super().__init__(f"rank {rank} raised {type(cause).__name__}: {cause}")
+
+
+class RankFailure(RuntimeError):
+    """A permanent failure of one rank (injected crash or detected dead
+    peer).  Carries where in the program the rank died so a supervisor can
+    decide which checkpoint to resume from."""
+
+    def __init__(self, rank: int, step: "int | None" = None,
+                 sim_time: "float | None" = None) -> None:
+        self.rank = rank
+        self.step = step
+        self.sim_time = sim_time
+        if step is not None:
+            where = f" at step {step}"
+        elif sim_time is not None:
+            where = f" at t={sim_time:.6f}s"
+        else:
+            where = ""
+        super().__init__(f"rank {rank} failed{where}")
+
+
+class CollectiveTimeout(RuntimeError):
+    """A communication operation gave up: either its retransmission budget
+    was exhausted (``attempts`` > 0, simulated network fault) or no peer
+    showed up within the host-time deadlock timeout (``timeout`` set)."""
+
+    def __init__(self, op: str, ranks, attempts: int = 0,
+                 timeout: "float | None" = None) -> None:
+        self.op = op
+        self.ranks = tuple(ranks)
+        self.attempts = attempts
+        self.timeout = timeout
+        if attempts:
+            detail = f"after {attempts} failed attempts"
+        else:
+            detail = f"after {timeout}s of host time"
+        super().__init__(f"{op} over ranks {list(self.ranks)} timed out {detail}")

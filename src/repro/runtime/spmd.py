@@ -21,14 +21,16 @@ import numpy as np
 
 from repro.cluster.machine import ClusterSpec
 from repro.runtime.clock import SimClock
-from repro.runtime.errors import RemoteRankError, SpmdAborted
+from repro.runtime.errors import CollectiveTimeout, RemoteRankError, SpmdAborted
+from repro.utils.backoff import RetryPolicy
 
 _thread_local = threading.local()
 
 #: Seconds between abort-flag polls while blocked in a rendezvous.
 _POLL_INTERVAL = 0.05
-#: Host-time limit for any single blocking communication call.  Generous —
-#: it exists to turn accidental deadlocks into diagnosable errors.
+#: Default host-time limit for any single blocking communication call.
+#: Generous — it exists to turn accidental deadlocks into diagnosable
+#: errors.  Override per runtime via ``SpmdRuntime(deadlock_timeout=...)``.
 _DEADLOCK_TIMEOUT = 120.0
 
 
@@ -81,9 +83,10 @@ def in_spmd() -> bool:
 class _Mailboxes:
     """Point-to-point message store: (src, dst, tag) -> FIFO of payloads."""
 
-    def __init__(self) -> None:
+    def __init__(self, timeout: float = _DEADLOCK_TIMEOUT) -> None:
         self._cond = threading.Condition()
         self._boxes: Dict[Tuple[int, int, Any], List[Any]] = {}
+        self._timeout = timeout
 
     def put(self, key: Tuple[int, int, Any], item: Any) -> None:
         with self._cond:
@@ -91,7 +94,7 @@ class _Mailboxes:
             self._cond.notify_all()
 
     def get(self, key: Tuple[int, int, Any], should_abort: Callable[[], bool]) -> Any:
-        deadline = _DEADLOCK_TIMEOUT
+        deadline = self._timeout
         with self._cond:
             while True:
                 box = self._boxes.get(key)
@@ -103,12 +106,17 @@ class _Mailboxes:
                 if should_abort():
                     raise _make_abort_error()
                 if deadline <= 0:
-                    raise RuntimeError(
-                        f"recv deadlock: no message for (src,dst,tag)={key} "
-                        f"after {_DEADLOCK_TIMEOUT}s of host time"
+                    raise CollectiveTimeout(
+                        "recv", key[:2], timeout=self._timeout
                     )
                 self._cond.wait(_POLL_INTERVAL)
                 deadline -= _POLL_INTERVAL
+
+    def clear(self) -> None:
+        """Drop all undelivered messages (stale state after an abort)."""
+        with self._cond:
+            self._boxes.clear()
+            self._cond.notify_all()
 
 
 def _make_abort_error() -> SpmdAborted:
@@ -121,17 +129,36 @@ class SpmdRuntime:
     """Owns the cluster, clocks, process-group registry and mailboxes for one
     SPMD program (or a sequence of them over the same cluster)."""
 
-    def __init__(self, cluster: ClusterSpec, world_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        world_size: Optional[int] = None,
+        deadlock_timeout: float = _DEADLOCK_TIMEOUT,
+        fault_plan: Optional[Any] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         if world_size is None:
             world_size = cluster.world_size
         if world_size > cluster.world_size:
             raise ValueError(
                 f"world_size {world_size} exceeds cluster size {cluster.world_size}"
             )
+        if deadlock_timeout <= 0:
+            raise ValueError(
+                f"deadlock_timeout must be positive, got {deadlock_timeout}"
+            )
         self.cluster = cluster
         self.world_size = world_size
         self.clocks = [SimClock() for _ in range(world_size)]
-        self.mailboxes = _Mailboxes()
+        self.deadlock_timeout = float(deadlock_timeout)
+        self.mailboxes = _Mailboxes(self.deadlock_timeout)
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector: Optional[Any] = FaultInjector(fault_plan)
+        else:
+            self.fault_injector = None
         self._abort = threading.Event()
         self.failure: Optional[Tuple[int, BaseException]] = None
         self._group_lock = threading.Lock()
@@ -194,6 +221,9 @@ class SpmdRuntime:
         if reset_clocks:
             for c in self.clocks:
                 c.reset()
+        self._reset_comm_state()
+        if self.fault_injector is not None:
+            self.fault_injector.install(self)
         self._abort.clear()
         self.failure = None
 
@@ -227,6 +257,14 @@ class SpmdRuntime:
             raise RemoteRankError(rank, cause) from cause
         return results
 
+    def _reset_comm_state(self) -> None:
+        """Drop stale rendezvous rounds and undelivered messages so the
+        runtime is reusable after an aborted program (recovery path)."""
+        self.mailboxes.clear()
+        with self._group_lock:
+            for grp in self._groups.values():
+                grp.reset_rounds()
+
     # -- results ---------------------------------------------------------------
 
     def max_time(self) -> float:
@@ -241,9 +279,10 @@ def spmd_launch(
     world_size: Optional[int] = None,
     materialize: bool = True,
     seed: int = 0,
+    fault_plan: Optional[Any] = None,
     **kwargs: Any,
 ) -> List[Any]:
     """One-shot convenience: build a runtime, run ``fn`` on every rank,
     return per-rank results."""
-    rt = SpmdRuntime(cluster, world_size)
+    rt = SpmdRuntime(cluster, world_size, fault_plan=fault_plan)
     return rt.run(fn, *args, materialize=materialize, seed=seed, **kwargs)

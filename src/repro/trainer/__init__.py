@@ -1,6 +1,7 @@
 """Trainer with lifecycle hooks (§4 extensibility)."""
 
 from repro.trainer.trainer import Trainer
+from repro.trainer.checkpoint import Checkpoint, CheckpointManager
 from repro.trainer.hooks import (
     Hook,
     LRSchedulerHook,
@@ -12,6 +13,8 @@ from repro.trainer.metric import Accuracy, AverageMeter
 
 __all__ = [
     "Trainer",
+    "Checkpoint",
+    "CheckpointManager",
     "Hook",
     "LossLoggingHook",
     "LRSchedulerHook",

@@ -1,0 +1,156 @@
+"""Checkpoint / resume for SPMD training.
+
+A :class:`Checkpoint` is one rank's complete training state at a step
+boundary: local model shards, optimizer state, engine bookkeeping (loss
+scale, accumulation window) and the dataloader's shuffle-RNG state.  A
+:class:`CheckpointManager` is the simulated persistent store — an
+in-memory, thread-safe map ``rank -> step -> Checkpoint`` shared by every
+rank thread and surviving the SPMD program that wrote it (the analogue of
+a parallel filesystem that outlives a crashed job).
+
+Recovery protocol: after a :class:`~repro.runtime.errors.RankFailure`
+aborts a run, the supervisor picks ``manager.latest_common_step(world)`` —
+the newest step checkpointed by *every* rank, i.e. a consistent global
+snapshot — rebuilds the per-rank program, calls ``ckpt.restore(trainer,
+loader)`` and re-enters ``trainer.fit``.  Because the dataloader's RNG is
+restored to its epoch-start state and already-trained batches are skipped
+by replay, a resumed run is **bitwise identical** to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class Checkpoint:
+    """One rank's training state at the end of global step ``step``."""
+
+    step: int
+    epoch: int  #: 1-based epoch the step belongs to
+    steps_into_epoch: int  #: batches consumed in that epoch (1..len(loader))
+    model_state: Dict[str, np.ndarray]
+    optim_state: Optional[Dict[str, Any]]
+    engine_state: Dict[str, Any]
+    loader_state: Optional[Dict[str, Any]]  #: loader RNG at epoch start
+    loader_state_end: Optional[Dict[str, Any]]  #: loader RNG at save time
+    history: Dict[str, List[float]] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, trainer: Any) -> "Checkpoint":
+        """Snapshot ``trainer`` (model, optimizer, engine, loader, history)."""
+        eng = trainer.engine
+        engine_state: Dict[str, Any] = {
+            "global_step": eng.global_step,
+            "steps_skipped": eng.steps_skipped,
+            "accum_count": eng._accum_count,
+        }
+        if eng.scaler is not None:
+            engine_state["scaler"] = eng.scaler.state_dict()
+        loader = trainer._active_loader
+        loader_state_end = (
+            loader.state_dict()
+            if loader is not None and hasattr(loader, "state_dict")
+            else None
+        )
+        optim = eng.optimizer
+        return cls(
+            step=trainer.step,
+            epoch=trainer.epoch,
+            steps_into_epoch=trainer._steps_into_epoch,
+            model_state=eng.model.state_dict(),
+            optim_state=optim.state_dict() if hasattr(optim, "state_dict") else None,
+            engine_state=engine_state,
+            loader_state=copy.deepcopy(trainer._epoch_loader_state),
+            loader_state_end=loader_state_end,
+            history={k: list(v) for k, v in trainer.history.items()},
+        )
+
+    def restore(self, trainer: Any, dataloader: Optional[Any] = None) -> None:
+        """Load this snapshot into ``trainer`` and arm its resume path.
+
+        ``dataloader`` must be the loader that will be passed to the
+        subsequent ``trainer.fit`` call; its RNG is rewound so the resumed
+        run sees the exact batch sequence of the original.  After restore,
+        call ``trainer.fit(dataloader, epochs=total_epochs)`` with the same
+        *total* epoch count as the original run.
+        """
+        eng = trainer.engine
+        eng.model.load_state_dict(self.model_state)
+        if self.optim_state is not None and hasattr(eng.optimizer, "load_state_dict"):
+            eng.optimizer.load_state_dict(self.optim_state)
+        eng.global_step = self.engine_state["global_step"]
+        eng.steps_skipped = self.engine_state["steps_skipped"]
+        eng._accum_count = self.engine_state["accum_count"]
+        if eng.scaler is not None and "scaler" in self.engine_state:
+            eng.scaler.load_state_dict(self.engine_state["scaler"])
+        trainer.step = self.step
+        trainer.history = {k: list(v) for k, v in self.history.items()}
+        trainer._steps_into_epoch = 0
+        mid_epoch = True
+        if dataloader is not None and hasattr(dataloader, "__len__"):
+            mid_epoch = self.steps_into_epoch < len(dataloader)
+        if mid_epoch:
+            # Re-enter the interrupted epoch: rewind the loader to its
+            # epoch-start RNG so the shuffle replays, then skip the batches
+            # this checkpoint already covers.
+            trainer.epoch = self.epoch - 1
+            trainer._resume_skip = self.steps_into_epoch
+            if (dataloader is not None and self.loader_state is not None
+                    and hasattr(dataloader, "load_state_dict")):
+                dataloader.load_state_dict(self.loader_state)
+        else:
+            # Checkpoint fell exactly on an epoch boundary: continue with
+            # the next epoch, loader RNG as it stood after the full epoch.
+            trainer.epoch = self.epoch
+            trainer._resume_skip = 0
+            if (dataloader is not None and self.loader_state_end is not None
+                    and hasattr(dataloader, "load_state_dict")):
+                dataloader.load_state_dict(self.loader_state_end)
+        trainer._resumed = True
+
+
+class CheckpointManager:
+    """In-memory, thread-safe checkpoint store shared across ranks and runs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._store: Dict[int, Dict[int, Checkpoint]] = {}
+
+    def save(self, rank: int, ckpt: Checkpoint) -> None:
+        with self._lock:
+            self._store.setdefault(rank, {})[ckpt.step] = ckpt
+
+    def load(self, rank: int, step: int) -> Checkpoint:
+        with self._lock:
+            try:
+                return self._store[rank][step]
+            except KeyError:
+                raise KeyError(
+                    f"no checkpoint for rank {rank} at step {step}"
+                ) from None
+
+    def steps(self, rank: int) -> List[int]:
+        with self._lock:
+            return sorted(self._store.get(rank, {}))
+
+    def latest_common_step(self, world_size: int) -> Optional[int]:
+        """Newest step checkpointed by *every* rank in ``range(world_size)``
+        — the most recent consistent global snapshot — or ``None``."""
+        with self._lock:
+            common: Optional[set] = None
+            for r in range(world_size):
+                steps = set(self._store.get(r, {}))
+                common = steps if common is None else (common & steps)
+                if not common:
+                    return None
+        return max(common) if common else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()

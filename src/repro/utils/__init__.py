@@ -1,7 +1,17 @@
 """Shared utilities: logging, timers, seeding, formatting helpers."""
 
+from repro.utils.backoff import RetryPolicy
 from repro.utils.logging import get_logger
 from repro.utils.timer import Timer, MultiTimer
 from repro.utils.units import GB, MB, KB, format_bytes
 
-__all__ = ["get_logger", "Timer", "MultiTimer", "GB", "MB", "KB", "format_bytes"]
+__all__ = [
+    "RetryPolicy",
+    "get_logger",
+    "Timer",
+    "MultiTimer",
+    "GB",
+    "MB",
+    "KB",
+    "format_bytes",
+]

@@ -9,6 +9,21 @@ from repro.cluster import uniform_cluster
 from repro.runtime import SpmdRuntime
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fault-seed",
+        action="store",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault-injection (chaos) tests",
+    )
+
+
+@pytest.fixture
+def fault_seed(request):
+    return request.config.getoption("--fault-seed")
+
+
 @pytest.fixture
 def cluster4():
     return uniform_cluster(4)

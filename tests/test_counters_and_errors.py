@@ -1,0 +1,114 @@
+"""Direct unit tests for CommCounters and the typed runtime errors."""
+
+import pytest
+
+from repro.comm import CommCounters
+from repro.runtime.errors import (
+    CollectiveTimeout,
+    RankFailure,
+    RemoteRankError,
+    SpmdAborted,
+)
+from repro.utils import RetryPolicy
+
+
+class TestCommCounters:
+    def test_record_accumulates(self):
+        c = CommCounters()
+        c.record("all_reduce", 100, 25)
+        c.record("all_reduce", 100, 25)
+        c.record("broadcast", 40, 10)
+        assert c.bytes_total == 240
+        assert c.elements_total == 60
+        assert c.calls_total == 3
+        assert c.by_op_bytes == {"all_reduce": 200, "broadcast": 40}
+        assert c.by_op_elements == {"all_reduce": 50, "broadcast": 10}
+        assert c.by_op_calls == {"all_reduce": 2, "broadcast": 1}
+
+    def test_record_retry_counts_wire_but_not_calls(self):
+        c = CommCounters()
+        c.record("all_reduce", 100, 25)
+        c.record_retry("all_reduce", 200, 50, attempts=2)
+        # retransmitted bytes really cross the wire...
+        assert c.bytes_total == 300
+        assert c.elements_total == 75
+        assert c.by_op_bytes == {"all_reduce": 300}
+        # ...but the call still succeeds exactly once
+        assert c.calls_total == 1
+        assert c.retries_total == 2
+        assert c.retry_bytes_total == 200
+        assert c.by_op_retries == {"all_reduce": 2}
+
+    def test_reset_clears_everything(self):
+        c = CommCounters()
+        c.record("p2p", 10, 2)
+        c.record_retry("p2p", 10, 2)
+        c.reset()
+        assert c.bytes_total == 0
+        assert c.calls_total == 0
+        assert c.retries_total == 0
+        assert c.retry_bytes_total == 0
+        assert c.by_op_bytes == {}
+        assert c.by_op_retries == {}
+
+    def test_merged_with_sums_all_fields(self):
+        a, b = CommCounters(), CommCounters()
+        a.record("all_reduce", 100, 25)
+        a.record_retry("all_reduce", 50, 12)
+        b.record("p2p", 8, 2)
+        b.record_retry("p2p", 8, 2, attempts=3)
+        m = a.merged_with(b)
+        assert m.bytes_total == 166
+        assert m.calls_total == 2
+        assert m.retries_total == 4
+        assert m.retry_bytes_total == 58
+        assert m.by_op_retries == {"all_reduce": 1, "p2p": 3}
+        # inputs untouched
+        assert a.retries_total == 1 and b.retries_total == 3
+
+
+class TestTypedErrors:
+    def test_rank_failure_attributes(self):
+        e = RankFailure(3, step=7)
+        assert e.rank == 3 and e.step == 7 and e.sim_time is None
+        assert "rank 3" in str(e) and "step 7" in str(e)
+
+        e = RankFailure(1, sim_time=0.25)
+        assert e.rank == 1 and e.step is None and e.sim_time == 0.25
+        assert "0.25" in str(e)
+
+    def test_collective_timeout_attributes(self):
+        e = CollectiveTimeout("all_reduce", [0, 1, 2], attempts=5)
+        assert e.op == "all_reduce"
+        assert e.ranks == (0, 1, 2)  # normalized to a tuple
+        assert e.attempts == 5 and e.timeout is None
+        assert "all_reduce" in str(e) and "5 failed attempts" in str(e)
+
+        e = CollectiveTimeout("recv", (0, 1), timeout=2.5)
+        assert e.timeout == 2.5 and e.attempts == 0
+        assert "2.5" in str(e)
+
+    def test_error_hierarchy(self):
+        # chaos code catches RuntimeError as the common supertype
+        for err in (RankFailure(0, step=1),
+                    CollectiveTimeout("p2p", (0, 1)),
+                    SpmdAborted(1, ValueError("x")),
+                    RemoteRankError(2, ValueError("x"))):
+            assert isinstance(err, RuntimeError)
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        p = RetryPolicy(max_retries=3, backoff_base=1e-4,
+                        backoff_factor=2.0, backoff_cap=3e-4)
+        assert p.backoff(0) == 0.0
+        assert p.backoff(1) == pytest.approx(1e-4)
+        assert p.backoff(2) == pytest.approx(2e-4)
+        assert p.backoff(3) == pytest.approx(3e-4)  # capped
+        assert p.backoff(9) == pytest.approx(3e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)

@@ -1,0 +1,350 @@
+"""Chaos suite: deterministic fault injection against the SPMD runtime.
+
+Every test here is seeded through ``FaultPlan(seed=...)`` — rerun any
+failure with ``--fault-seed N`` to replay the exact same fault schedule.
+Transient faults must heal to bitwise-identical results; permanent faults
+must surface as typed errors on every rank; no test may leak rank threads.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.comm import Communicator
+from repro.faults import (
+    CollectiveGlitch,
+    FaultInjector,
+    FaultPlan,
+    MessageFault,
+    RankCrash,
+)
+from repro.runtime import SpmdRuntime
+from repro.runtime.errors import (
+    CollectiveTimeout,
+    RankFailure,
+    RemoteRankError,
+    SpmdAborted,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_rank_threads():
+    """Every test must leave zero live spmd-rank-* threads behind."""
+    yield
+    for t in threading.enumerate():
+        if t.name.startswith("spmd-rank-"):
+            t.join(timeout=10.0)
+    leaked = [t.name for t in threading.enumerate()
+              if t.name.startswith("spmd-rank-") and t.is_alive()]
+    assert not leaked, f"leaked rank threads: {leaked}"
+
+
+def _collective_prog(kind):
+    def prog(ctx):
+        comm = Communicator.world(ctx)
+        n = ctx.world_size
+        x = np.arange(4 * n, dtype=np.float32) + 10.0 * ctx.rank
+        if kind == "all_reduce":
+            out = comm.all_reduce(x)
+        elif kind == "all_gather":
+            out = comm.all_gather(x)
+        elif kind == "reduce_scatter":
+            out = comm.reduce_scatter(x)
+        elif kind == "broadcast":
+            out = comm.broadcast(x if ctx.rank == 0 else None, root=0)
+        else:  # pragma: no cover - guard against typos in parametrize
+            raise ValueError(kind)
+        c = comm.group.counters
+        return (np.asarray(out).copy(), ctx.clock.time,
+                c.retries_total, c.retry_bytes_total, c.calls_total)
+    return prog
+
+
+class TestTransientCollectiveGlitch:
+    """A glitched collective retries, pays for the retransmissions in
+    simulated time and wire bytes, and still delivers bitwise-identical
+    payloads."""
+
+    @pytest.mark.parametrize("world", [2, 4])
+    @pytest.mark.parametrize(
+        "kind", ["all_reduce", "all_gather", "reduce_scatter", "broadcast"]
+    )
+    def test_bitwise_recovery(self, world, kind, fault_seed):
+        prog = _collective_prog(kind)
+        clean = SpmdRuntime(uniform_cluster(world)).run(prog)
+
+        plan = FaultPlan(seed=fault_seed).glitch(op=kind, attempts=2)
+        faulty = SpmdRuntime(uniform_cluster(world), fault_plan=plan).run(prog)
+
+        for (v0, t0, r0, rb0, c0), (v1, t1, r1, rb1, c1) in zip(clean, faulty):
+            assert np.array_equal(v0, v1)  # payloads untouched by the fault
+            assert r0 == 0 and r1 == 2  # exactly the planned retries
+            assert rb1 > 0  # retransmitted bytes were counted
+            assert c1 == c0  # the call still succeeds exactly once
+            assert t1 > t0  # retries cost simulated time
+
+    def test_glitch_any_op_matches_first_collective(self, fault_seed):
+        plan = FaultPlan(seed=fault_seed).glitch(attempts=1)  # op=None: any
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            comm.barrier()
+            return comm.group.counters.retries_total
+
+        retries = SpmdRuntime(uniform_cluster(2), fault_plan=plan).run(prog)
+        assert all(r == 1 for r in retries)
+
+
+class TestP2PFaults:
+    def _ring(self, ctx):
+        comm = Communicator.world(ctx)
+        x = np.full(8, float(ctx.rank), dtype=np.float32)
+        out = comm.sendrecv(
+            x, dst=(ctx.rank + 1) % ctx.world_size,
+            src=(ctx.rank - 1) % ctx.world_size,
+        )
+        return np.asarray(out).copy(), comm.group.counters.retries_total
+
+    @pytest.mark.parametrize("corrupt", [False, True],
+                             ids=["drop", "corrupt"])
+    def test_transient_message_fault_heals(self, corrupt, fault_seed):
+        plan = FaultPlan(seed=fault_seed)
+        if corrupt:
+            plan.corrupt(src=0, dst=1, count=2)
+        else:
+            plan.drop(src=0, dst=1, count=2)
+        rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan)
+        res = rt.run(self._ring)
+        # payload delivered intact despite the faulted link
+        for rank, (out, _) in enumerate(res):
+            assert np.all(out == float((rank - 1) % 4))
+        assert all(r[1] == 2 for r in res)
+
+    def test_probabilistic_drop_is_seed_deterministic(self):
+        plan = lambda s: FaultPlan(seed=s).drop(src=0, dst=1, count=None, p=0.5)
+
+        def retries(s):
+            rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan(s))
+            try:
+                res = rt.run(self._ring)
+                return tuple(r[1] for r in res)
+            except RemoteRankError:
+                return "dead"
+
+        assert retries(3) == retries(3)  # same seed, same outcome
+
+    def test_link_down_raises_typed_timeout(self, fault_seed):
+        plan = FaultPlan(seed=fault_seed).link_down(src=0, dst=1)
+        rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan,
+                         deadlock_timeout=2.0)
+        with pytest.raises(RemoteRankError) as ei:
+            rt.run(self._ring)
+        cause = ei.value.__cause__
+        assert isinstance(cause, CollectiveTimeout)
+        assert cause.op == "p2p"
+        assert cause.ranks == (0, 1)
+        assert cause.attempts == rt.retry_policy.max_retries + 1
+
+
+class TestBlackoutAndCrash:
+    def test_blackout_times_out_on_every_rank(self, fault_seed):
+        plan = FaultPlan(seed=fault_seed).blackout(op="all_reduce")
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            try:
+                comm.all_reduce(np.ones(4, dtype=np.float32))
+            except CollectiveTimeout as e:
+                return ("timeout", e.op, sorted(e.ranks), e.attempts)
+            return "ok"
+
+        rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan)
+        res = rt.run(prog)
+        expect = ("timeout", "all_reduce", [0, 1, 2, 3],
+                  rt.retry_policy.max_retries + 1)
+        assert res == [expect] * 4
+
+    def test_crash_at_time_aborts_with_rank_failure(self, fault_seed):
+        plan = FaultPlan(seed=fault_seed).crash(rank=2, at_time=1e-4)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            for _ in range(50):
+                comm.all_reduce(np.ones(64, dtype=np.float32))
+            return "done"
+
+        rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan,
+                         deadlock_timeout=2.0)
+        with pytest.raises(RemoteRankError) as ei:
+            rt.run(prog)
+        cause = ei.value.__cause__
+        assert isinstance(cause, RankFailure)
+        assert cause.rank == 2
+        assert cause.sim_time is not None and cause.sim_time >= 1e-4
+
+    def test_survivors_see_spmd_aborted(self, fault_seed):
+        """Non-crashed ranks observe the abort, not a hang."""
+        observed = {}
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            try:
+                for _ in range(50):
+                    comm.all_reduce(np.ones(64, dtype=np.float32))
+            except SpmdAborted:
+                observed[ctx.rank] = "aborted"
+                raise
+            observed[ctx.rank] = "done"
+            return None
+
+        plan = FaultPlan(seed=fault_seed).crash(rank=0, at_time=1e-4)
+        rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan,
+                         deadlock_timeout=2.0)
+        with pytest.raises(RemoteRankError):
+            rt.run(prog)
+        assert any(v == "aborted" for v in observed.values())
+
+
+class TestTimingFaults:
+    def _timed(self, ctx):
+        # local compute, then a sync point: stragglers show up in the
+        # synchronized collective exit time
+        ctx.clock.advance(1e-3, "compute")
+        comm = Communicator.world(ctx)
+        comm.all_reduce(np.ones(1024, dtype=np.float32))
+        return ctx.clock.time
+
+    def test_straggler_slows_whole_group(self, fault_seed):
+        base = max(SpmdRuntime(uniform_cluster(4)).run(self._timed))
+        plan = FaultPlan(seed=fault_seed).straggler(rank=1, factor=4.0)
+        slow = max(SpmdRuntime(uniform_cluster(4), fault_plan=plan).run(self._timed))
+        # rank 1's 1ms of compute takes 4ms; the collective drags everyone
+        assert slow == pytest.approx(base + 3e-3, rel=1e-3)
+
+    def test_straggler_window_expires(self, fault_seed):
+        plan = (FaultPlan(seed=fault_seed)
+                .straggler(rank=0, factor=10.0, start=0.0, end=5e-4))
+
+        def prog(ctx):
+            ctx.clock.advance(1e-3, "compute")
+            return ctx.clock.time
+
+        res = SpmdRuntime(uniform_cluster(2), fault_plan=plan).run(prog)
+        # the 10x window covers sim time [0, 0.5ms): 0.05ms of work fits in
+        # it, the remaining 0.95ms runs at full speed; rank 1 is untouched
+        assert res[0] == pytest.approx(5e-4 + 9.5e-4, rel=1e-3)
+        assert res[1] == pytest.approx(1e-3, rel=1e-6)
+
+    def test_degraded_link_slows_collective(self, fault_seed):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            comm.all_reduce(np.ones(1 << 16, dtype=np.float32))
+            return ctx.clock.time
+
+        base = max(SpmdRuntime(uniform_cluster(4)).run(prog))
+        plan = FaultPlan(seed=fault_seed).degrade_link(src=0, dst=1, factor=0.1)
+        slow = max(SpmdRuntime(uniform_cluster(4), fault_plan=plan).run(prog))
+        assert slow > base
+
+    def test_degrade_is_idempotent_across_runs(self, fault_seed):
+        """Re-running on the same runtime re-applies the same degradation
+        from the pristine bandwidth — no compounding."""
+        plan = FaultPlan(seed=fault_seed).degrade_link(src=0, dst=1, factor=0.5)
+        rt = SpmdRuntime(uniform_cluster(2), fault_plan=plan)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            comm.all_reduce(np.ones(1 << 16, dtype=np.float32))
+            return ctx.clock.time
+
+        t1 = max(rt.run(prog))
+        t2 = max(rt.run(prog))
+        assert t1 == t2
+
+
+class TestDeterministicReplay:
+    def test_same_seed_same_everything(self):
+        """Two fresh runtimes with the same plan: identical retry counters,
+        retransmitted bytes and per-rank clock readings."""
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            for _ in range(3):
+                comm.all_reduce(np.ones(256, dtype=np.float32))
+            x = np.ones(8, dtype=np.float32)
+            comm.sendrecv(x, dst=(ctx.rank + 1) % ctx.world_size,
+                          src=(ctx.rank - 1) % ctx.world_size)
+            return ctx.clock.time
+
+        def plan():
+            return (FaultPlan(seed=1234)
+                    .glitch(op="all_reduce", attempts=2, max_glitches=2)
+                    .drop(src=0, dst=1, count=1, p=0.8)
+                    .straggler(rank=1, factor=2.0))
+
+        def observe():
+            # counters are shared per group; read them after the run so
+            # every rank thread has finished recording
+            rt = SpmdRuntime(uniform_cluster(4), fault_plan=plan())
+            times = rt.run(prog)
+            c = rt.world_group.counters
+            return (times, c.retries_total, c.retry_bytes_total,
+                    c.bytes_total, dict(c.by_op_retries))
+
+        assert observe() == observe()
+
+    def test_different_seed_differs(self):
+        """p<1 decisions flip with the seed (checked on the coin directly
+        so the test can't be starved by an unlucky pair of seeds)."""
+        coins = {s: FaultPlan(seed=s).coin(0, 1, 2) for s in range(8)}
+        assert len(set(coins.values())) > 1
+
+
+class TestPlanValidation:
+    def test_crash_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            RankCrash(0)
+        with pytest.raises(ValueError):
+            RankCrash(0, at_step=1, at_time=1.0)
+
+    def test_out_of_range_rank_rejected_at_install(self):
+        plan = FaultPlan().crash(rank=9, at_step=1)
+        rt = SpmdRuntime(uniform_cluster(2), fault_plan=plan)
+        with pytest.raises(ValueError, match="rank"):
+            rt.run(lambda ctx: None)
+
+    def test_injector_without_events_is_inert(self):
+        inj = FaultInjector(FaultPlan())
+        assert inj.p2p_verdict(0, 1) == "deliver"
+        assert inj.collective_verdict("all_reduce", (0, 1), 0) == (0, False)
+
+
+class TestDeadlockTimeoutKnob:
+    def test_constructor_timeout_used(self):
+        rt = SpmdRuntime(uniform_cluster(2), deadlock_timeout=0.5)
+        assert rt.deadlock_timeout == 0.5
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                Communicator.world(ctx).all_reduce(np.ones(4, dtype=np.float32))
+            return "ok"  # rank 1 never shows up -> rank 0 must time out
+
+        with pytest.raises(RemoteRankError) as ei:
+            rt.run(prog)
+        cause = ei.value.__cause__
+        assert isinstance(cause, CollectiveTimeout)
+        assert cause.timeout == 0.5
+
+    def test_default_unchanged(self):
+        from repro.runtime.spmd import _DEADLOCK_TIMEOUT
+
+        rt = SpmdRuntime(uniform_cluster(2))
+        assert rt.deadlock_timeout == _DEADLOCK_TIMEOUT
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            SpmdRuntime(uniform_cluster(2), deadlock_timeout=0.0)
