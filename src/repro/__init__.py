@@ -26,6 +26,7 @@ from repro.context import ParallelContext, ParallelMode, global_context
 from repro.engine import Engine, initialize, launch
 from repro.faults import FaultPlan
 from repro.runtime import SpmdRuntime, spmd_launch
+from repro.trace import Tracer, TraceReport
 
 __version__ = "1.0.0"
 
@@ -40,5 +41,7 @@ __all__ = [
     "launch",
     "SpmdRuntime",
     "spmd_launch",
+    "Tracer",
+    "TraceReport",
     "__version__",
 ]

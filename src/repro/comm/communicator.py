@@ -42,12 +42,23 @@ def _check_same_shape(payloads: Dict[int, Payload], what: str) -> None:
         raise ValueError(f"{what}: mismatched shapes across ranks: {sorted(shapes)}")
 
 
+def _check_reduce_op(op: ReduceOp, what: str) -> None:
+    """Reject unknown reduce ops up front, identically in both execution
+    modes (spec mode never touches ``_REDUCERS``, so without this check it
+    silently accepted any string while real mode raised a raw KeyError)."""
+    if op not in _REDUCERS:
+        raise ValueError(
+            f"{what}: invalid reduce op {op!r}; valid ops: {sorted(_REDUCERS)}"
+        )
+
+
 def _combine(payloads: Dict[int, Payload], op: ReduceOp) -> Payload:
     """Reduce payloads in local-rank order (deterministic)."""
     ordered = [payloads[i] for i in sorted(payloads)]
     first = ordered[0]
     if is_spec(first):
-        return first.copy()
+        dtype = np.result_type(*[p.dtype for p in ordered])
+        return SpecArray(first.shape, dtype)
     fn = _REDUCERS[op]
     acc = ordered[0].copy()
     for arr in ordered[1:]:
@@ -55,10 +66,11 @@ def _combine(payloads: Dict[int, Payload], op: ReduceOp) -> Payload:
     return acc
 
 
-def _split_axis(x: Payload, parts: int, axis: int) -> List[Payload]:
+def _split_axis(x: Payload, parts: int, axis: int, what: str) -> List[Payload]:
     if x.shape[axis] % parts != 0:
         raise ValueError(
-            f"axis {axis} of shape {x.shape} not divisible into {parts} parts"
+            f"{what}: axis {axis} of shape {x.shape} not divisible into "
+            f"{parts} parts"
         )
     if is_spec(x):
         shape = list(x.shape)
@@ -67,12 +79,26 @@ def _split_axis(x: Payload, parts: int, axis: int) -> List[Payload]:
     return [np.ascontiguousarray(c) for c in np.split(x, parts, axis=axis)]
 
 
-def _concat_axis(chunks: List[Payload], axis: int) -> Payload:
+def _concat_axis(chunks: List[Payload], axis: int, what: str) -> Payload:
+    """Concatenate along ``axis``, validating every non-concat dimension in
+    both modes (numpy rejects mismatches; spec mode must too)."""
     first = chunks[0]
+    if first.ndim == 0:
+        raise ValueError(f"{what}: zero-dimensional payloads cannot be concatenated")
+    for c in chunks[1:]:
+        if c.ndim != first.ndim or any(
+            c.shape[d] != first.shape[d]
+            for d in range(first.ndim) if d != axis % first.ndim
+        ):
+            raise ValueError(
+                f"{what}: mismatched non-concat dims along axis {axis}: "
+                f"{sorted({tuple(c.shape) for c in chunks})}"
+            )
     if is_spec(first):
         shape = list(first.shape)
         shape[axis] = sum(c.shape[axis] for c in chunks)
-        return SpecArray(tuple(shape), first.dtype)
+        dtype = np.result_type(*[c.dtype for c in chunks])
+        return SpecArray(tuple(shape), dtype)
     return np.concatenate(chunks, axis=axis)
 
 
@@ -120,6 +146,7 @@ class Communicator:
 
     def all_reduce(self, x: Payload, op: ReduceOp = "sum") -> Payload:
         """Reduce across the group; every rank receives the full result."""
+        _check_reduce_op(op, "all_reduce")
 
         def finalize(payloads: Dict[int, Payload]):
             _check_same_shape(payloads, "all_reduce")
@@ -139,7 +166,7 @@ class Communicator:
 
         def finalize(payloads: Dict[int, Payload]):
             chunks = [payloads[i] for i in sorted(payloads)]
-            gathered = _concat_axis(chunks, axis)
+            gathered = _concat_axis(chunks, axis, "all_gather")
             cost = self.group.cost_model.allgather(self.group.ranks, int(x.nbytes))
             results = {
                 i: (gathered if i == 0 or is_spec(gathered) else gathered.copy())
@@ -152,11 +179,12 @@ class Communicator:
     def reduce_scatter(self, x: Payload, axis: int = 0, op: ReduceOp = "sum") -> Payload:
         """Reduce across the group, then scatter the result: rank i receives
         the i-th chunk of the reduction along ``axis``."""
+        _check_reduce_op(op, "reduce_scatter")
 
         def finalize(payloads: Dict[int, Payload]):
             _check_same_shape(payloads, "reduce_scatter")
             combined = _combine(payloads, op)
-            chunks = _split_axis(combined, self.size, axis)
+            chunks = _split_axis(combined, self.size, axis, "reduce_scatter")
             cost = self.group.cost_model.reduce_scatter(self.group.ranks, int(x.nbytes))
             return dict(enumerate(chunks)), cost, "reduce_scatter", x.dtype.itemsize
 
@@ -180,6 +208,7 @@ class Communicator:
 
     def reduce(self, x: Payload, root: int = 0, op: ReduceOp = "sum") -> Optional[Payload]:
         """Reduce to the local rank ``root``; other ranks receive ``None``."""
+        _check_reduce_op(op, "reduce")
 
         def finalize(payloads: Dict[int, Payload]):
             _check_same_shape(payloads, "reduce")
@@ -199,7 +228,7 @@ class Communicator:
             src = payloads[root]
             if src is None:
                 raise ValueError("scatter: root payload is None")
-            chunks = _split_axis(src, self.size, axis)
+            chunks = _split_axis(src, self.size, axis, "scatter")
             cost = self.group.cost_model.scatter(
                 self.group.global_rank(root), self.group.ranks, int(chunks[0].nbytes)
             )
@@ -212,7 +241,7 @@ class Communicator:
 
         def finalize(payloads: Dict[int, Payload]):
             chunks = [payloads[i] for i in sorted(payloads)]
-            gathered = _concat_axis(chunks, axis)
+            gathered = _concat_axis(chunks, axis, "gather")
             cost = self.group.cost_model.gather(
                 self.group.global_rank(root), self.group.ranks, int(x.nbytes)
             )
@@ -302,10 +331,17 @@ class Communicator:
         if injector is not None:
             injector.check_time_crash(src_g, clock.time)
             policy = runtime.retry_policy
+            tracer = runtime.tracer
             failures = 0
             while injector.p2p_verdict(src_g, dst_g) != "deliver":
                 failures += 1
+                t0 = clock.time
                 clock.advance(cost.seconds + policy.backoff(failures), "comm")
+                if tracer is not None:
+                    tracer.annotate(
+                        src_g, "retry", "p2p:retry", t0, clock.time,
+                        dst=dst_g, attempt=failures,
+                    )
                 self.group.counters.record_retry(
                     "p2p", cost.wire_bytes, int(x.size)
                 )
@@ -325,8 +361,16 @@ class Communicator:
         """Send ``x`` to local rank ``dst``.  Returns once the payload is
         enqueued; the sender's clock is charged the full transfer (eager
         synchronous model), plus retransmissions under injected faults."""
+        runtime = self.group.runtime
+        clock = runtime.clocks[self.global_rank]
+        t0 = clock.time
         cost = self._deliver(x, dst, tag)
-        self.group.runtime.clocks[self.global_rank].advance(cost.seconds, "comm")
+        clock.advance(cost.seconds, "comm")
+        if runtime.tracer is not None:
+            runtime.tracer.annotate(
+                self.global_rank, "p2p", "send", t0, clock.time,
+                dst=self.group.global_rank(dst), nbytes=int(x.nbytes),
+            )
 
     def recv(self, src: int, tag: Any = 0) -> Payload:
         """Blocking receive from local rank ``src``."""
@@ -337,10 +381,17 @@ class Communicator:
             runtime.fault_injector.check_time_crash(
                 dst_g, runtime.clocks[dst_g].time
             )
+        clock = runtime.clocks[dst_g]
+        t0 = clock.time
         payload, t_avail = runtime.mailboxes.get(
             (src_g, dst_g, (id(self.group), tag)), runtime.aborting
         )
-        runtime.clocks[dst_g].sync_to(t_avail, "comm")
+        clock.sync_to(t_avail, "comm")
+        if runtime.tracer is not None:
+            runtime.tracer.annotate(
+                dst_g, "p2p", "recv", t0, clock.time,
+                src=src_g, nbytes=int(payload.nbytes),
+            )
         return payload
 
     def sendrecv(self, x: Payload, dst: int, src: int, tag: Any = 0) -> Payload:

@@ -33,7 +33,10 @@ FinalizeFn = Callable[
 
 
 class _Round:
-    __slots__ = ("payloads", "entry_times", "results", "done", "claimed", "error")
+    __slots__ = (
+        "payloads", "entry_times", "results", "done", "claimed", "error",
+        "op", "t_end", "wire_bytes", "retries", "retry_seconds",
+    )
 
     def __init__(self) -> None:
         self.payloads: Dict[int, Any] = {}
@@ -42,6 +45,12 @@ class _Round:
         self.done = False
         self.claimed = 0
         self.error: Optional[BaseException] = None
+        # trace annotations filled in by the finalizer
+        self.op: Optional[str] = None
+        self.t_end = 0.0
+        self.wire_bytes = 0
+        self.retries = 0
+        self.retry_seconds = 0.0
 
 
 class ProcessGroup:
@@ -104,11 +113,19 @@ class ProcessGroup:
         if injector is not None:
             injector.check_time_crash(my_global_rank, clock.time)
 
+        tracer = self.runtime.tracer
+
         if self.size == 1:
+            t0 = clock.time
             results, cost, op, itemsize = finalize({0: payload})
             clock.advance(cost.seconds, "comm")
             if cost.wire_bytes:
                 self.counters.record(op, cost.wire_bytes, cost.wire_elements(itemsize))
+            if tracer is not None:
+                tracer.annotate(
+                    my_global_rank, "collective", op, t0, clock.time,
+                    wire_bytes=cost.wire_bytes, group_size=1, primary=True,
+                )
             return results[0]
 
         seq = self._seq[my_global_rank]
@@ -164,6 +181,11 @@ class ProcessGroup:
                         self.counters.record(
                             op, cost.wire_bytes, cost.wire_elements(itemsize)
                         )
+                    rnd.op = op
+                    rnd.t_end = t_end
+                    rnd.wire_bytes = cost.wire_bytes
+                    rnd.retries = failures
+                    rnd.retry_seconds = retry_seconds
                     rnd.results = results
                 except BaseException as exc:  # propagate to all members
                     rnd.error = exc
@@ -190,6 +212,21 @@ class ProcessGroup:
 
             assert rnd.results is not None
             result = rnd.results[me]
+            if tracer is not None and rnd.op is not None:
+                # one span per member rank, from its own entry to the common
+                # completion; local rank 0's span carries the round totals
+                tracer.annotate(
+                    my_global_rank, "collective", rnd.op,
+                    rnd.entry_times[me], rnd.t_end,
+                    wire_bytes=rnd.wire_bytes, group_size=self.size,
+                    retries=rnd.retries, primary=(me == 0),
+                )
+                if rnd.retries:
+                    tracer.annotate(
+                        my_global_rank, "retry", f"{rnd.op}:retry",
+                        rnd.t_end - rnd.retry_seconds, rnd.t_end,
+                        attempts=rnd.retries,
+                    )
             rnd.claimed += 1
             if rnd.claimed == self.size:
                 del self._rounds[seq]

@@ -30,9 +30,13 @@ def launch(
     world_size: Optional[int] = None,
     materialize: bool = True,
     runtime: Optional[SpmdRuntime] = None,
+    tracer: Optional[Any] = None,
 ) -> List[Any]:
     """Run ``fn(ctx, pc)`` SPMD over the cluster with the parallel context
-    built from ``config``.  Returns per-rank results."""
+    built from ``config``.  Returns per-rank results.
+
+    Pass ``tracer=`` (a :class:`repro.trace.Tracer`) to record a per-rank
+    timeline of the run."""
     cfg = config if isinstance(config, Config) else Config.from_dict(config)
 
     def wrapper(ctx: RankContext) -> Any:
@@ -40,6 +44,8 @@ def launch(
         return fn(ctx, pc)
 
     rt = runtime if runtime is not None else SpmdRuntime(cluster, world_size)
+    if tracer is not None:
+        tracer.install(rt)
     return rt.run(wrapper, materialize=materialize, seed=cfg.seed)
 
 

@@ -51,6 +51,9 @@ class PipelineSchedule:
         self.comm = pc.comm(ParallelMode.PIPELINE)
         self.stage = pc.pp_rank
         self.n_stages = pc.pipeline_size
+        runtime = self.comm.group.runtime
+        self._tracer = runtime.tracer
+        self._clock = runtime.clocks[self.comm.global_rank]
 
     @property
     def is_first(self) -> bool:
@@ -61,15 +64,29 @@ class PipelineSchedule:
         return self.stage == self.n_stages - 1
 
     def _recv_fwd(self, mb: int) -> Tensor:
-        payload = self.comm.recv(self.stage - 1, tag=("fwd", mb))
+        payload = self._traced_recv(self.stage - 1, ("fwd", mb))
         return Tensor(payload, requires_grad=True)
 
     def _send_fwd(self, mb: int, out: Tensor) -> None:
         self.comm.send(out.payload, self.stage + 1, tag=("fwd", mb))
 
     def _recv_bwd(self, mb: int) -> Tensor:
-        payload = self.comm.recv(self.stage + 1, tag=("bwd", mb))
+        payload = self._traced_recv(self.stage + 1, ("bwd", mb))
         return Tensor(payload)
+
+    def _traced_recv(self, src_stage: int, tag) -> Payload:
+        """Receive a stage boundary payload; the time this rank sits blocked
+        (upstream still busy + wire time) is recorded as a ``bubble`` span."""
+        if self._tracer is None:
+            return self.comm.recv(src_stage, tag=tag)
+        t0 = self._clock.time
+        payload = self.comm.recv(src_stage, tag=tag)
+        if self._clock.time > t0:
+            self._tracer.annotate(
+                self.comm.global_rank, "bubble", f"{tag[0]}_stall/mb{tag[1]}",
+                t0, self._clock.time,
+            )
+        return payload
 
     def _send_bwd(self, mb: int, x: Tensor) -> None:
         if x.grad is None:
@@ -87,6 +104,7 @@ class PipelineSchedule:
         criterion: Optional[Criterion],
     ) -> Tuple[Optional[Tensor], Optional[Tensor], Optional[Tensor]]:
         """Returns (stage_input, stage_output, loss)."""
+        t0 = self._clock.time
         if self.is_first:
             x = Tensor(data_mb) if not isinstance(data_mb, Tensor) else data_mb
         else:
@@ -99,11 +117,17 @@ class PipelineSchedule:
                 loss = ops.mul(loss, 1.0 / self.num_microbatches)
         else:
             self._send_fwd(mb, out)
+        if self._tracer is not None:
+            self._tracer.annotate(
+                self.comm.global_rank, "pipeline", f"fwd/mb{mb}",
+                t0, self._clock.time, stage=self.stage,
+            )
         return x, out, loss
 
     def _backward_micro(
         self, mb: int, x: Optional[Tensor], out: Tensor, loss: Optional[Tensor]
     ) -> None:
+        t0 = self._clock.time
         if self.is_last:
             if loss is None:
                 raise RuntimeError("last stage needs a criterion to run backward")
@@ -113,6 +137,11 @@ class PipelineSchedule:
             out.backward(grad)
         if not self.is_first and x is not None:
             self._send_bwd(mb, x)
+        if self._tracer is not None:
+            self._tracer.annotate(
+                self.comm.global_rank, "pipeline", f"bwd/mb{mb}",
+                t0, self._clock.time, stage=self.stage,
+            )
 
     def run(
         self,

@@ -28,15 +28,27 @@ class SimClock:
     clock reads a time inside ``[start, end)``.  An advance that straddles
     a window edge is integrated piecewise, so only the portion of the work
     inside the window is charged at the degraded rate.
+
+    An optional *observer* (``set_observer``) is called with
+    ``(category, t_before, t_after)`` on every nonzero advance or forward
+    sync — the hook :class:`repro.trace.Tracer` uses to turn the scalar
+    breakdown into a timeline.  Disabled (``None``) it costs one attribute
+    check per advance.
     """
 
-    __slots__ = ("_time", "_lock", "_busy", "_slowdowns")
+    __slots__ = ("_time", "_lock", "_busy", "_slowdowns", "_observer")
 
     def __init__(self) -> None:
         self._time = 0.0
         self._lock = threading.Lock()
         self._busy: Dict[str, float] = {}
         self._slowdowns: List[Tuple[float, float, float]] = []
+        self._observer = None
+
+    def set_observer(self, observer) -> None:
+        """Install (or clear, with ``None``) the span observer."""
+        with self._lock:
+            self._observer = observer
 
     @property
     def time(self) -> float:
@@ -93,15 +105,21 @@ class SimClock:
         with self._lock:
             if self._slowdowns:
                 dt = self._scaled(dt)
+            t0 = self._time
             self._time += dt
             self._busy[category] = self._busy.get(category, 0.0) + dt
+            if self._observer is not None and dt > 0.0:
+                self._observer(category, t0, self._time)
 
     def sync_to(self, t: float, category: str = "wait") -> None:
         """Jump forward to absolute time ``t`` (no-op if already past it)."""
         with self._lock:
             if t > self._time:
+                t0 = self._time
                 self._busy[category] = self._busy.get(category, 0.0) + (t - self._time)
                 self._time = t
+                if self._observer is not None:
+                    self._observer(category, t0, t)
 
     def breakdown(self) -> Dict[str, float]:
         """Seconds spent per category (compute / comm / wait / ...)."""

@@ -136,6 +136,7 @@ class SpmdRuntime:
         deadlock_timeout: float = _DEADLOCK_TIMEOUT,
         fault_plan: Optional[Any] = None,
         retry: Optional[RetryPolicy] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         if world_size is None:
             world_size = cluster.world_size
@@ -163,6 +164,11 @@ class SpmdRuntime:
         self.failure: Optional[Tuple[int, BaseException]] = None
         self._group_lock = threading.Lock()
         self._groups: Dict[Tuple[int, ...], Any] = {}
+        #: event tracer (repro.trace.Tracer) or None; every instrumentation
+        #: site in the stack gates on this being non-None.
+        self.tracer: Optional[Any] = None
+        if tracer is not None:
+            tracer.install(self)
 
     # -- failure propagation -------------------------------------------------
 
@@ -233,13 +239,23 @@ class SpmdRuntime:
         def worker(rank: int) -> None:
             ctx = RankContext(self, rank, materialize, seed=seed * 100003 + rank)
             _thread_local.ctx = ctx
+            t_start = ctx.clock.time
             try:
                 results[rank] = fn(ctx, *args, **kwargs)
+                if self.tracer is not None:
+                    self.tracer.annotate(
+                        rank, "rank", f"rank{rank}", t_start, ctx.clock.time
+                    )
             except SpmdAborted:
                 pass  # secondary failure; the primary is re-raised below
             except BaseException as exc:  # noqa: BLE001 - must propagate anything
                 errors[rank] = exc
                 self.signal_failure(rank, exc)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        rank, f"rank{rank}:failed", ctx.clock.time,
+                        error=type(exc).__name__,
+                    )
             finally:
                 _thread_local.ctx = None
 
@@ -280,9 +296,10 @@ def spmd_launch(
     materialize: bool = True,
     seed: int = 0,
     fault_plan: Optional[Any] = None,
+    tracer: Optional[Any] = None,
     **kwargs: Any,
 ) -> List[Any]:
     """One-shot convenience: build a runtime, run ``fn`` on every rank,
     return per-rank results."""
-    rt = SpmdRuntime(cluster, world_size, fault_plan=fault_plan)
+    rt = SpmdRuntime(cluster, world_size, fault_plan=fault_plan, tracer=tracer)
     return rt.run(fn, *args, materialize=materialize, seed=seed, **kwargs)

@@ -1,0 +1,36 @@
+"""repro.trace — per-rank timeline tracing of simulated SPMD programs.
+
+Typical use::
+
+    from repro.trace import Tracer, TraceReport, save_chrome_trace
+
+    tracer = Tracer()
+    rt = SpmdRuntime(cluster, tracer=tracer)
+    rt.run(program)
+    print(TraceReport.from_tracer(tracer).format())
+    save_chrome_trace(tracer, "trace.json")   # open in chrome://tracing
+"""
+
+from repro.trace.chrome import chrome_trace, save_chrome_trace
+from repro.trace.report import CollectiveStat, TraceReport
+from repro.trace.tracer import (
+    ANNOTATION_CATEGORIES,
+    CLOCK_CATEGORIES,
+    Counter,
+    Instant,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "ANNOTATION_CATEGORIES",
+    "CLOCK_CATEGORIES",
+    "CollectiveStat",
+    "Counter",
+    "Instant",
+    "Span",
+    "TraceReport",
+    "Tracer",
+    "chrome_trace",
+    "save_chrome_trace",
+]

@@ -1,0 +1,105 @@
+"""Chrome trace-event exporter.
+
+Serialises a :class:`~repro.trace.tracer.Tracer` into the Trace Event
+Format consumed by ``chrome://tracing`` and Perfetto: one process for the
+simulated cluster, one thread lane per rank, duration events as balanced
+``B``/``E`` pairs, instants as ``i`` and memory samples as ``C`` counters.
+Timestamps are simulated microseconds (``ts = sim_seconds * 1e6``).
+
+Per lane the emitted stream is well-formed by construction: spans are
+sorted outermost-first and closed LIFO, timestamps are clamped
+non-decreasing, and every ``B`` has a matching ``E``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.trace.tracer import Span, Tracer
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _ts(seconds: float) -> float:
+    return round(seconds * _US, 3)
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Build the trace-event JSON document (a dict; see :func:`save_chrome_trace`)."""
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": "repro simulated cluster"},
+        }
+    ]
+    for rank in tracer.ranks():
+        events.append({
+            "ph": "M", "pid": 0, "tid": rank, "name": "thread_name",
+            "args": {"name": f"rank {rank}"},
+        })
+        events.append({
+            "ph": "M", "pid": 0, "tid": rank, "name": "thread_sort_index",
+            "args": {"sort_index": rank},
+        })
+
+    for rank in tracer.ranks():
+        events.extend(_lane_events(
+            [s for s in tracer.spans() if s.rank == rank]
+        ))
+
+    for inst in tracer.instants():
+        events.append({
+            "ph": "i", "s": "t", "pid": 0, "tid": inst.rank,
+            "ts": _ts(inst.t), "name": inst.name, "args": inst.args,
+        })
+    for c in tracer.counters():
+        events.append({
+            "ph": "C", "pid": 0, "tid": c.rank, "ts": _ts(c.t),
+            "name": c.name, "args": c.values,
+        })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _lane_events(spans: List[Span]) -> List[Dict[str, Any]]:
+    """Emit balanced B/E pairs for one rank's spans.
+
+    Spans from one rank all derive from the same monotonic simulated clock,
+    so they nest; sorting by (start, -end) puts enclosing spans first and a
+    LIFO stack closes inner spans before outer ones.  Timestamps are
+    clamped non-decreasing so rounding can never produce an out-of-order
+    lane.
+    """
+    events: List[Dict[str, Any]] = []
+    last_ts = float("-inf")
+
+    def emit(ph: str, span: Span, t: float) -> None:
+        nonlocal last_ts
+        ts = max(_ts(t), last_ts)
+        last_ts = ts
+        ev: Dict[str, Any] = {
+            "ph": ph, "pid": 0, "tid": span.rank, "ts": ts,
+            "name": span.name, "cat": span.cat,
+        }
+        if ph == "B" and span.args:
+            ev["args"] = span.args
+        events.append(ev)
+
+    stack: List[Span] = []
+    for span in sorted(spans, key=lambda s: (s.t0, -s.t1)):
+        while stack and stack[-1].t1 <= span.t0:
+            emit("E", stack[-1], stack.pop().t1)
+        stack.append(span)
+        emit("B", span, span.t0)
+    while stack:
+        emit("E", stack[-1], stack.pop().t1)
+    return events
+
+
+def save_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write the trace to ``path`` (open via chrome://tracing or
+    https://ui.perfetto.dev); returns the path."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(tracer), f)
+    return path

@@ -1,0 +1,118 @@
+"""Text summaries of a trace.
+
+:class:`TraceReport` condenses a traced run into the tables the paper's
+figures are made of: per-rank time breakdown by category (Fig 9-style
+compute/comm split), the top-k collectives by wire bytes and by time
+(Table 1 / Fig 5 territory), and the pipeline-bubble fraction (the
+``(p-1)/(m+p-1)`` term behind Fig 13b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.trace.tracer import CLOCK_CATEGORIES, KIND_CLOCK, Tracer
+
+
+@dataclass
+class CollectiveStat:
+    """Aggregate over all rounds of one collective op."""
+
+    op: str
+    calls: int = 0          # rounds (counted once per round, not per rank)
+    wire_bytes: int = 0     # total bytes on the wire across rounds
+    rank_seconds: float = 0.0  # span durations summed over every member rank
+    retries: int = 0
+
+    def row(self) -> List[str]:
+        return [
+            self.op, str(self.calls), f"{self.wire_bytes}",
+            f"{self.rank_seconds:.6f}", str(self.retries),
+        ]
+
+
+@dataclass
+class TraceReport:
+    """Computed summary of one traced run (build via :meth:`from_tracer`)."""
+
+    per_rank: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    per_rank_total: Dict[int, float] = field(default_factory=dict)
+    collectives: Dict[str, CollectiveStat] = field(default_factory=dict)
+    bubble_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TraceReport":
+        rep = cls()
+        for s in tracer.spans(kind=KIND_CLOCK):
+            cats = rep.per_rank.setdefault(s.rank, {})
+            cats[s.cat] = cats.get(s.cat, 0.0) + s.duration
+            rep.per_rank_total[s.rank] = max(
+                rep.per_rank_total.get(s.rank, 0.0), s.t1
+            )
+        for s in tracer.spans(cat="collective"):
+            stat = rep.collectives.setdefault(s.name, CollectiveStat(s.name))
+            stat.rank_seconds += s.duration
+            if s.args.get("primary"):
+                stat.calls += 1
+                stat.wire_bytes += int(s.args.get("wire_bytes", 0))
+                stat.retries += int(s.args.get("retries", 0))
+        for s in tracer.spans(cat="bubble"):
+            rep.bubble_seconds[s.rank] = (
+                rep.bubble_seconds.get(s.rank, 0.0) + s.duration
+            )
+        return rep
+
+    # -- derived metrics ---------------------------------------------------
+
+    def bubble_fraction(self) -> float:
+        """Fraction of total rank-time spent stalled on pipeline receives
+        (0.0 when the run had no pipeline or a perfectly balanced one)."""
+        total = sum(self.per_rank_total.values())
+        if not total:
+            return 0.0
+        return sum(self.bubble_seconds.values()) / total
+
+    def comm_fraction(self, rank: int) -> float:
+        cats = self.per_rank.get(rank, {})
+        total = self.per_rank_total.get(rank, 0.0)
+        return cats.get("comm", 0.0) / total if total else 0.0
+
+    def top_collectives(self, k: int = 5, by: str = "wire_bytes") -> List[CollectiveStat]:
+        """The ``k`` heaviest collectives by ``wire_bytes`` or ``rank_seconds``."""
+        if by not in ("wire_bytes", "rank_seconds"):
+            raise ValueError(f"top_collectives: unknown sort key {by!r}")
+        return sorted(
+            self.collectives.values(), key=lambda s: getattr(s, by), reverse=True
+        )[:k]
+
+    # -- rendering ---------------------------------------------------------
+
+    def format(self, topk: int = 5) -> str:
+        """Aligned text tables: breakdown, top collectives, bubble fraction."""
+        cols = list(CLOCK_CATEGORIES) + ["bubble", "total"]
+        lines = ["per-rank time breakdown (simulated seconds)"]
+        lines.append("rank  " + "  ".join(f"{c:>10s}" for c in cols))
+        for rank in sorted(self.per_rank):
+            cats = self.per_rank[rank]
+            vals = [cats.get(c, 0.0) for c in CLOCK_CATEGORIES]
+            vals.append(self.bubble_seconds.get(rank, 0.0))
+            vals.append(self.per_rank_total.get(rank, 0.0))
+            lines.append(
+                f"{rank:4d}  " + "  ".join(f"{v:10.6f}" for v in vals)
+            )
+        if self.collectives:
+            lines.append("")
+            lines.append(f"top-{topk} collectives by wire bytes")
+            lines.append(
+                f"{'op':>15s}  {'rounds':>7s}  {'bytes':>14s}  "
+                f"{'rank-seconds':>13s}  {'retries':>7s}"
+            )
+            for stat in self.top_collectives(topk):
+                lines.append(
+                    f"{stat.op:>15s}  {stat.calls:7d}  {stat.wire_bytes:14d}  "
+                    f"{stat.rank_seconds:13.6f}  {stat.retries:7d}"
+                )
+        lines.append("")
+        lines.append(f"pipeline bubble fraction: {self.bubble_fraction():.4f}")
+        return "\n".join(lines)

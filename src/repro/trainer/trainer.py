@@ -59,6 +59,16 @@ class Trainer:
             return current_rank_context().clock.time
         return 0.0
 
+    def _trace_ctx(self):
+        """(tracer, rank_context) — (None, None) when untraced or outside
+        SPMD, so every trace site is one cheap check."""
+        if in_spmd():
+            ctx = current_rank_context()
+            tracer = getattr(ctx.runtime, "tracer", None)
+            if tracer is not None:
+                return tracer, ctx
+        return None, None
+
     def _fire(self, event: str, *args: Any) -> None:
         for h in self.hooks:
             getattr(h, event)(self, *args)
@@ -77,6 +87,13 @@ class Trainer:
                 or self.step % self.checkpoint_every != 0):
             return
         rank = current_rank_context().rank if in_spmd() else 0
+        tracer, ctx = self._trace_ctx()
+        if tracer is not None:
+            with tracer.region(
+                rank, "checkpoint", f"ckpt@step{self.step}", ctx.clock
+            ):
+                self.checkpoint.save(rank, Checkpoint.capture(self))
+            return
         self.checkpoint.save(rank, Checkpoint.capture(self))
 
     def fit(self, dataloader: Iterable, epochs: int = 1) -> Dict[str, List[float]]:
@@ -107,6 +124,8 @@ class Trainer:
                     continue
                 self._check_injected_crash()
                 self._fire("before_step")
+                tracer, tctx = self._trace_ctx()
+                t0 = tctx.clock.time if tracer is not None else 0.0
                 self.engine.zero_grad()
                 if self.engine.schedule is not None:
                     loss_val = self.engine.execute_schedule(data, label)
@@ -125,6 +144,14 @@ class Trainer:
                 self.engine.step()
                 self.step += 1
                 self._steps_into_epoch += 1
+                if tracer is not None:
+                    tracer.annotate(
+                        tctx.rank, "step", f"step{self.step}",
+                        t0, tctx.clock.time, epoch=self.epoch,
+                    )
+                    tracer.sample_memory(
+                        tctx.rank, tctx.device, tctx.clock.time
+                    )
                 self._fire("after_step", output, label, loss_val)
                 self._maybe_checkpoint()
             self._fire("on_epoch_end")

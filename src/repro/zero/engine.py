@@ -69,6 +69,7 @@ class ZeroOffloadEngine:
         self.weight_decay = weight_decay
         self.reuse_fp16_storage = reuse_fp16_storage
         self.cost_model = CostModel(ctx.cluster)
+        self._tracer = getattr(ctx.runtime, "tracer", None)
         dtype = np.dtype(param_dtype)
         chunk_elements = int(chunk_mb * MB / dtype.itemsize)
         self.chunk_mgr = ChunkManager(
@@ -108,6 +109,17 @@ class ZeroOffloadEngine:
         state = self._opt_state[chunk.index]
         where = self.policy.optimizer_device(chunk)
         device = self.ctx.device if where == "gpu" else self.ctx.cpu
+        if self._tracer is not None:
+            t0 = self.ctx.clock.time
+            self._adam_inner(chunk, state, device)
+            self._tracer.annotate(
+                self.ctx.rank, "zero", f"adam/chunk{chunk.index}",
+                t0, self.ctx.clock.time, where=where,
+            )
+            return
+        self._adam_inner(chunk, state, device)
+
+    def _adam_inner(self, chunk: Chunk, state: Dict[str, Any], device) -> None:
         self.ctx.clock.advance(
             device.compute_seconds(_ADAM_FLOPS_PER_ELEM * chunk.shard_elems, "float32"),
             "optimizer",
@@ -136,14 +148,32 @@ class ZeroOffloadEngine:
     # -- chunk traffic ------------------------------------------------------------
 
     def _fetch_block(self, idx: int) -> None:
+        t0 = self.ctx.clock.time
         for chunk in self._block_chunks[idx]:
             self.policy.pre_fetch(chunk, self.ctx.clock, self._step)
             chunk.fetch(self.cost_model, self.ctx.rank, self.ctx.clock, self._step)
+        if self._tracer is not None:
+            self._tracer.annotate(
+                self.ctx.rank, "zero", f"fetch/block{idx}",
+                t0, self.ctx.clock.time,
+            )
+            self._tracer.sample_memory(
+                self.ctx.rank, self.ctx.device, self.ctx.clock.time
+            )
 
     def _release_block(self, idx: int) -> None:
+        t0 = self.ctx.clock.time
         for chunk in self._block_chunks[idx]:
             chunk.release_full()
             self.policy.post_release(chunk, self.ctx.clock, self._step)
+        if self._tracer is not None:
+            self._tracer.annotate(
+                self.ctx.rank, "zero", f"release/block{idx}",
+                t0, self.ctx.clock.time,
+            )
+            self._tracer.sample_memory(
+                self.ctx.rank, self.ctx.device, self.ctx.clock.time
+            )
 
     # -- training -----------------------------------------------------------------
 
@@ -151,6 +181,14 @@ class ZeroOffloadEngine:
         """One optimizer step over one (local) batch; returns the loss when
         materialized."""
         self._step += 1
+        if self._tracer is not None:
+            with self._tracer.region(
+                self.ctx.rank, "step", f"zero_step{self._step}", self.ctx.clock
+            ):
+                return self._train_step_inner(data, target)
+        return self._train_step_inner(data, target)
+
+    def _train_step_inner(self, data, target=None) -> Optional[float]:
         x = data if isinstance(data, Tensor) else Tensor(data)
         inputs: List[Tensor] = []
         with no_grad():

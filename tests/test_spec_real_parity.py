@@ -1,0 +1,233 @@
+"""Spec-vs-real execution parity for every collective.
+
+The simulator's promise is that a spec-mode (shape-only) program behaves
+exactly like the materialized one: same result shapes/dtypes per rank,
+and — crucially for debugging billion-parameter configs that only ever run
+in spec mode — the *same errors* for invalid payloads.  These tests pin
+that contract: explicit regressions for the bugs fixed in this PR (silent
+non-axis-dim acceptance in ``_concat_axis``, silently-ignored invalid
+reduce ops, op-less ``_split_axis`` messages) plus a hypothesis property
+suite sweeping random shapes/dtypes over every collective in both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.comm.communicator import Communicator
+from repro.comm.payload import SpecArray
+from repro.runtime import SpmdRuntime
+from repro.runtime.errors import RemoteRankError
+
+WORLD = 4
+
+DTYPES = ["float32", "float16", "int32"]
+
+
+def _payload(spec: bool, shape, dtype, seed: int):
+    if spec:
+        return SpecArray(tuple(shape), dtype)
+    rng = np.random.default_rng(seed)
+    if np.dtype(dtype).kind in "iu":
+        return rng.integers(0, 100, size=shape, dtype=dtype)
+    return rng.standard_normal(shape).astype(dtype)
+
+
+def _describe(result):
+    """Shape/dtype signature of a per-rank result (payloads, lists, None)."""
+    if result is None:
+        return None
+    if isinstance(result, list):
+        return [_describe(r) for r in result]
+    return (tuple(result.shape), np.dtype(result.dtype).name)
+
+
+def _run_both_modes(make_args, collective):
+    """Run ``collective(comm, *make_args(spec, rank))`` in real and spec
+    mode; return the two outcomes as comparable signatures."""
+
+    def outcome(spec: bool):
+        rt = SpmdRuntime(uniform_cluster(WORLD))
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            return collective(comm, *make_args(spec, ctx.rank))
+
+        try:
+            return ("ok", [_describe(r) for r in rt.run(prog, materialize=not spec)])
+        except RemoteRankError as e:
+            return ("error", type(e.cause).__name__, str(e.cause))
+
+    return outcome(spec=False), outcome(spec=True)
+
+
+def _assert_parity(make_args, collective):
+    real, spec = _run_both_modes(make_args, collective)
+    assert real == spec, f"\nreal: {real}\nspec: {spec}"
+    return real
+
+
+# -- regression tests for the fixed parity bugs ---------------------------
+
+
+class TestConcatDimValidation:
+    """all_gather/gather must reject mismatched non-concat dims in BOTH
+    modes (spec mode used to silently accept them)."""
+
+    @pytest.mark.parametrize("op", ["all_gather", "gather"])
+    def test_mismatched_non_axis_dim_rejected_identically(self, op):
+        def make_args(spec, rank):
+            # rank 2 has a different trailing dim
+            shape = (2, 5) if rank == 2 else (2, 4)
+            return (_payload(spec, shape, "float32", rank),)
+
+        real = _assert_parity(make_args, getattr(Communicator, op))
+        assert real[0] == "error"
+        assert real[1] == "ValueError"
+        assert op in real[2] and "non-concat" in real[2]
+
+    @pytest.mark.parametrize("op", ["all_gather", "gather"])
+    def test_mismatched_ndim_rejected_identically(self, op):
+        def make_args(spec, rank):
+            shape = (2, 4, 1) if rank == 0 else (2, 4)
+            return (_payload(spec, shape, "float32", rank),)
+
+        real = _assert_parity(make_args, getattr(Communicator, op))
+        assert real[0] == "error" and real[1] == "ValueError"
+
+    def test_varying_concat_dim_still_allowed(self):
+        def make_args(spec, rank):
+            return (_payload(spec, (rank + 1, 3), "float32", rank),)
+
+        real = _assert_parity(make_args, Communicator.all_gather)
+        assert real[0] == "ok"
+        assert real[1][0] == ((1 + 2 + 3 + 4, 3), "float32")
+
+
+class TestReduceOpValidation:
+    """Invalid reduce ops used to raise a raw KeyError in real mode and be
+    silently accepted in spec mode; now both raise the same ValueError."""
+
+    @pytest.mark.parametrize("method,extra", [
+        ("all_reduce", ()),
+        ("reduce", (0,)),
+        ("reduce_scatter", (0,)),
+    ])
+    def test_invalid_op_rejected_identically(self, method, extra):
+        def make_args(spec, rank):
+            return (_payload(spec, (4, 4), "float32", rank),) + extra + ("avg",)
+
+        real = _assert_parity(make_args, getattr(Communicator, method))
+        assert real[0] == "error"
+        assert real[1] == "ValueError"
+        assert "'avg'" in real[2] and "max" in real[2] and "sum" in real[2]
+        assert method in real[2]
+
+    @pytest.mark.parametrize("op", ["sum", "max", "min", "prod"])
+    def test_valid_ops_accepted(self, op):
+        def make_args(spec, rank):
+            return (_payload(spec, (4,), "float32", rank), op)
+
+        real = _assert_parity(make_args, Communicator.all_reduce)
+        assert real == ("ok", [((4,), "float32")] * WORLD)
+
+
+class TestSplitAxisMessages:
+    """Divisibility failures must name the collective that raised them."""
+
+    @pytest.mark.parametrize("method,name", [
+        ("reduce_scatter", "reduce_scatter"),
+        ("scatter", "scatter"),
+    ])
+    def test_indivisible_axis_names_op(self, method, name):
+        def make_args(spec, rank):
+            if method == "scatter":
+                payload = (
+                    _payload(spec, (6, 2), "float32", rank) if rank == 0 else None
+                )
+                return (payload,)
+            return (_payload(spec, (6, 2), "float32", rank),)
+
+        real = _assert_parity(make_args, getattr(Communicator, method))
+        assert real[0] == "error" and real[1] == "ValueError"
+        assert real[2].startswith(name + ":")
+        assert "not divisible" in real[2]
+
+
+# -- property-based sweep --------------------------------------------------
+
+
+def _round_up(n, k):
+    return ((n + k - 1) // k) * k
+
+
+@st.composite
+def collective_cases(draw):
+    """A (collective, make_args) pair over random shapes/dtypes, sometimes
+    with a deliberately broken payload on one rank."""
+    kind = draw(st.sampled_from([
+        "all_reduce", "all_gather", "reduce_scatter", "broadcast",
+        "reduce", "scatter", "gather", "ring_pass",
+    ]))
+    dtype = draw(st.sampled_from(DTYPES))
+    ndim = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, 6)) for _ in range(ndim))
+    axis = draw(st.integers(0, ndim - 1))
+    break_rank = draw(st.sampled_from([None, 1, 3]))
+
+    if kind in ("reduce_scatter", "scatter") and break_rank is None:
+        # make the split axis divisible so the clean case succeeds
+        shape = shape[:axis] + (_round_up(shape[axis], WORLD),) + shape[axis + 1:]
+
+    def make_args(spec, rank):
+        s = shape
+        if break_rank is not None and rank == break_rank:
+            s = shape[:axis] + (shape[axis] + 1,) + shape[axis + 1:]
+        payload = _payload(spec, s, dtype, rank)
+        if kind in ("broadcast", "scatter"):
+            root_payload = payload if rank == 0 else None
+            return (root_payload, 0) + ((axis,) if kind == "scatter" else ())
+        if kind == "all_reduce":
+            return (payload, "sum")
+        if kind in ("reduce",):
+            return (payload, 0, "sum")
+        if kind == "reduce_scatter":
+            return (payload, axis, "sum")
+        if kind in ("all_gather",):
+            return (payload, axis)
+        if kind == "gather":
+            return (payload, 0, axis)
+        if kind == "ring_pass":
+            return (payload, 1)
+        raise AssertionError(kind)
+
+    return kind, make_args
+
+
+class TestPropertyParity:
+    @settings(max_examples=40, deadline=None)
+    @given(collective_cases())
+    def test_shapes_and_errors_identical_across_modes(self, case):
+        _kind, make_args = case
+        _assert_parity(make_args, getattr(Communicator, _kind))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from(DTYPES),
+        st.integers(1, 5),
+        st.integers(1, 4),
+    )
+    def test_all_to_all_parity(self, dtype, a, b):
+        def make_args(spec, rank):
+            chunks = [
+                _payload(spec, (a, b), dtype, rank * WORLD + j)
+                for j in range(WORLD)
+            ]
+            return (chunks,)
+
+        real = _assert_parity(make_args, Communicator.all_to_all)
+        assert real[0] == "ok"
+        assert real[1][0] == [((a, b), dtype)] * WORLD
