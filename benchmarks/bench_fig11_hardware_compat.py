@@ -87,3 +87,52 @@ class TestFig11:
         )
         assert res[4]["2d"][1] > 1.2 * res[4]["1d"][1]
         assert res[8]["2.5d"][1] > 1.1 * res[8]["1d"][1]
+
+    def test_system_ii_auto_algorithm(self, benchmark, record_rows):
+        """Hardware-compatibility experiment with the collective-algorithm
+        optimization on: `comm.algorithm="auto"` lets 1D ViT on System II
+        recover throughput lost to flat PCIe rings, without ever doing
+        worse than the ring baseline."""
+
+        def run():
+            out = {}
+            for algo in ("ring", "auto"):
+                out[algo] = {
+                    4: _sweep_algo(system_ii, 4, MODES_4, CFG_4, algo),
+                    8: _sweep_algo(system_ii, 8, MODES_8, CFG_8, algo),
+                }
+            return out
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = []
+        for world in (4, 8):
+            for mode in res["ring"][world]:
+                thr_ring = res["ring"][world][mode][1]
+                thr_auto = res["auto"][world][mode][1]
+                rows.append(
+                    [f"{world} GPUs", mode, thr_ring, thr_auto,
+                     f"{100 * (thr_auto / thr_ring - 1):+.1f}%"]
+                )
+        record_rows(
+            "Fig 11c: ViT on System II, flat ring vs auto algorithm (img/sec)",
+            ["gpus", "mode", "ring", "auto", "gain"],
+            rows,
+            notes="auto selection must never lose to the flat ring",
+        )
+        for world in (4, 8):
+            for mode in res["ring"][world]:
+                assert (
+                    res["auto"][world][mode][1]
+                    >= 0.999 * res["ring"][world][mode][1]
+                )
+
+
+def _sweep_algo(mk_cluster, world, modes, cfg, algo):
+    out = {}
+    for mode, depth in modes:
+        b, thr = best_throughput(
+            mk_cluster(), world, mode, depth=depth, max_batch=256,
+            comm_algorithm=algo, **cfg
+        )
+        out[mode] = (b, thr)
+    return out

@@ -89,12 +89,15 @@ def vit_step_time(
     hidden: int,
     heads: int,
     depth: int = 1,
+    comm_algorithm: Optional[str] = None,
 ) -> Optional[float]:
     """Simulated seconds for one fwd+bwd step; None on OOM."""
     tdict = dict(size=world, mode=mode)
     if mode == "2.5d":
         tdict["depth"] = depth
     config = dict(parallel=dict(tensor=tdict))
+    if comm_algorithm is not None:
+        config["comm"] = dict(algorithm=comm_algorithm)
     cluster.reset()
 
     def prog(ctx, pc):
@@ -128,6 +131,7 @@ def best_throughput(
     heads: int,
     depth: int = 1,
     max_batch: int = 4096,
+    comm_algorithm: Optional[str] = None,
 ) -> Tuple[int, float]:
     """Paper's Fig 11 method: grow the batch until OOM; return
     (best batch, best global img/sec)."""
@@ -135,7 +139,10 @@ def best_throughput(
     batch = max(8, div)
     best = (0, 0.0)
     while batch <= max_batch:
-        t = vit_step_time(cluster, world, mode, batch, n_layers, hidden, heads, depth)
+        t = vit_step_time(
+            cluster, world, mode, batch, n_layers, hidden, heads, depth,
+            comm_algorithm=comm_algorithm,
+        )
         if t is None:
             break
         thr = batch / t

@@ -1,0 +1,89 @@
+"""Cost-driven collective algorithm selection on System II.
+
+System II (Fig 9b) is the asymmetric fabric: adjacent GPU pairs share full
+NVLink, everything else crosses PCIe.  A flat ring over all 8 GPUs is
+throttled to the PCIe floor, which is exactly what the paper's Fig 10/11
+hardware-compatibility experiments measure.  With ``comm.algorithm="auto"``
+the communicator prices every call under ring / tree / hierarchical
+schedules and picks the cheapest:
+
+* tiny gradients -> recursive halving-doubling (*tree*): O(log p) steps;
+* big gradients  -> *hierarchical*: reduce-scatter inside each NVLink
+  island, exchange the shards over PCIe once, allgather back inside the
+  islands.
+
+This script prints the per-size crossover table, then runs a traced
+spec-mode allreduce sequence so you can see the chosen ``algo=`` on each
+collective span and the by-algorithm wire accounting.
+
+Run:  PYTHONPATH=src python examples/algo_selection.py
+"""
+
+from repro.comm import CostModel, Communicator, SpecArray
+from repro.cluster import system_ii
+from repro.runtime import SpmdRuntime
+from repro.trace import TraceReport, Tracer
+from repro.utils.units import KB, MB, format_bytes
+
+RANKS = list(range(8))
+
+# -- 1. the crossover table -------------------------------------------------
+
+print("=== System II, 8-GPU allreduce: cost per algorithm ===\n")
+model = CostModel(system_ii())
+sizes = [16 * KB, 256 * KB, MB, 2 * MB, 4 * MB, 16 * MB, 64 * MB, 125 * MB]
+header = f"{'payload':>10} | {'ring':>10} | {'tree':>10} | {'hierarchical':>12} | chosen"
+print(header)
+print("-" * len(header))
+for nbytes in sizes:
+    per_algo = {
+        algo: model.allreduce(RANKS, nbytes, algorithm=algo)
+        for algo in ("ring", "tree", "hierarchical")
+    }
+    auto = model.allreduce(RANKS, nbytes, algorithm="auto")
+    cells = " | ".join(
+        f"{per_algo[a].seconds * 1e6:8.1f}us"
+        + (" " * (12 - 10) if a == "hierarchical" else "")
+        for a in ("ring", "tree", "hierarchical")
+    )
+    print(f"{format_bytes(nbytes):>10} | {cells} | {auto.algorithm}")
+
+speed = (
+    model.allreduce(RANKS, 64 * MB, algorithm="ring").seconds
+    / model.allreduce(RANKS, 64 * MB, algorithm="auto").seconds
+)
+print(f"\n64 MiB speedup over the flat ring: {speed:.2f}x")
+
+# -- 2. a traced run --------------------------------------------------------
+
+print("\n=== Traced spec-mode run (one small + one large allreduce) ===\n")
+tracer = Tracer()
+rt = SpmdRuntime(system_ii(), comm_algorithm="auto", tracer=tracer)
+
+
+def prog(ctx):
+    comm = Communicator.world(ctx)
+    # a LayerNorm-sized gradient and a fused gradient bucket
+    comm.all_reduce(SpecArray((4096,), "float32"))
+    comm.all_reduce(SpecArray((16, 1024, 1024), "float32"))
+    return ctx.clock.time
+
+
+rt.run(prog, materialize=False)
+
+spans = [s for s in tracer.spans(cat="collective") if s.args.get("primary")]
+for s in spans:
+    print(
+        f"  rank {s.rank}: {s.name:<12} algo={s.args['algo']:<13} "
+        f"wire={format_bytes(s.args['wire_bytes'])} "
+        f"dt={(s.t1 - s.t0) * 1e6:.1f}us"
+    )
+
+counters = rt.world_group.counters
+print("\nby-algorithm wire bytes:")
+for algo, nbytes in sorted(counters.by_algorithm_bytes.items()):
+    calls = counters.by_algorithm_calls[algo]
+    print(f"  {algo:<13} {calls} call(s), {format_bytes(nbytes)}")
+
+print("\n=== TraceReport excerpt ===\n")
+print(TraceReport.from_tracer(tracer).format(topk=3))

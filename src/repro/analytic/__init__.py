@@ -18,7 +18,11 @@ from repro.analytic.memory_model import (
     transformer_activation_bytes,
     transformer_param_count,
 )
-from repro.analytic.perf_model import transformer_layer_flops, training_flops_per_token
+from repro.analytic.perf_model import (
+    data_parallel_step_comm_time,
+    transformer_layer_flops,
+    training_flops_per_token,
+)
 
 __all__ = [
     "comm_volume_1d",
@@ -31,4 +35,5 @@ __all__ = [
     "transformer_activation_bytes",
     "transformer_layer_flops",
     "training_flops_per_token",
+    "data_parallel_step_comm_time",
 ]

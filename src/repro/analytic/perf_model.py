@@ -1,6 +1,8 @@
-"""FLOP models for Transformer training."""
+"""FLOP models for Transformer training and analytic comm-time estimates."""
 
 from __future__ import annotations
+
+from typing import Sequence, Tuple
 
 
 def transformer_layer_flops(
@@ -18,3 +20,22 @@ def transformer_layer_flops(
 def training_flops_per_token(n_params: int) -> float:
     """The standard ``6 * N`` rule: forward 2N, backward 4N."""
     return 6.0 * n_params
+
+
+def data_parallel_step_comm_time(
+    cluster, ranks: Sequence[int], grad_bytes: int, algorithm: str = "auto"
+) -> Tuple[float, str]:
+    """Analytic estimate of the per-step gradient-allreduce time over
+    ``ranks`` (seconds), plus the collective algorithm that achieves it.
+
+    With ``algorithm="auto"`` this answers the planning question "what does
+    the gradient sync cost on this fabric once the communicator picks its
+    best schedule?" — the number the paper's Fig 11 hardware-compatibility
+    argument turns on.
+    """
+    from repro.comm.cost import CostModel  # deferred: comm builds on cluster
+
+    cost = CostModel(cluster, algorithm=algorithm).allreduce(
+        list(ranks), int(grad_bytes)
+    )
+    return cost.seconds, cost.algorithm

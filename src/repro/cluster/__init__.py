@@ -22,7 +22,11 @@ from repro.cluster.machine import (
     system_iv,
     uniform_cluster,
 )
-from repro.cluster.bandwidth import measure_p2p_bandwidth, measure_broadcast_bandwidth
+from repro.cluster.bandwidth import (
+    measure_p2p_bandwidth,
+    measure_broadcast_bandwidth,
+    measure_allreduce_bandwidth,
+)
 
 __all__ = [
     "Device",
@@ -39,4 +43,5 @@ __all__ = [
     "uniform_cluster",
     "measure_p2p_bandwidth",
     "measure_broadcast_bandwidth",
+    "measure_allreduce_bandwidth",
 ]

@@ -51,3 +51,25 @@ def measure_broadcast_bandwidth(
     )
     t = cluster.alpha * len(ranks) + lat + nbytes / ring_bw
     return nbytes / t
+
+
+def measure_allreduce_bandwidth(
+    cluster: ClusterSpec,
+    ranks: List[int],
+    nbytes: int = DEFAULT_PROBE_BYTES,
+    algorithm: str = "ring",
+) -> float:
+    """Effective allreduce *bus bandwidth* over a group of ranks (bytes/s),
+    under a chosen collective algorithm (``"auto"`` for cost-driven
+    selection).
+
+    Follows the nccl-tests convention: busbw = ``2(p-1)/p * nbytes / t``,
+    which makes numbers comparable across group sizes and algorithms.
+    """
+    if len(ranks) < 2:
+        return float("inf")
+    from repro.comm.cost import CostModel  # deferred: comm builds on cluster
+
+    p = len(ranks)
+    cost = CostModel(cluster, algorithm=algorithm).allreduce(ranks, nbytes)
+    return (2 * (p - 1) / p) * nbytes / cost.seconds

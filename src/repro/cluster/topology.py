@@ -60,6 +60,29 @@ class Topology:
     def __init__(self) -> None:
         self.graph = nx.Graph()
         self._bw_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+        self._ring_cache: Dict[Tuple[str, ...], Tuple[float, float]] = {}
+        self._order_cache: Dict[Tuple[str, ...], List[str]] = {}
+        self._island_cache: Dict[Tuple[Tuple[str, ...], float], List[List[str]]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every structural/bandwidth change.
+
+        Consumers that memoize decisions derived from the link graph (the
+        collective :class:`~repro.comm.algorithms.AlgorithmSelector`) compare
+        this to detect fault-injected degradation (:meth:`scale_link`) and
+        recovery (:meth:`restore_links`)."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._bw_cache.clear()
+        self._path_cache.clear()
+        self._ring_cache.clear()
+        self._order_cache.clear()
+        self._island_cache.clear()
+        self._version += 1
 
     def add_device(self, name: str) -> None:
         self.graph.add_node(name)
@@ -80,7 +103,7 @@ class Topology:
             bandwidth=bandwidth if bandwidth is not None else LINK_BANDWIDTH[link],
             latency=latency if latency is not None else LINK_LATENCY[link],
         )
-        self._bw_cache.clear()
+        self._invalidate()
 
     def has_direct_link(self, a: str, b: str) -> bool:
         return self.graph.has_edge(a, b)
@@ -99,14 +122,14 @@ class Topology:
         edge = self.graph.edges[a, b]
         base = edge.setdefault("base_bandwidth", edge["bandwidth"])
         edge["bandwidth"] = base * factor
-        self._bw_cache.clear()
+        self._invalidate()
 
     def restore_links(self) -> None:
         """Undo every :meth:`scale_link` degradation."""
         for _u, _v, data in self.graph.edges(data=True):
             if "base_bandwidth" in data:
                 data["bandwidth"] = data["base_bandwidth"]
-        self._bw_cache.clear()
+        self._invalidate()
 
     def link_type(self, a: str, b: str) -> Optional[LinkType]:
         if self.graph.has_edge(a, b):
@@ -164,6 +187,120 @@ class Topology:
         for a, b in zip(names, names[1:] + names[:1]):
             bw = min(bw, self.bandwidth(a, b))
         return bw
+
+    def shortest_path(self, a: str, b: str) -> List[str]:
+        """Hop-count shortest path between two devices (cached)."""
+        key = (a, b)
+        path = self._path_cache.get(key)
+        if path is None:
+            try:
+                path = nx.shortest_path(self.graph, a, b)
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise ValueError(f"no interconnect path between {a} and {b}") from exc
+            self._path_cache[key] = path
+        return path
+
+    def ring_stats(self, names: List[str]) -> Tuple[float, float]:
+        """Contention-aware ``(bottleneck bandwidth, latency sum)`` of the
+        directed ring ``names[0] -> names[1] -> ... -> names[0]``.
+
+        Unlike :meth:`ring_bandwidth`, hops are routed over their shortest
+        paths and every *directed* physical link divides its bandwidth by the
+        number of ring hops that traverse it.  A ring that re-crosses the
+        same bridge link in the same direction (an interleaved multi-node
+        ordering, or members routed through a shared gateway) is throttled
+        accordingly — this is what makes the topology-aware member ordering
+        of :meth:`order_ring` matter.  Links are full duplex: the two
+        directions of one physical link do not contend (so a 2-ring costs one
+        traversal, as before).
+        """
+        if len(names) < 2:
+            return float("inf"), 0.0
+        key = tuple(names)
+        cached = self._ring_cache.get(key)
+        if cached is not None:
+            return cached
+        load: Dict[Tuple[str, str], int] = {}
+        lat = 0.0
+        for a, b in zip(names, names[1:] + names[:1]):
+            path = self.shortest_path(a, b)
+            for u, v in zip(path, path[1:]):
+                load[(u, v)] = load.get((u, v), 0) + 1
+                lat += self.graph.edges[u, v]["latency"]
+        bw = min(
+            self.graph.edges[u, v]["bandwidth"] / uses
+            for (u, v), uses in load.items()
+        )
+        self._ring_cache[key] = (bw, lat)
+        return bw, lat
+
+    def order_ring(self, names: List[str]) -> List[str]:
+        """Greedy high-bandwidth ring ordering of ``names``.
+
+        Starting from ``names[0]``, repeatedly append the unvisited member
+        with the highest path bandwidth from the current tail (ties broken by
+        position in ``names``, so uniform topologies keep the given order).
+        On System II this makes a scrambled group hug its NVLink pairs and
+        cross PCIe only between islands instead of at every hop.
+        """
+        if len(names) <= 2:
+            return list(names)
+        key = tuple(names)
+        cached = self._order_cache.get(key)
+        if cached is None:
+            index = {n: i for i, n in enumerate(names)}
+            order = [names[0]]
+            remaining = list(names[1:])
+            while remaining:
+                cur = order[-1]
+                best = max(remaining, key=lambda n: (self.bandwidth(cur, n), -index[n]))
+                order.append(best)
+                remaining.remove(best)
+            cached = order
+            self._order_cache[key] = cached
+        return list(cached)
+
+    def islands(self, names: List[str], ratio: float = 0.5) -> List[List[str]]:
+        """Partition ``names`` into fast-link islands.
+
+        Two members belong to the same island when their path bandwidth is at
+        least ``ratio`` times the fastest member pair's; islands are the
+        connected components of that fast-pair graph.  On System II this
+        yields the NVLink pairs; on Systems III/IV the node-local cliques;
+        on a uniform/fully-connected fabric the whole group is one island.
+
+        Islands preserve member order and are ordered by first member.
+        """
+        names = list(names)
+        if len(names) <= 1:
+            return [names] if names else []
+        key = (tuple(names), ratio)
+        cached = self._island_cache.get(key)
+        if cached is None:
+            pair_bw = {
+                (a, b): self.bandwidth(a, b)
+                for a, b in itertools.combinations(names, 2)
+            }
+            threshold = max(pair_bw.values()) * ratio
+            parent = {n: n for n in names}
+
+            def find(n: str) -> str:
+                while parent[n] != n:
+                    parent[n] = parent[parent[n]]
+                    n = parent[n]
+                return n
+
+            for (a, b), bw in pair_bw.items():
+                if bw >= threshold:
+                    ra, rb = find(a), find(b)
+                    if ra != rb:
+                        parent[rb] = ra
+            groups: Dict[str, List[str]] = {}
+            for n in names:
+                groups.setdefault(find(n), []).append(n)
+            cached = list(groups.values())
+            self._island_cache[key] = cached
+        return [list(g) for g in cached]
 
     # ------------------------------------------------------------------
     # Builders

@@ -13,6 +13,7 @@ over the SPMD thread runtime.  Every operation
 """
 
 from repro.comm.payload import SpecArray, payload_nbytes, payload_elements
+from repro.comm.algorithms import ALGORITHMS, SELECTABLE_OPS, AlgorithmSelector
 from repro.comm.cost import CollectiveCost, CostModel
 from repro.comm.counters import CommCounters
 from repro.comm.group import ProcessGroup
@@ -22,6 +23,9 @@ __all__ = [
     "SpecArray",
     "payload_nbytes",
     "payload_elements",
+    "ALGORITHMS",
+    "SELECTABLE_OPS",
+    "AlgorithmSelector",
     "CollectiveCost",
     "CostModel",
     "CommCounters",

@@ -1,0 +1,103 @@
+"""Cost-driven collective algorithm selection.
+
+Real communication libraries (NCCL, MSCCL) do not run one flat ring for
+every call: they pick per (communicator, op, message size) among a family of
+algorithms — latency-optimal trees for small messages, bandwidth-optimal
+rings for large ones on symmetric fabrics, and two-level hierarchical
+schedules on asymmetric fabrics (NVLink islands bridged by PCIe/NIC).  The
+:class:`AlgorithmSelector` reproduces that decision procedure on top of the
+alpha-beta :class:`~repro.comm.cost.CostModel`: for a selectable op it
+evaluates every candidate algorithm's cost and memoizes the winner per
+``(group signature, op, message-size bucket)``.
+
+The memo is keyed by power-of-two size bucket (``nbytes.bit_length()``) so a
+training loop that repeats the same tensor sizes hits the cache, while the
+returned cost is always evaluated at the *actual* byte count.  On a bucket
+hit the cached algorithm is re-priced against the flat ring and the cheaper
+of the two is returned, so selection never does worse than the flat-ring
+baseline anywhere in a bucket (the invariant the parity suite pins).
+
+The cache watches :attr:`~repro.cluster.topology.Topology.version` and
+drops itself whenever the link graph changes — fault-injected link
+degradation (``scale_link``) or recovery (``restore_links``) re-triggers
+selection with the new bandwidths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: candidate algorithms, in tie-break preference order
+ALGORITHMS = ("ring", "tree", "hierarchical")
+
+#: collectives with more than one implemented algorithm; every other op
+#: (scatter/gather stars, all_to_all, barrier, p2p) has a single schedule
+#: and bypasses selection.
+SELECTABLE_OPS = frozenset(
+    {"all_reduce", "all_gather", "reduce_scatter", "broadcast", "reduce"}
+)
+
+
+class AlgorithmSelector:
+    """Memoized min-cost algorithm choice for one :class:`CostModel`."""
+
+    def __init__(self, model: Any) -> None:
+        self.model = model
+        self._cache: Dict[Tuple[Tuple[int, ...], str, int], str] = {}
+        self._topo_version: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+
+    def _sync_topology(self) -> None:
+        version = self.model.cluster.topology.version
+        if version != self._topo_version:
+            self._cache.clear()
+            self._topo_version = version
+
+    def cached_choice(
+        self, op: str, ranks: Sequence[int], nbytes: int
+    ) -> Optional[str]:
+        """The memoized algorithm for this (group, op, size bucket), if any."""
+        self._sync_topology()
+        return self._cache.get((tuple(ranks), op, int(nbytes).bit_length()))
+
+    def select(self, op: str, ranks: Sequence[int], nbytes: int) -> Any:
+        """Return the min-cost :class:`CollectiveCost` for this call.
+
+        Guarantees ``cost.seconds <= ring cost.seconds`` for every size, not
+        just the bucket representative that populated the cache.
+        """
+        if op not in SELECTABLE_OPS:
+            return self.model._op_cost(op, ranks, nbytes, "ring")
+        self._sync_topology()
+        key = (tuple(ranks), op, int(nbytes).bit_length())
+        algo = self._cache.get(key)
+        if algo is None:
+            self.misses += 1
+            best = None
+            for cand in ALGORITHMS:
+                cost = self.model._op_cost(op, ranks, nbytes, cand)
+                if best is None or cost.seconds < best.seconds:
+                    best, algo = cost, cand
+            self._cache[key] = algo
+            return best
+        self.hits += 1
+        cost = self.model._op_cost(op, ranks, nbytes, algo)
+        if algo != "ring":
+            ring = self.model._op_cost(op, ranks, nbytes, "ring")
+            if ring.seconds < cost.seconds:
+                return ring
+        return cost
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._topo_version = None
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AlgorithmSelector(entries={len(self._cache)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,21 +1,50 @@
 """Alpha-beta cost model for collectives over a topology.
 
-Each collective maps to its standard ring/tree algorithm; the cost of a call
-over a group is::
+Each collective call is priced by an explicit *algorithm* over the actual
+topology graph; the cost of a call over a group is::
 
-    time = alpha * steps + latency_term + wire_bytes_per_rank / bandwidth
+    time = alpha * steps + latency_term + data_term(bandwidths)
 
-where ``bandwidth`` is the bottleneck link bandwidth of the algorithm's
-communication pattern on the actual topology graph.  This single rule is
-what makes System II (PCIe between distant GPUs) slow for group-wide
-collectives while leaving adjacent-pair traffic at NVLink speed — the
-mechanism behind the paper's Fig 10/11.
+Three algorithm families are implemented for the reduction/gather ops
+(``all_reduce``/``all_gather``/``reduce_scatter``/``broadcast``/``reduce``):
 
-Wire accounting (``wire_bytes``, totalled over ranks) follows the classic
-algorithm volumes:
+``ring``
+    The classic pipelined flat ring (NCCL default), bottlenecked by the
+    slowest link on the ring.  Group members are first reordered along
+    high-bandwidth edges (:meth:`Topology.order_ring`) and the ring is
+    priced contention-aware (:meth:`Topology.ring_stats`): hops share the
+    physical links their shortest paths traverse.  This single rule is what
+    makes System II (PCIe between distant GPUs) slow for group-wide
+    collectives while leaving adjacent-pair traffic at NVLink speed — the
+    mechanism behind the paper's Fig 10/11.
+
+``tree``
+    Latency-optimal recursive halving/doubling (allreduce, reduce-scatter,
+    allgather) and binomial trees (broadcast, reduce): ``O(log p)`` alpha
+    steps instead of ``O(p)``, at the price of unpipelined transfers and a
+    worst-pair bandwidth bound.  Wins for small messages.
+
+``hierarchical``
+    The NCCL-style two-level schedule for asymmetric fabrics.  The group is
+    partitioned into fast-link islands (:meth:`Topology.islands`: NVLink
+    cliques on System II, node-local cliques on Systems III/IV); an
+    allreduce then runs intra-island reduce-scatter -> inter-island
+    exchange of the resulting shards over the slow bridge (one concurrent
+    leader ring per shard rail) -> intra-island allgather.  Phases are
+    chunk-pipelined: each phase pays its bandwidth-ramp *fill* once (summed
+    over phases), while the steady-state data term is the *max* of the
+    phase rates — so small messages pay the extra phase startups and large
+    messages only see the slowest phase, with most bytes never leaving
+    fast links.  Wins for large messages on island topologies (Fig 10/11's
+    System II).
+
+Wire accounting (``wire_bytes``, totalled over ranks) follows each
+algorithm's own volume; for allreduce/reduce-scatter/broadcast every family
+moves the same total bytes (e.g. ``2(p-1)n`` for allreduce), they differ in
+*where* those bytes flow.
 
 =================  ============================  =======================
-collective         time (beta term, per rank)    total wire bytes
+collective         time (ring beta, per rank)    total wire bytes (ring)
 =================  ============================  =======================
 allreduce (ring)   2(p-1)/p * n / bw             2(p-1) * n
 allgather (ring)   (p-1) * n_local / bw          p(p-1) * n_local
@@ -26,59 +55,101 @@ scatter/gather     (p-1) * n_local / bw_root     (p-1) * n_local
 all_to_all         (p-1)/p * n / bw              (p-1) * n
 p2p                n / bw(a,b)                   n
 =================  ============================  =======================
+
+``algorithm="auto"`` delegates to the memoized
+:class:`~repro.comm.algorithms.AlgorithmSelector`, which picks the min-cost
+family per (group, op, message-size bucket) and never does worse than the
+flat ring.  Only simulated seconds/wire accounting depend on the algorithm;
+collective *results* are combined identically in every case.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.machine import ClusterSpec
+from repro.comm.algorithms import ALGORITHMS, AlgorithmSelector
 
 
 @dataclass(frozen=True)
 class CollectiveCost:
-    """Result of a cost query: simulated seconds and wire traffic."""
+    """Result of a cost query: simulated seconds, wire traffic and the
+    algorithm that produced them."""
 
     seconds: float
     wire_bytes: int
+    algorithm: str = "ring"
 
     def wire_elements(self, itemsize: int) -> int:
         return self.wire_bytes // max(itemsize, 1)
 
 
-class CostModel:
-    """Collective/p2p cost queries bound to one cluster."""
+_ZERO = CollectiveCost(0.0, 0)
 
-    def __init__(self, cluster: ClusterSpec) -> None:
+
+class CostModel:
+    """Collective/p2p cost queries bound to one cluster.
+
+    ``algorithm`` is the default family for selectable collectives
+    (``"ring" | "tree" | "hierarchical" | "auto"``); every collective method
+    also takes a per-call ``algorithm=`` override.  ``island_ratio`` is the
+    bandwidth-ratio threshold for island detection (a member pair is
+    "fast" when its path bandwidth is at least this fraction of the
+    group's fastest pair).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        algorithm: str = "ring",
+        island_ratio: float = 0.5,
+    ) -> None:
         self.cluster = cluster
         self.alpha = cluster.alpha
         self.bw_ramp = getattr(cluster, "bw_ramp_time", 0.0)
+        _check_algorithm(algorithm)
+        self.algorithm = algorithm
+        self.island_ratio = island_ratio
+        self.selector = AlgorithmSelector(self)
 
     def _eff(self, bw: float, nbytes: int) -> float:
         """Effective bandwidth after the NCCL-style message-size ramp: a
         link achieves half its peak for messages of ``bw * bw_ramp_time``
         bytes, so small payloads on fast links are protocol-bound."""
-        if self.bw_ramp <= 0:
+        if self.bw_ramp <= 0 or not math.isfinite(bw):
             return bw
         knee = bw * self.bw_ramp
         return bw * nbytes / (nbytes + knee)
 
     # -- helpers ---------------------------------------------------------------
 
-    def _names(self, ranks: List[int]) -> List[str]:
-        return self.cluster.gpu_names(ranks)
+    def _names(self, ranks: Sequence[int]) -> List[str]:
+        return self.cluster.gpu_names(list(ranks))
 
-    def _ring(self, ranks: List[int]) -> Tuple[float, float]:
-        """(bottleneck ring bandwidth, summed ring latency) for a group."""
+    def _ring(self, ranks: Sequence[int]) -> Tuple[float, float]:
+        """(contention-aware bottleneck bandwidth, summed latency) of the
+        group's topology-aware ring ordering."""
+        topo = self.cluster.topology
+        names = topo.order_ring(self._names(ranks))
+        return topo.ring_stats(names)
+
+    def _pairwise(self, ranks: Sequence[int]) -> Tuple[float, float]:
+        """(worst pair bandwidth, worst pair latency) — the per-round bound
+        of recursive halving/doubling, whose partners span every distance."""
         names = self._names(ranks)
         topo = self.cluster.topology
-        bw = topo.ring_bandwidth(names)
-        lat = sum(topo.latency(a, b) for a, b in zip(names, names[1:] + names[:1]))
+        bw = math.inf
+        lat = 0.0
+        for a, b in itertools.combinations(names, 2):
+            b_, l_ = topo.path_stats(a, b)
+            bw = min(bw, b_)
+            lat = max(lat, l_)
         return bw, lat
 
-    def _star(self, root: int, ranks: List[int]) -> Tuple[float, float]:
+    def _star(self, root: int, ranks: Sequence[int]) -> Tuple[float, float]:
         """(bottleneck root<->member bandwidth, max latency) for scatter/gather."""
         topo = self.cluster.topology
         rn = self.cluster.gpus[root].name
@@ -92,81 +163,377 @@ class CostModel:
             lat = max(lat, l)
         return bw, lat
 
-    # -- collectives ------------------------------------------------------------
+    def _islands(self, ranks: Sequence[int]) -> List[List[str]]:
+        return self.cluster.topology.islands(self._names(ranks), self.island_ratio)
 
-    def allreduce(self, ranks: List[int], nbytes: int) -> CollectiveCost:
+    def _phase(
+        self, send_bytes: float, buffer_bytes: float, bw: float
+    ) -> Tuple[float, float]:
+        """(pipeline-fill startup, steady-state data seconds) of one phase
+        of a chunk-pipelined multi-phase schedule.
+
+        Chunks stream through consecutive phases, so the total data term of
+        a schedule is the *sum* of the per-phase startups (each phase's
+        bandwidth ramp must fill once) plus the *max* of the per-phase
+        steady-state terms (the slowest phase gates the pipeline).  The
+        startup equals the fraction of the buffer this phase moves times
+        the cluster's ``bw_ramp_time`` — the same decomposition
+        ``n/eff(bw, n) = n/bw + ramp`` that a single-phase ring pays.
+        """
+        if send_bytes <= 0 or buffer_bytes <= 0:
+            return 0.0, 0.0
+        slope = send_bytes / bw if math.isfinite(bw) else 0.0
+        return (send_bytes / buffer_bytes) * self.bw_ramp, slope
+
+    def _island_phases(
+        self, islands: List[List[str]]
+    ) -> Tuple[List[Tuple[int, float, float]], float, float, int, int]:
+        """Per-island ring stats plus the inter-island leader-ring stats.
+
+        Returns ``(intra, bridge_bw, bridge_lat, k, s)`` where ``intra`` is a
+        list of ``(size, ring_bw, ring_lat)`` for the multi-member islands,
+        ``k`` the island count and ``s`` the smallest island size (the
+        number of shard rails driving the bridge concurrently).
+        """
+        topo = self.cluster.topology
+        intra = []
+        for g in islands:
+            if len(g) > 1:
+                bw, lat = topo.ring_stats(topo.order_ring(g))
+                intra.append((len(g), bw, lat))
+        leaders = topo.order_ring([g[0] for g in islands])
+        bridge_bw, bridge_lat = topo.ring_stats(leaders)
+        k = len(islands)
+        s = min(len(g) for g in islands)
+        return intra, bridge_bw, bridge_lat, k, s
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(
+        self, op: str, ranks: Sequence[int], nbytes: int, algorithm: Optional[str]
+    ) -> CollectiveCost:
+        if len(ranks) < 2 or nbytes == 0:
+            return _ZERO
+        algo = algorithm if algorithm is not None else self.algorithm
+        if algo == "auto":
+            return self.selector.select(op, ranks, nbytes)
+        _check_algorithm(algo)
+        return self._op_cost(op, ranks, nbytes, algo)
+
+    def _op_cost(
+        self, op: str, ranks: Sequence[int], nbytes: int, algo: str
+    ) -> CollectiveCost:
+        """Cost of ``op`` under one concrete algorithm.  Ops that do not
+        implement the requested family fall back to their flat schedule, so
+        a global ``algorithm="tree"`` setting stays valid for every op."""
+        fn = getattr(self, f"_{algo}_{op}", None)
+        if fn is None:
+            fn = getattr(self, f"_ring_{op}")
+        return fn(ranks, nbytes)
+
+    # -- flat ring algorithms ----------------------------------------------------
+
+    def _ring_all_reduce(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
         p = len(ranks)
-        if p < 2 or nbytes == 0:
-            return CollectiveCost(0.0, 0)
         bw, lat = self._ring(ranks)
         steps = 2 * (p - 1)
-        seconds = steps * self.alpha + lat + (2 * (p - 1) / p) * nbytes / self._eff(bw, nbytes)
-        return CollectiveCost(seconds, 2 * (p - 1) * nbytes)
+        seconds = (
+            steps * self.alpha + lat
+            + (2 * (p - 1) / p) * nbytes / self._eff(bw, nbytes)
+        )
+        return CollectiveCost(seconds, 2 * (p - 1) * nbytes, "ring")
 
-    def allgather(self, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+    def _ring_all_gather(self, ranks: Sequence[int], nbytes_local: int) -> CollectiveCost:
         p = len(ranks)
-        if p < 2 or nbytes_local == 0:
-            return CollectiveCost(0.0, 0)
         bw, lat = self._ring(ranks)
-        seconds = (p - 1) * self.alpha + lat + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
-        return CollectiveCost(seconds, p * (p - 1) * nbytes_local)
+        seconds = (
+            (p - 1) * self.alpha + lat
+            + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
+        )
+        return CollectiveCost(seconds, p * (p - 1) * nbytes_local, "ring")
 
-    def reduce_scatter(self, ranks: List[int], nbytes_in: int) -> CollectiveCost:
+    def _ring_reduce_scatter(self, ranks: Sequence[int], nbytes_in: int) -> CollectiveCost:
         p = len(ranks)
-        if p < 2 or nbytes_in == 0:
-            return CollectiveCost(0.0, 0)
         bw, lat = self._ring(ranks)
-        seconds = (p - 1) * self.alpha + lat + ((p - 1) / p) * nbytes_in / self._eff(bw, nbytes_in)
-        return CollectiveCost(seconds, (p - 1) * nbytes_in)
+        seconds = (
+            (p - 1) * self.alpha + lat
+            + ((p - 1) / p) * nbytes_in / self._eff(bw, nbytes_in)
+        )
+        return CollectiveCost(seconds, (p - 1) * nbytes_in, "ring")
 
-    def broadcast(self, ranks: List[int], nbytes: int) -> CollectiveCost:
+    def _ring_broadcast(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
         p = len(ranks)
-        if p < 2 or nbytes == 0:
-            return CollectiveCost(0.0, 0)
         bw, lat = self._ring(ranks)
         seconds = p * self.alpha + lat + nbytes / self._eff(bw, nbytes)
-        return CollectiveCost(seconds, (p - 1) * nbytes)
+        return CollectiveCost(seconds, (p - 1) * nbytes, "ring")
 
-    def reduce(self, ranks: List[int], nbytes: int) -> CollectiveCost:
-        return self.broadcast(ranks, nbytes)  # symmetric ring algorithm
+    _ring_reduce = _ring_broadcast  # symmetric ring algorithm
 
-    def scatter(self, root: int, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+    # -- tree algorithms ---------------------------------------------------------
+
+    def _tree_all_reduce(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
+        """Recursive halving (reduce-scatter) + doubling (allgather):
+        ``2 ceil(log2 p)`` rounds moving ``2(p-1)/p * n`` per rank, bounded
+        by the worst partner pair (round partners span every distance).
+        Rounds use the eager low-latency protocol, so the bandwidth ramp is
+        charged once on the aggregate volume rather than per round."""
+        p = len(ranks)
+        steps = 2 * math.ceil(math.log2(p))
+        bw, lat = self._pairwise(ranks)
+        seconds = (
+            steps * (self.alpha + lat)
+            + (2 * (p - 1) / p) * nbytes / self._eff(bw, nbytes)
+        )
+        return CollectiveCost(seconds, 2 * (p - 1) * nbytes, "tree")
+
+    def _tree_all_gather(self, ranks: Sequence[int], nbytes_local: int) -> CollectiveCost:
+        """Recursive doubling: ceil(log2 p) rounds, same volume as the ring."""
+        p = len(ranks)
+        steps = math.ceil(math.log2(p))
+        bw, lat = self._pairwise(ranks)
+        seconds = (
+            steps * (self.alpha + lat)
+            + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
+        )
+        return CollectiveCost(seconds, p * (p - 1) * nbytes_local, "tree")
+
+    def _tree_reduce_scatter(self, ranks: Sequence[int], nbytes_in: int) -> CollectiveCost:
+        """Recursive halving: ceil(log2 p) rounds, (p-1)/p * n per rank."""
+        p = len(ranks)
+        steps = math.ceil(math.log2(p))
+        bw, lat = self._pairwise(ranks)
+        seconds = (
+            steps * (self.alpha + lat)
+            + ((p - 1) / p) * nbytes_in / self._eff(bw, nbytes_in)
+        )
+        return CollectiveCost(seconds, (p - 1) * nbytes_in, "tree")
+
+    def _tree_broadcast(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
+        """Binomial tree: ceil(log2 p) levels each forwarding the full
+        payload (unpipelined — the ring wins for large messages)."""
+        p = len(ranks)
+        steps = math.ceil(math.log2(p))
+        bw, lat = self._pairwise(ranks)
+        seconds = steps * (self.alpha + lat + nbytes / self._eff(bw, nbytes))
+        return CollectiveCost(seconds, (p - 1) * nbytes, "tree")
+
+    _tree_reduce = _tree_broadcast  # mirrored binomial tree
+
+    # -- hierarchical (two-level island) algorithms ------------------------------
+
+    def _hierarchical_all_reduce(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
+        """Intra-island reduce-scatter -> per-shard-rail inter-island ring
+        allreduce over the slow bridge -> intra-island allgather.  The
+        phases are chunk-pipelined (data term = max of the phase terms) and
+        the ``s`` shard rails of an island drive the bridge concurrently,
+        so each rail only carries ``n/s`` bytes across the slow links."""
+        p = len(ranks)
+        islands = self._islands(ranks)
+        k = len(islands)
+        if k < 2:
+            cost = self._ring_all_reduce(ranks, nbytes)
+            return CollectiveCost(cost.seconds, cost.wire_bytes, "hierarchical")
+        intra, bridge_bw, bridge_lat, k, s = self._island_phases(islands)
+        shard = nbytes / s
+        phases = [
+            self._phase((sz - 1) / sz * nbytes, nbytes, bw) for sz, bw, _lat in intra
+        ]
+        su_intra = max((su for su, _sl in phases), default=0.0)
+        sl_intra = max((sl for _su, sl in phases), default=0.0)
+        su_inter, sl_inter = self._phase(2 * (k - 1) / k * shard, shard, bridge_bw)
+        max_s = max(len(g) for g in islands)
+        max_intra_lat = max((lat for _sz, _bw, lat in intra), default=0.0)
+        steps = 2 * (max_s - 1) + 2 * (k - 1)
+        seconds = (
+            steps * self.alpha
+            + 2 * max_intra_lat + bridge_lat
+            + 2 * su_intra + su_inter
+            + max(sl_intra, sl_inter)
+        )
+        wire = 2 * (p - k) * nbytes + 2 * (k - 1) * nbytes
+        return CollectiveCost(seconds, wire, "hierarchical")
+
+    def _hierarchical_all_gather(
+        self, ranks: Sequence[int], nbytes_local: int
+    ) -> CollectiveCost:
+        """Per-rail inter-island allgather of each member's shard over the
+        bridge, then intra-island allgather of the rail hauls; pipelined."""
+        islands = self._islands(ranks)
+        k = len(islands)
+        if k < 2:
+            cost = self._ring_all_gather(ranks, nbytes_local)
+            return CollectiveCost(cost.seconds, cost.wire_bytes, "hierarchical")
+        intra, bridge_bw, bridge_lat, k, s = self._island_phases(islands)
+        su_inter, sl_inter = self._phase(
+            (k - 1) * nbytes_local, k * nbytes_local, bridge_bw
+        )
+        phases = [
+            self._phase((sz - 1) * k * nbytes_local, sz * k * nbytes_local, bw)
+            for sz, bw, _lat in intra
+        ]
+        su_intra = max((su for su, _sl in phases), default=0.0)
+        sl_intra = max((sl for _su, sl in phases), default=0.0)
+        max_s = max(len(g) for g in islands)
+        max_intra_lat = max((lat for _sz, _bw, lat in intra), default=0.0)
+        steps = (k - 1) + (max_s - 1)
+        seconds = (
+            steps * self.alpha
+            + bridge_lat + max_intra_lat
+            + su_inter + su_intra
+            + max(sl_inter, sl_intra)
+        )
+        wire = s * k * (k - 1) * nbytes_local + k * nbytes_local * sum(
+            len(g) * (len(g) - 1) for g in islands
+        )
+        return CollectiveCost(seconds, wire, "hierarchical")
+
+    def _hierarchical_reduce_scatter(
+        self, ranks: Sequence[int], nbytes_in: int
+    ) -> CollectiveCost:
+        """Intra-island reduce-scatter of the full payload, then per-rail
+        inter-island reduce-scatter of the ``n/s`` shards; pipelined."""
+        p = len(ranks)
+        islands = self._islands(ranks)
+        k = len(islands)
+        if k < 2:
+            cost = self._ring_reduce_scatter(ranks, nbytes_in)
+            return CollectiveCost(cost.seconds, cost.wire_bytes, "hierarchical")
+        intra, bridge_bw, bridge_lat, k, s = self._island_phases(islands)
+        shard = nbytes_in / s
+        phases = [
+            self._phase((sz - 1) / sz * nbytes_in, nbytes_in, bw)
+            for sz, bw, _lat in intra
+        ]
+        su_intra = max((su for su, _sl in phases), default=0.0)
+        sl_intra = max((sl for _su, sl in phases), default=0.0)
+        su_inter, sl_inter = self._phase((k - 1) / k * shard, shard, bridge_bw)
+        max_s = max(len(g) for g in islands)
+        max_intra_lat = max((lat for _sz, _bw, lat in intra), default=0.0)
+        steps = (max_s - 1) + (k - 1)
+        seconds = (
+            steps * self.alpha
+            + max_intra_lat + bridge_lat
+            + su_intra + su_inter
+            + max(sl_intra, sl_inter)
+        )
+        wire = (p - k) * nbytes_in + (k - 1) * nbytes_in
+        return CollectiveCost(seconds, wire, "hierarchical")
+
+    def _hierarchical_broadcast(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
+        """Pipelined ring broadcast over the island leaders, then pipelined
+        ring broadcasts inside every island (concurrent across islands)."""
+        p = len(ranks)
+        islands = self._islands(ranks)
+        k = len(islands)
+        if k < 2:
+            cost = self._ring_broadcast(ranks, nbytes)
+            return CollectiveCost(cost.seconds, cost.wire_bytes, "hierarchical")
+        intra, bridge_bw, bridge_lat, k, _s = self._island_phases(islands)
+        su_inter, sl_inter = self._phase(nbytes, nbytes, bridge_bw)
+        phases = [self._phase(nbytes, nbytes, bw) for _sz, bw, _lat in intra]
+        su_intra = max((su for su, _sl in phases), default=0.0)
+        sl_intra = max((sl for _su, sl in phases), default=0.0)
+        max_s = max(len(g) for g in islands)
+        max_intra_lat = max((lat for _sz, _bw, lat in intra), default=0.0)
+        seconds = (
+            (k + max_s) * self.alpha
+            + bridge_lat + max_intra_lat
+            + su_inter + su_intra
+            + max(sl_inter, sl_intra)
+        )
+        wire = (k - 1) * nbytes + (p - k) * nbytes
+        return CollectiveCost(seconds, wire, "hierarchical")
+
+    _hierarchical_reduce = _hierarchical_broadcast  # mirrored schedule
+
+    # -- collectives ------------------------------------------------------------
+
+    def allreduce(
+        self, ranks: Sequence[int], nbytes: int, algorithm: Optional[str] = None
+    ) -> CollectiveCost:
+        return self._dispatch("all_reduce", ranks, int(nbytes), algorithm)
+
+    def allgather(
+        self, ranks: Sequence[int], nbytes_local: int, algorithm: Optional[str] = None
+    ) -> CollectiveCost:
+        return self._dispatch("all_gather", ranks, int(nbytes_local), algorithm)
+
+    def reduce_scatter(
+        self, ranks: Sequence[int], nbytes_in: int, algorithm: Optional[str] = None
+    ) -> CollectiveCost:
+        return self._dispatch("reduce_scatter", ranks, int(nbytes_in), algorithm)
+
+    def broadcast(
+        self, ranks: Sequence[int], nbytes: int, algorithm: Optional[str] = None
+    ) -> CollectiveCost:
+        return self._dispatch("broadcast", ranks, int(nbytes), algorithm)
+
+    def reduce(
+        self, ranks: Sequence[int], nbytes: int, algorithm: Optional[str] = None
+    ) -> CollectiveCost:
+        return self._dispatch("reduce", ranks, int(nbytes), algorithm)
+
+    def scatter(self, root: int, ranks: Sequence[int], nbytes_local: int) -> CollectiveCost:
         p = len(ranks)
         if p < 2 or nbytes_local == 0:
-            return CollectiveCost(0.0, 0)
+            return _ZERO
         bw, lat = self._star(root, ranks)
-        seconds = (p - 1) * self.alpha + lat + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
-        return CollectiveCost(seconds, (p - 1) * nbytes_local)
+        seconds = (
+            (p - 1) * self.alpha + lat
+            + (p - 1) * nbytes_local / self._eff(bw, p * nbytes_local)
+        )
+        return CollectiveCost(seconds, (p - 1) * nbytes_local, "star")
 
-    def gather(self, root: int, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+    def gather(self, root: int, ranks: Sequence[int], nbytes_local: int) -> CollectiveCost:
         return self.scatter(root, ranks, nbytes_local)
 
-    def all_to_all(self, ranks: List[int], nbytes_local: int) -> CollectiveCost:
+    def all_to_all(self, ranks: Sequence[int], nbytes_local: int) -> CollectiveCost:
         p = len(ranks)
         if p < 2 or nbytes_local == 0:
-            return CollectiveCost(0.0, 0)
+            return _ZERO
         names = self._names(ranks)
-        bw = self.cluster.topology.min_bandwidth(names)
-        seconds = (p - 1) * self.alpha + ((p - 1) / p) * nbytes_local / self._eff(bw, nbytes_local)
-        return CollectiveCost(seconds, (p - 1) * nbytes_local)
+        topo = self.cluster.topology
+        bw = topo.min_bandwidth(names)
+        # worst pair latency — the same per-call latency term every other
+        # collective charges (was dropped before)
+        lat = max(
+            topo.latency(a, b) for a, b in itertools.combinations(names, 2)
+        )
+        seconds = (
+            (p - 1) * self.alpha + lat
+            + ((p - 1) / p) * nbytes_local / self._eff(bw, nbytes_local)
+        )
+        return CollectiveCost(seconds, (p - 1) * nbytes_local, "direct")
 
-    def barrier(self, ranks: List[int]) -> CollectiveCost:
+    def barrier(self, ranks: Sequence[int]) -> CollectiveCost:
         p = len(ranks)
         if p < 2:
-            return CollectiveCost(0.0, 0)
-        return CollectiveCost(self.alpha * math.ceil(math.log2(p)), 0)
+            return _ZERO
+        return CollectiveCost(self.alpha * math.ceil(math.log2(p)), 0, "tree")
 
     def p2p(self, src: int, dst: int, nbytes: int) -> CollectiveCost:
         if nbytes == 0 or src == dst:
-            return CollectiveCost(0.0, 0)
+            return _ZERO
         a = self.cluster.gpus[src].name
         b = self.cluster.gpus[dst].name
         bw, lat = self.cluster.topology.path_stats(a, b)
-        return CollectiveCost(self.alpha + lat + nbytes / self._eff(bw, nbytes), nbytes)
+        return CollectiveCost(
+            self.alpha + lat + nbytes / self._eff(bw, nbytes), nbytes, "direct"
+        )
 
     def host_transfer(self, rank: int, nbytes: int) -> CollectiveCost:
         """CPU <-> GPU transfer (offloading traffic)."""
         if nbytes == 0:
-            return CollectiveCost(0.0, 0)
+            return _ZERO
         bw = self.cluster.h2d_bandwidth(rank)
-        return CollectiveCost(self.alpha + nbytes / self._eff(bw, nbytes), nbytes)
+        return CollectiveCost(
+            self.alpha + nbytes / self._eff(bw, nbytes), nbytes, "direct"
+        )
+
+
+def _check_algorithm(algorithm: str) -> None:
+    valid = ALGORITHMS + ("auto",)
+    if algorithm not in valid:
+        raise ValueError(
+            f"unknown collective algorithm {algorithm!r}; choose from {valid}"
+        )

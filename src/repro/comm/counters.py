@@ -35,9 +35,12 @@ class CommCounters:
     by_op_elements: Dict[str, int] = field(default_factory=dict)
     by_op_calls: Dict[str, int] = field(default_factory=dict)
     by_op_retries: Dict[str, int] = field(default_factory=dict)
+    by_algorithm_bytes: Dict[str, int] = field(default_factory=dict)
+    by_algorithm_calls: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record(self, op: str, wire_bytes: int, wire_elements: int) -> None:
+    def record(self, op: str, wire_bytes: int, wire_elements: int,
+               algorithm: str = "") -> None:
         with self._lock:
             self.bytes_total += wire_bytes
             self.elements_total += wire_elements
@@ -45,6 +48,13 @@ class CommCounters:
             self.by_op_bytes[op] = self.by_op_bytes.get(op, 0) + wire_bytes
             self.by_op_elements[op] = self.by_op_elements.get(op, 0) + wire_elements
             self.by_op_calls[op] = self.by_op_calls.get(op, 0) + 1
+            if algorithm:
+                self.by_algorithm_bytes[algorithm] = (
+                    self.by_algorithm_bytes.get(algorithm, 0) + wire_bytes
+                )
+                self.by_algorithm_calls[algorithm] = (
+                    self.by_algorithm_calls.get(algorithm, 0) + 1
+                )
 
     def record_retry(self, op: str, wire_bytes: int, wire_elements: int,
                      attempts: int = 1) -> None:
@@ -70,6 +80,8 @@ class CommCounters:
             self.by_op_elements.clear()
             self.by_op_calls.clear()
             self.by_op_retries.clear()
+            self.by_algorithm_bytes.clear()
+            self.by_algorithm_calls.clear()
 
     def merged_with(self, other: "CommCounters") -> "CommCounters":
         out = CommCounters()
@@ -87,4 +99,8 @@ class CommCounters:
                 out.by_op_calls[k] = out.by_op_calls.get(k, 0) + v
             for k, v in src.by_op_retries.items():
                 out.by_op_retries[k] = out.by_op_retries.get(k, 0) + v
+            for k, v in src.by_algorithm_bytes.items():
+                out.by_algorithm_bytes[k] = out.by_algorithm_bytes.get(k, 0) + v
+            for k, v in src.by_algorithm_calls.items():
+                out.by_algorithm_calls[k] = out.by_algorithm_calls.get(k, 0) + v
         return out

@@ -35,7 +35,7 @@ FinalizeFn = Callable[
 class _Round:
     __slots__ = (
         "payloads", "entry_times", "results", "done", "claimed", "error",
-        "op", "t_end", "wire_bytes", "retries", "retry_seconds",
+        "op", "t_end", "wire_bytes", "retries", "retry_seconds", "algorithm",
     )
 
     def __init__(self) -> None:
@@ -51,6 +51,7 @@ class _Round:
         self.wire_bytes = 0
         self.retries = 0
         self.retry_seconds = 0.0
+        self.algorithm = ""
 
 
 class ProcessGroup:
@@ -67,7 +68,11 @@ class ProcessGroup:
         self.ranks = list(ranks)
         self.size = len(ranks)
         self._local = {g: i for i, g in enumerate(ranks)}
-        self.cost_model = CostModel(runtime.cluster)
+        self.cost_model = CostModel(
+            runtime.cluster,
+            algorithm=getattr(runtime, "comm_algorithm", "ring"),
+            island_ratio=getattr(runtime, "comm_island_ratio", 0.5),
+        )
         self.counters = CommCounters()
         self._cond = threading.Condition()
         self._rounds: Dict[int, _Round] = {}
@@ -120,11 +125,15 @@ class ProcessGroup:
             results, cost, op, itemsize = finalize({0: payload})
             clock.advance(cost.seconds, "comm")
             if cost.wire_bytes:
-                self.counters.record(op, cost.wire_bytes, cost.wire_elements(itemsize))
+                self.counters.record(
+                    op, cost.wire_bytes, cost.wire_elements(itemsize),
+                    algorithm=cost.algorithm,
+                )
             if tracer is not None:
                 tracer.annotate(
                     my_global_rank, "collective", op, t0, clock.time,
                     wire_bytes=cost.wire_bytes, group_size=1, primary=True,
+                    algo=cost.algorithm,
                 )
             return results[0]
 
@@ -179,8 +188,10 @@ class ProcessGroup:
                         )
                     if cost.wire_bytes:
                         self.counters.record(
-                            op, cost.wire_bytes, cost.wire_elements(itemsize)
+                            op, cost.wire_bytes, cost.wire_elements(itemsize),
+                            algorithm=cost.algorithm,
                         )
+                    rnd.algorithm = cost.algorithm
                     rnd.op = op
                     rnd.t_end = t_end
                     rnd.wire_bytes = cost.wire_bytes
@@ -220,6 +231,7 @@ class ProcessGroup:
                     rnd.entry_times[me], rnd.t_end,
                     wire_bytes=rnd.wire_bytes, group_size=self.size,
                     retries=rnd.retries, primary=(me == 0),
+                    algo=rnd.algorithm,
                 )
                 if rnd.retries:
                     tracer.annotate(

@@ -19,6 +19,8 @@ from typing import Any, Dict, Optional
 
 TENSOR_MODES = ("none", "1d", "2d", "2.5d", "3d", "sequence")
 
+COMM_ALGORITHMS = ("ring", "tree", "hierarchical", "auto")
+
 
 @dataclass
 class TensorParallelConfig:
@@ -80,6 +82,31 @@ class ZeroConfig:
 
 
 @dataclass
+class CommConfig:
+    """Collective-communication knobs.
+
+    ``algorithm=None`` keeps the runtime's default (flat ring); set
+    ``"auto"`` for cost-driven per-call selection or pin one family.
+    ``island_ratio`` is the bandwidth-ratio threshold for fast-link island
+    detection used by the hierarchical algorithms.
+    """
+
+    algorithm: Optional[str] = None
+    island_ratio: float = 0.5
+
+    def validate(self) -> None:
+        if self.algorithm is not None and self.algorithm not in COMM_ALGORITHMS:
+            raise ValueError(
+                f"unknown comm algorithm {self.algorithm!r}; "
+                f"choose from {COMM_ALGORITHMS}"
+            )
+        if not 0.0 < self.island_ratio <= 1.0:
+            raise ValueError(
+                f"comm island_ratio must be in (0, 1], got {self.island_ratio}"
+            )
+
+
+@dataclass
 class Config:
     """Validated top-level configuration."""
 
@@ -88,6 +115,7 @@ class Config:
     data: Optional[int] = None  # inferred from world size when None
     fp16: FP16Config = field(default_factory=FP16Config)
     zero: ZeroConfig = field(default_factory=ZeroConfig)
+    comm: CommConfig = field(default_factory=CommConfig)
     gradient_clipping: float = 0.0
     num_microbatches: int = 1
     seed: int = 0
@@ -120,6 +148,9 @@ class Config:
         zero_d = dict(d.pop("zero", {}) or {})
         if zero_d:
             cfg.zero = ZeroConfig(**zero_d)
+        comm_d = dict(d.pop("comm", {}) or {})
+        if comm_d:
+            cfg.comm = CommConfig(**comm_d)
         if d:
             raise ValueError(f"unknown top-level config keys: {sorted(d)}")
         cfg.validate()
@@ -128,6 +159,7 @@ class Config:
     def validate(self) -> None:
         self.tensor.validate()
         self.zero.validate()
+        self.comm.validate()
         if self.pipeline < 1:
             raise ValueError(f"pipeline size must be >= 1, got {self.pipeline}")
         if self.num_microbatches < 1:

@@ -43,7 +43,20 @@ def launch(
         pc = ParallelContext(ctx, cfg)
         return fn(ctx, pc)
 
-    rt = runtime if runtime is not None else SpmdRuntime(cluster, world_size)
+    if runtime is not None:
+        rt = runtime
+        if cfg.comm.algorithm is not None:
+            rt.set_comm_algorithm(cfg.comm.algorithm)
+    else:
+        rt = SpmdRuntime(
+            cluster, world_size, comm_algorithm=cfg.comm.algorithm or "ring"
+        )
+    if cfg.comm.island_ratio != rt.comm_island_ratio:
+        with rt._group_lock:
+            rt.comm_island_ratio = cfg.comm.island_ratio
+            for grp in rt._groups.values():
+                grp.cost_model.island_ratio = cfg.comm.island_ratio
+                grp.cost_model.selector.clear()
     if tracer is not None:
         tracer.install(rt)
     return rt.run(wrapper, materialize=materialize, seed=cfg.seed)

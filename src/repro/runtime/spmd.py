@@ -137,6 +137,7 @@ class SpmdRuntime:
         fault_plan: Optional[Any] = None,
         retry: Optional[RetryPolicy] = None,
         tracer: Optional[Any] = None,
+        comm_algorithm: str = "ring",
     ) -> None:
         if world_size is None:
             world_size = cluster.world_size
@@ -148,6 +149,18 @@ class SpmdRuntime:
             raise ValueError(
                 f"deadlock_timeout must be positive, got {deadlock_timeout}"
             )
+        from repro.comm.algorithms import ALGORITHMS  # comm builds on runtime
+
+        if comm_algorithm not in ALGORITHMS + ("auto",):
+            raise ValueError(
+                f"unknown comm_algorithm {comm_algorithm!r}; "
+                f"choose from {ALGORITHMS + ('auto',)}"
+            )
+        #: default collective algorithm for every process group's cost model
+        self.comm_algorithm = comm_algorithm
+        #: island-detection bandwidth-ratio threshold for hierarchical
+        #: collectives (see Topology.islands)
+        self.comm_island_ratio = 0.5
         self.cluster = cluster
         self.world_size = world_size
         self.clocks = [SimClock() for _ in range(world_size)]
@@ -202,6 +215,22 @@ class SpmdRuntime:
                 grp = ProcessGroup(self, list(key))
                 self._groups[key] = grp
             return grp
+
+    def set_comm_algorithm(self, algorithm: str) -> None:
+        """Switch the default collective algorithm for this runtime and all
+        already-created process groups (their selector caches are keyed by
+        topology version, so no explicit invalidation is needed)."""
+        from repro.comm.algorithms import ALGORITHMS
+
+        if algorithm not in ALGORITHMS + ("auto",):
+            raise ValueError(
+                f"unknown comm_algorithm {algorithm!r}; "
+                f"choose from {ALGORITHMS + ('auto',)}"
+            )
+        with self._group_lock:
+            self.comm_algorithm = algorithm
+            for grp in self._groups.values():
+                grp.cost_model.algorithm = algorithm
 
     @property
     def world_group(self) -> Any:
@@ -297,9 +326,13 @@ def spmd_launch(
     seed: int = 0,
     fault_plan: Optional[Any] = None,
     tracer: Optional[Any] = None,
+    comm_algorithm: str = "ring",
     **kwargs: Any,
 ) -> List[Any]:
     """One-shot convenience: build a runtime, run ``fn`` on every rank,
     return per-rank results."""
-    rt = SpmdRuntime(cluster, world_size, fault_plan=fault_plan, tracer=tracer)
+    rt = SpmdRuntime(
+        cluster, world_size, fault_plan=fault_plan, tracer=tracer,
+        comm_algorithm=comm_algorithm,
+    )
     return rt.run(fn, *args, materialize=materialize, seed=seed, **kwargs)

@@ -2,8 +2,12 @@
 
 import pytest
 
-from repro.cluster import LinkType, Topology, system_i, system_ii
-from repro.cluster.bandwidth import measure_broadcast_bandwidth, measure_p2p_bandwidth
+from repro.cluster import LinkType, Topology, system_i, system_ii, system_iii
+from repro.cluster.bandwidth import (
+    measure_allreduce_bandwidth,
+    measure_broadcast_bandwidth,
+    measure_p2p_bandwidth,
+)
 from repro.utils.units import GB, MB
 
 
@@ -79,6 +83,103 @@ class TestTopology:
         assert t.bandwidth("n1", "n5") > 0
 
 
+class TestIslandsAndRings:
+    """Topology-aware helpers behind the collective algorithm layer."""
+
+    def test_islands_system_ii_nvlink_pairs(self):
+        c = system_ii()
+        groups = c.topology.islands(c.gpu_names())
+        assert groups == [
+            ["gpu0", "gpu1"], ["gpu2", "gpu3"], ["gpu4", "gpu5"], ["gpu6", "gpu7"],
+        ]
+
+    def test_islands_system_iii_nodes(self):
+        c = system_iii(n_nodes=4)
+        groups = c.topology.islands(c.gpu_names())
+        assert len(groups) == 4
+        assert all(len(g) == 4 for g in groups)
+
+    def test_islands_uniform_single(self):
+        t = Topology.fully_connected(["a", "b", "c", "d"])
+        assert t.islands(["a", "b", "c", "d"]) == [["a", "b", "c", "d"]]
+
+    def test_islands_ratio_one_keeps_only_fastest(self):
+        c = system_ii()
+        # with ratio 1.0 only full-NVLink pairs merge — same as default here
+        assert len(c.topology.islands(c.gpu_names(), ratio=1.0)) == 4
+
+    def test_islands_subgroup(self):
+        c = system_ii()
+        groups = c.topology.islands(["gpu0", "gpu1", "gpu4"])
+        assert groups == [["gpu0", "gpu1"], ["gpu4"]]
+
+    def test_order_ring_preserves_uniform_order(self):
+        t = Topology.fully_connected(["a", "b", "c", "d"])
+        assert t.order_ring(["a", "b", "c", "d"]) == ["a", "b", "c", "d"]
+        assert t.order_ring(["d", "b", "a", "c"]) == ["d", "b", "a", "c"]
+
+    def test_order_ring_hugs_nvlink_pairs(self):
+        c = system_ii()
+        # an interleaved order is rearranged so NVLink partners are adjacent
+        order = c.topology.order_ring(
+            ["gpu0", "gpu2", "gpu1", "gpu3"]
+        )
+        i0, i1 = order.index("gpu0"), order.index("gpu1")
+        assert abs(i0 - i1) in (1, 3)  # adjacent on the ring (mod wrap)
+
+    def test_ring_stats_contention_penalty(self):
+        """Two ring hops sharing one directed physical edge halve its
+        bandwidth; the natural preset orders keep multiplicity 1."""
+        t = Topology()
+        for n in ("a", "b", "c"):
+            t.add_device(n)
+        t.add_link("a", "b", LinkType.PCIE)
+        t.add_link("b", "c", LinkType.PCIE)
+        # ring a-b-c-a: hop c->a routes through b, reusing edges c-b and b-a?
+        # c->a shortest path is c-b-a, so directed edges (c,b) and (b,a) are
+        # used once each, and (a,b)/(b,c) once each: no sharing, full bw
+        bw_chain, _ = t.ring_stats(["a", "b", "c"])
+        assert bw_chain == pytest.approx(16 * GB)
+        # ring a-c-b-a: hop a->c routes a-b-c, hop c->b uses (c,b), hop
+        # b->a uses (b,a): directed edge (b,c) used by a->c only... but
+        # a->c and the return b->a share no directed edge either; use a
+        # 4-node chain where sharing is forced
+        t2 = Topology()
+        for n in ("w", "x", "y", "z"):
+            t2.add_device(n)
+        t2.add_link("w", "x", LinkType.PCIE)
+        t2.add_link("x", "y", LinkType.PCIE)
+        t2.add_link("y", "z", LinkType.PCIE)
+        # ring w-y-x-z-w: w->y (w,x)(x,y); y->x (y,x); x->z (x,y)(y,z);
+        # z->w (z,y)(y,x)(x,w) -> directed (x,y) used 2x, (y,x) used 2x
+        bw_scrambled, _ = t2.ring_stats(["w", "y", "x", "z"])
+        bw_natural, _ = t2.ring_stats(["w", "x", "y", "z"])
+        assert bw_scrambled < bw_natural
+
+    def test_version_bumps_on_link_changes(self):
+        c = system_ii()
+        t = c.topology
+        v0 = t.version
+        t.scale_link("gpu0", "gpu1", 0.5)
+        assert t.version == v0 + 1
+        t.restore_links()
+        assert t.version == v0 + 2
+
+    def test_caches_invalidate_on_scale(self):
+        c = system_ii()
+        t = c.topology
+        names = c.gpu_names()
+        before = t.islands(names)
+        bw_before, _ = t.ring_stats(t.order_ring(names))
+        for a, b in (("gpu0", "gpu1"), ("gpu2", "gpu3"),
+                     ("gpu4", "gpu5"), ("gpu6", "gpu7")):
+            t.scale_link(a, b, 0.01)  # NVLink now slower than PCIe
+        after = t.islands(names)
+        assert after != before  # islands re-detected on the degraded fabric
+        t.restore_links()
+        assert t.islands(names) == before
+
+
 class TestBandwidthProbe:
     """The Fig 10 analogue: System I sustains NVLink rates everywhere;
     System II collapses for distant pairs / wide groups."""
@@ -113,3 +214,12 @@ class TestBandwidthProbe:
         big = measure_p2p_bandwidth(c, 0, 1, nbytes=125 * MB)
         small = measure_p2p_bandwidth(c, 0, 1, nbytes=1024)
         assert big > small  # latency dominates small messages
+
+    def test_allreduce_busbw_auto_recovers_system_ii(self):
+        """The Fig 10 headline with the algorithm layer on: auto selection
+        lifts System II group allreduce well above the flat-ring floor."""
+        c = system_ii()
+        ranks = list(range(8))
+        ring = measure_allreduce_bandwidth(c, ranks, algorithm="ring")
+        auto = measure_allreduce_bandwidth(c, ranks, algorithm="auto")
+        assert auto > 2 * ring

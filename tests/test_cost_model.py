@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.cluster import system_i, system_iv, uniform_cluster
+from repro.cluster import system_i, system_ii, system_iii, system_iv, uniform_cluster
 from repro.comm.cost import CostModel
-from repro.utils.units import GB, MB
+from repro.utils.units import GB, KB, MB
 
 
 class TestBandwidthRamp:
@@ -81,6 +81,123 @@ class TestAlgorithmCosts:
         cm_i = CostModel(system_i())
         nvlink_pair = cm_i.allreduce([0, 1], n).seconds
         assert local_pair > 5 * nvlink_pair
+
+    def test_all_to_all_charges_link_latency(self):
+        """Regression: all_to_all dropped the latency term every other
+        collective charges, so its cost at tiny payloads was below even a
+        single p2p hop's floor."""
+        cm = CostModel(system_i())
+        ranks = list(range(4))
+        cluster = cm.cluster
+        names = cluster.gpu_names(ranks)
+        lat = max(
+            cluster.topology.latency(a, b)
+            for i, a in enumerate(names) for b in names[i + 1:]
+        )
+        a2a = cm.all_to_all(ranks, 1024).seconds
+        floor = (len(ranks) - 1) * cm.alpha + lat
+        assert a2a > floor
+        assert lat > 0
+
+
+class TestCollectiveAlgorithms:
+    """Per-algorithm cost formulas and the cost-driven selector."""
+
+    ALGOS = ("ring", "tree", "hierarchical")
+
+    def test_hierarchical_beats_ring_on_system_ii(self):
+        """The ISSUE acceptance criterion: >= 2x at >= 64 MiB over 8 GPUs."""
+        cm = CostModel(system_ii())
+        ranks = list(range(8))
+        for n in (64 * MB, 125 * MB, 256 * MB):
+            ring = cm.allreduce(ranks, n, algorithm="ring").seconds
+            hier = cm.allreduce(ranks, n, algorithm="hierarchical").seconds
+            assert ring / hier >= 2.0
+
+    def test_hierarchical_matches_ring_wire_bytes(self):
+        """Allreduce moves 2(p-1)n total regardless of schedule; the
+        hierarchical variant just moves most of it over fast links."""
+        cm = CostModel(system_ii())
+        ranks, n = list(range(8)), 8 * MB
+        ring = cm.allreduce(ranks, n, algorithm="ring")
+        hier = cm.allreduce(ranks, n, algorithm="hierarchical")
+        assert ring.wire_bytes == hier.wire_bytes == 2 * 7 * n
+
+    def test_hierarchical_degenerates_to_ring_on_uniform(self):
+        """One island -> the hierarchical schedule *is* the flat ring."""
+        cm = CostModel(system_i())
+        ring = cm.allreduce(range(8), 4 * MB, algorithm="ring")
+        hier = cm.allreduce(range(8), 4 * MB, algorithm="hierarchical")
+        assert hier.seconds == pytest.approx(ring.seconds)
+        assert hier.algorithm == "hierarchical"
+
+    def test_tree_wins_small_hierarchical_wins_large(self):
+        """The System II crossover the selector exists to capture."""
+        cm = CostModel(system_ii())
+        ranks = list(range(8))
+        small = cm.allreduce(ranks, 64 * KB, algorithm="auto")
+        large = cm.allreduce(ranks, 64 * MB, algorithm="auto")
+        assert small.algorithm == "tree"
+        assert large.algorithm == "hierarchical"
+
+    def test_cost_labeled_with_algorithm(self):
+        cm = CostModel(system_ii())
+        for algo in self.ALGOS:
+            for op in ("allreduce", "allgather", "reduce_scatter",
+                       "broadcast", "reduce"):
+                cost = getattr(cm, op)(range(4), MB, algorithm=algo)
+                assert cost.algorithm == algo
+
+    def test_auto_never_worse_than_ring(self):
+        for mk in (system_i, system_ii, system_iii):
+            cm = CostModel(mk())
+            for op in ("allreduce", "allgather", "reduce_scatter",
+                       "broadcast", "reduce"):
+                price = getattr(cm, op)
+                for p in (2, 3, 8):
+                    for n in (512, 64 * KB, MB, 64 * MB):
+                        auto = price(range(p), n, algorithm="auto")
+                        ring = price(range(p), n, algorithm="ring")
+                        assert auto.seconds <= ring.seconds * (1 + 1e-12)
+
+    def test_default_algorithm_is_ring(self):
+        cm = CostModel(system_ii())
+        assert cm.allreduce(range(8), MB).algorithm == "ring"
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective algorithm"):
+            CostModel(system_i(), algorithm="bcube")
+        cm = CostModel(system_i())
+        with pytest.raises(ValueError, match="unknown collective algorithm"):
+            cm.allreduce([0, 1], MB, algorithm="nccl")
+
+    def test_tree_latency_optimal_at_scale(self):
+        """O(log p) steps vs O(p): tree beats ring for tiny payloads on a
+        big flat group."""
+        cm = CostModel(system_iii())
+        ranks = list(range(64))
+        tree = cm.allreduce(ranks, 1024, algorithm="tree").seconds
+        ring = cm.allreduce(ranks, 1024, algorithm="ring").seconds
+        assert tree < ring
+
+    def test_hierarchical_system_iii_multinode(self):
+        """Node-local islands bridged by InfiniBand: the two-level schedule
+        dominates the flat 64-rank ring for big payloads."""
+        cm = CostModel(system_iii())
+        ranks = list(range(64))
+        hier = cm.allreduce(ranks, 64 * MB, algorithm="hierarchical").seconds
+        ring = cm.allreduce(ranks, 64 * MB, algorithm="ring").seconds
+        assert ring / hier > 2
+
+    def test_selector_caches_by_size_bucket(self):
+        cm = CostModel(system_ii(), algorithm="auto")
+        cm.allreduce(range(8), MB)
+        misses = cm.selector.misses
+        cm.allreduce(range(8), MB + 8)  # same power-of-two bucket
+        assert cm.selector.misses == misses
+        assert cm.selector.hits >= 1
+        cm.allreduce(range(8), 64 * MB)  # different bucket
+        assert cm.selector.misses == misses + 1
 
 
 class TestAdaptiveEvictionUnderPressure:

@@ -247,7 +247,12 @@ class TestTimingFaults:
             return ctx.clock.time
 
         base = max(SpmdRuntime(uniform_cluster(4)).run(prog))
-        plan = FaultPlan(seed=fault_seed).degrade_link(src=0, dst=1, factor=0.1)
+        # degrade every link touching rank 0: the topology-aware ring
+        # ordering routes around a single bad edge on a fully-connected
+        # fabric, but rank 0 must still be entered and left once
+        plan = FaultPlan(seed=fault_seed)
+        for dst in (1, 2, 3):
+            plan.degrade_link(src=0, dst=dst, factor=0.1)
         slow = max(SpmdRuntime(uniform_cluster(4), fault_plan=plan).run(prog))
         assert slow > base
 

@@ -16,13 +16,17 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cluster import uniform_cluster
+from repro.cluster import system_i, system_ii, system_iii, uniform_cluster
 from repro.comm.communicator import Communicator
+from repro.comm.cost import CostModel
 from repro.comm.payload import SpecArray
 from repro.runtime import SpmdRuntime
 from repro.runtime.errors import RemoteRankError
 
 WORLD = 4
+
+#: every selectable family plus the selector itself
+ALGOS = ("ring", "tree", "hierarchical", "auto")
 
 DTYPES = ["float32", "float16", "int32"]
 
@@ -45,12 +49,12 @@ def _describe(result):
     return (tuple(result.shape), np.dtype(result.dtype).name)
 
 
-def _run_both_modes(make_args, collective):
+def _run_both_modes(make_args, collective, comm_algorithm="ring"):
     """Run ``collective(comm, *make_args(spec, rank))`` in real and spec
     mode; return the two outcomes as comparable signatures."""
 
     def outcome(spec: bool):
-        rt = SpmdRuntime(uniform_cluster(WORLD))
+        rt = SpmdRuntime(uniform_cluster(WORLD), comm_algorithm=comm_algorithm)
 
         def prog(ctx):
             comm = Communicator.world(ctx)
@@ -231,3 +235,108 @@ class TestPropertyParity:
         real = _assert_parity(make_args, Communicator.all_to_all)
         assert real[0] == "ok"
         assert real[1][0] == [((a, b), dtype)] * WORLD
+
+
+# -- algorithm-independence sweep ------------------------------------------
+
+
+def _real_results(make_args, collective, algo):
+    """Raw per-rank real-mode results on System II (non-trivial islands:
+    NVLink pairs (0,1)/(2,3) bridged by PCIe at world size 4)."""
+    rt = SpmdRuntime(system_ii(), world_size=WORLD, comm_algorithm=algo)
+
+    def prog(ctx):
+        comm = Communicator.world(ctx)
+        return collective(comm, *make_args(False, ctx.rank))
+
+    return rt.run(prog)
+
+
+def _flatten(result):
+    if result is None:
+        return []
+    if isinstance(result, list):
+        return [a for r in result for a in _flatten(r)]
+    return [result]
+
+
+@pytest.mark.comm_algo
+class TestAlgorithmParity:
+    """The algorithm layer only re-prices collectives: results, shapes and
+    dtypes must be bitwise identical under every algorithm in both modes."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(collective_cases())
+    def test_modes_agree_under_every_algorithm(self, case):
+        kind, make_args = case
+        signatures = []
+        for algo in ALGOS:
+            real, spec = _run_both_modes(
+                make_args, getattr(Communicator, kind), comm_algorithm=algo
+            )
+            assert real == spec, f"{algo}:\nreal: {real}\nspec: {spec}"
+            signatures.append(real)
+        assert all(s == signatures[0] for s in signatures[1:]), (
+            f"{kind}: outcome varies across algorithms: {signatures}"
+        )
+
+    @pytest.mark.parametrize("kind,args", [
+        ("all_reduce", ("sum",)),
+        ("all_reduce", ("max",)),
+        ("all_gather", (0,)),
+        ("reduce_scatter", (0, "sum")),
+        ("broadcast", ()),
+        ("reduce", (0, "sum")),
+    ])
+    def test_real_results_bitwise_identical_across_algorithms(self, kind, args):
+        def make_args(spec, rank):
+            payload = _payload(spec, (WORLD, 8), "float32", rank)
+            if kind == "broadcast":
+                return ((payload if rank == 0 else None), 0)
+            return (payload,) + args
+
+        baseline = None
+        for algo in ALGOS:
+            results = _real_results(make_args, getattr(Communicator, kind), algo)
+            flat = [_flatten(r) for r in results]
+            if baseline is None:
+                baseline = flat
+                continue
+            for rank, (got, want) in enumerate(zip(flat, baseline)):
+                assert len(got) == len(want)
+                for g, w in zip(got, want):
+                    assert g.dtype == w.dtype
+                    np.testing.assert_array_equal(
+                        g, w, err_msg=f"{kind}/{algo} rank {rank}"
+                    )
+
+
+@pytest.mark.comm_algo
+class TestSelectorInvariant:
+    """Cost-side contract: the auto-selected algorithm is never costlier
+    than the flat ring, for any sampled op/size/group/topology."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.sampled_from(["allreduce", "allgather", "reduce_scatter",
+                         "broadcast", "reduce"]),
+        st.sampled_from(["uniform", "system_i", "system_ii", "system_iii"]),
+        st.integers(2, 8),
+        st.integers(0, 27),
+        st.integers(1, 7),
+    )
+    def test_auto_cost_at_most_ring(self, op, topo, group, exp, mant):
+        cluster = {
+            "uniform": lambda: uniform_cluster(8),
+            "system_i": system_i,
+            "system_ii": system_ii,
+            "system_iii": system_iii,
+        }[topo]()
+        model = CostModel(cluster)
+        ranks = list(range(min(group, cluster.world_size)))
+        nbytes = mant << exp  # 1 B .. ~900 MB, uneven mantissas
+        price = getattr(model, op)
+        auto = price(ranks, nbytes, algorithm="auto")
+        ring = price(ranks, nbytes, algorithm="ring")
+        assert auto.seconds <= ring.seconds * (1 + 1e-12)
+        assert auto.algorithm in ("ring", "tree", "hierarchical")
