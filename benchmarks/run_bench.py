@@ -1,23 +1,29 @@
 """Headless perf-trajectory runner: re-measures the figure-benchmark
-scenarios that the collective-algorithm layer targets and writes
-``BENCH_<N>.json`` at the repo root, so per-PR performance is tracked in a
-machine-readable file instead of pytest-benchmark console tables.
+scenarios the perf-sensitive layers target and writes ``BENCH_<N>.json``
+at the repo root, so per-PR performance is tracked in a machine-readable
+file instead of pytest-benchmark console tables.
 
-Every scenario records the flat-ring baseline and the auto-selected
-result side by side: simulated seconds, the algorithm auto chose, and the
-total wire bytes.  Run from the repo root::
+Collective scenarios record the flat-ring baseline and the auto-selected
+result side by side (simulated seconds, chosen algorithm, wire bytes);
+the sanitizer section runs the Fig-13b step with the sanitizer off /
+spec-checking / checksumming and records the throughput delta — the
+simulated metrics must be bitwise identical (verification piggybacks on
+existing rounds), so only wall-clock changes.  Run from the repo root::
 
-    PYTHONPATH=src:benchmarks python benchmarks/run_bench.py [--out BENCH_3.json]
+    PYTHONPATH=src:benchmarks python benchmarks/run_bench.py [--out BENCH_4.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import time
 from typing import Any, Dict, List
 
 from repro.cluster import system_i, system_ii, system_iii, uniform_cluster
 from repro.comm import CostModel
+from repro.runtime import SpmdRuntime
+from repro.sanitize import CommSanitizer
 from repro.utils.units import GB, KB, MB
 
 from vit_harness import best_throughput
@@ -87,6 +93,65 @@ def vit_scenarios() -> List[Dict[str, Any]]:
     return out
 
 
+def sanitize_scenarios() -> Dict[str, Any]:
+    """Fig-13b BERT step (SP, 4-way parallel x 2 pipeline stages on System
+    III) with the sanitizer disabled / spec-checking / checksumming.
+
+    The simulated metrics — step seconds, total wire bytes, collective
+    call count — must be *identical* across the three: every check
+    piggybacks on existing rendezvous rounds.  What the sanitizer costs is
+    host wall-clock, reported as the runner-throughput delta.
+    """
+    from bench_fig13_sp_throughput import step_time
+    from repro.cluster import system_iii as _siii
+
+    STAGES, BATCH = 2, 32
+    world = 4 * STAGES
+    variants = {
+        "off": None,
+        "spec_check": lambda: CommSanitizer(),
+        "checksum": lambda: CommSanitizer(checksum=True),
+    }
+    out: Dict[str, Any] = {}
+    for name, mk in variants.items():
+        rt = SpmdRuntime(
+            _siii(n_nodes=world // 4), world,
+            sanitize=None if mk is None else mk(),
+        )
+        t0 = time.perf_counter()
+        sim_seconds = step_time("sp", BATCH, pp_stages=STAGES, runtime=rt)
+        wall = time.perf_counter() - t0
+        wire = sum(g.counters.bytes_total for g in rt._groups.values())
+        calls = sum(g.counters.calls_total for g in rt._groups.values())
+        out[name] = {
+            "sim_step_seconds": sim_seconds,
+            "sim_samples_per_sec": BATCH / sim_seconds,
+            "wire_bytes": wire,
+            "collective_calls": calls,
+            "wall_seconds": round(wall, 4),
+        }
+    base = out["off"]
+    for name in ("spec_check", "checksum"):
+        v = out[name]
+        v["sim_metrics_identical"] = (
+            v["sim_step_seconds"] == base["sim_step_seconds"]
+            and v["wire_bytes"] == base["wire_bytes"]
+            and v["collective_calls"] == base["collective_calls"]
+        )
+        v["wall_overhead_ratio"] = round(
+            v["wall_seconds"] / base["wall_seconds"], 3
+        )
+    return {
+        "scenario": f"system_iii/bert_sp/fig13b/{world}gpu/"
+                    f"pp{STAGES}/batch{BATCH}",
+        "variants": out,
+        "sanitized_vs_unsanitized_sim_throughput_delta": (
+            out["checksum"]["sim_samples_per_sec"]
+            - base["sim_samples_per_sec"]
+        ),
+    }
+
+
 def headline(collectives: List[Dict[str, Any]]) -> Dict[str, Any]:
     """The ISSUE acceptance numbers, pulled out for quick diffing."""
     big = next(
@@ -120,7 +185,7 @@ def headline(collectives: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_3.json")
+    ap.add_argument("--out", default="BENCH_4.json")
     ap.add_argument(
         "--skip-vit", action="store_true",
         help="collective sweeps only (the ViT sweep takes ~1 min)",
@@ -128,12 +193,15 @@ def main() -> None:
     args = ap.parse_args()
 
     collectives = collective_scenarios()
+    sanitize = sanitize_scenarios()
     report: Dict[str, Any] = {
-        "pr": 3,
-        "description": "topology-aware hierarchical collectives with "
-        "cost-driven algorithm selection (flat-ring baseline vs auto)",
+        "pr": 4,
+        "description": "SPMD sanitizer: collective-mismatch detection, "
+        "payload checksums, record/replay — overhead vs unsanitized, on "
+        "top of the PR-3 algorithm-selection scenarios",
         "headline": headline(collectives),
         "collectives": collectives,
+        "sanitizer_fig13b": sanitize,
     }
     if not args.skip_vit:
         report["vit_system_ii_1d"] = vit_scenarios()
@@ -149,6 +217,13 @@ def main() -> None:
         f"{h['system_ii_allreduce_64MiB_algorithm']}"
     )
     print(f"  worst auto/ring ratio: {h['auto_worst_ratio_vs_ring']:.4f}")
+    v = sanitize["variants"]
+    print(
+        f"  Fig-13b sanitizer: sim metrics identical="
+        f"{v['checksum']['sim_metrics_identical']}, wall overhead "
+        f"spec-check {v['spec_check']['wall_overhead_ratio']}x / "
+        f"checksum {v['checksum']['wall_overhead_ratio']}x"
+    )
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from repro.context import ParallelContext, ParallelMode, global_context
 from repro.engine import Engine, initialize, launch
 from repro.faults import FaultPlan
 from repro.runtime import SpmdRuntime, spmd_launch
+from repro.sanitize import CommSanitizer
 from repro.trace import Tracer, TraceReport
 
 __version__ = "1.0.0"
@@ -35,6 +36,7 @@ __all__ = [
     "ParallelContext",
     "ParallelMode",
     "global_context",
+    "CommSanitizer",
     "Engine",
     "FaultPlan",
     "initialize",

@@ -134,7 +134,11 @@ class Communicator:
                 results[local] = membership[c]
             return results, CollectiveCost(self.group.cost_model.alpha, 0), "split", 1
 
-        ranks = self.group.rendezvous(self.global_rank, (color, key), finalize)
+        san = self.group.runtime.sanitizer
+        spec = None if san is None else san.make_spec("split", None, self)
+        ranks = self.group.rendezvous(
+            self.global_rank, (color, key), finalize, spec
+        )
         return Communicator(self.group.runtime.group(ranks), self.global_rank)
 
     def subgroup(self, local_ranks: Sequence[int]) -> "Communicator":
@@ -158,7 +162,10 @@ class Communicator:
             }
             return results, cost, "all_reduce", x.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("all_reduce", x, self, reduce_op=op))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def all_gather(self, x: Payload, axis: int = 0) -> Payload:
         """Concatenate every rank's payload along ``axis``; all ranks receive
@@ -174,7 +181,10 @@ class Communicator:
             }
             return results, cost, "all_gather", x.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("all_gather", x, self, axis=axis))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def reduce_scatter(self, x: Payload, axis: int = 0, op: ReduceOp = "sum") -> Payload:
         """Reduce across the group, then scatter the result: rank i receives
@@ -188,7 +198,10 @@ class Communicator:
             cost = self.group.cost_model.reduce_scatter(self.group.ranks, int(x.nbytes))
             return dict(enumerate(chunks)), cost, "reduce_scatter", x.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None else san.make_spec(
+            "reduce_scatter", x, self, reduce_op=op, axis=axis))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def broadcast(self, x: Optional[Payload], root: int = 0) -> Payload:
         """Send root's payload to every rank (``root`` is a local rank)."""
@@ -204,7 +217,10 @@ class Communicator:
             }
             return results, cost, "broadcast", src.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("broadcast", x, self, root=root))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def reduce(self, x: Payload, root: int = 0, op: ReduceOp = "sum") -> Optional[Payload]:
         """Reduce to the local rank ``root``; other ranks receive ``None``."""
@@ -218,7 +234,10 @@ class Communicator:
             results[root] = combined
             return results, cost, "reduce", x.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None else san.make_spec(
+            "reduce", x, self, reduce_op=op, root=root))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def scatter(self, x: Optional[Payload], root: int = 0, axis: int = 0) -> Payload:
         """Split root's payload into ``size`` chunks along ``axis``; rank i
@@ -234,7 +253,10 @@ class Communicator:
             )
             return dict(enumerate(chunks)), cost, "scatter", src.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("scatter", x, self, root=root, axis=axis))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def gather(self, x: Payload, root: int = 0, axis: int = 0) -> Optional[Payload]:
         """Concatenate payloads on local rank ``root``; others get ``None``."""
@@ -249,7 +271,10 @@ class Communicator:
             results[root] = gathered
             return results, cost, "gather", x.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("gather", x, self, root=root, axis=axis))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def all_to_all(self, chunks: List[Payload]) -> List[Payload]:
         """Personalized exchange: rank i sends ``chunks[j]`` to rank j and
@@ -267,14 +292,19 @@ class Communicator:
             cost = self.group.cost_model.all_to_all(self.group.ranks, nbytes_local)
             return results, cost, "all_to_all", chunks[0].dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, chunks, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None else san.make_spec(
+            "all_to_all", None, self, nchunks=len(chunks)))
+        return self.group.rendezvous(self.global_rank, chunks, finalize, spec)
 
     def barrier(self) -> None:
         def finalize(payloads: Dict[int, Any]):
             cost = self.group.cost_model.barrier(self.group.ranks)
             return {i: None for i in payloads}, cost, "barrier", 1
 
-        self.group.rendezvous(self.global_rank, None, finalize)
+        san = self.group.runtime.sanitizer
+        spec = None if san is None else san.make_spec("barrier", None, self)
+        self.group.rendezvous(self.global_rank, None, finalize, spec)
 
     def ring_pass(self, x: Payload, shift: int = 1) -> Payload:
         """One ring rotation: send to ``(rank+shift) % size``, receive from
@@ -296,7 +326,10 @@ class Communicator:
             cost = CollectiveCost(seconds, wire)
             return results, cost, "ring_pass", x.dtype.itemsize
 
-        return self.group.rendezvous(self.global_rank, x, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("ring_pass", x, self, shift=shift))
+        return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
     def all_gather_object(self, obj: Any) -> List[Any]:
         """Control-plane allgather of small Python objects (OOM flags, batch
@@ -307,7 +340,10 @@ class Communicator:
             cost = self.group.cost_model.allgather(self.group.ranks, _OBJECT_NBYTES)
             return {i: list(ordered) for i in payloads}, cost, "all_gather_object", 1
 
-        return self.group.rendezvous(self.global_rank, obj, finalize)
+        san = self.group.runtime.sanitizer
+        spec = (None if san is None
+                else san.make_spec("all_gather_object", None, self))
+        return self.group.rendezvous(self.global_rank, obj, finalize, spec)
 
     # -- point-to-point ---------------------------------------------------------
 
@@ -328,12 +364,18 @@ class Communicator:
         clock = runtime.clocks[src_g]
         cost = self.group.cost_model.p2p(src_g, dst_g, int(x.nbytes))
         injector = runtime.fault_injector
+        san = runtime.sanitizer
         if injector is not None:
             injector.check_time_crash(src_g, clock.time)
             policy = runtime.retry_policy
             tracer = runtime.tracer
             failures = 0
-            while injector.p2p_verdict(src_g, dst_g) != "deliver":
+            while True:
+                verdict = injector.p2p_verdict(src_g, dst_g)
+                if verdict == "deliver":
+                    break
+                if verdict == "corrupt" and san is not None:
+                    san.note_injected_corruption(src_g, dst_g)
                 failures += 1
                 t0 = clock.time
                 clock.advance(cost.seconds + policy.backoff(failures), "comm")
@@ -352,9 +394,10 @@ class Communicator:
         t_avail = clock.time + cost.seconds
         self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
         payload = x if is_spec(x) else x.copy()
-        runtime.mailboxes.put(
-            (src_g, dst_g, (id(self.group), tag)), (payload, t_avail)
-        )
+        key = (src_g, dst_g, (id(self.group), tag))
+        if san is not None:
+            san.note_send(src_g, dst_g, key, payload)
+        runtime.mailboxes.put(key, (payload, t_avail))
         return cost
 
     def send(self, x: Payload, dst: int, tag: Any = 0) -> None:
@@ -383,9 +426,11 @@ class Communicator:
             )
         clock = runtime.clocks[dst_g]
         t0 = clock.time
-        payload, t_avail = runtime.mailboxes.get(
-            (src_g, dst_g, (id(self.group), tag)), runtime.aborting
-        )
+        key = (src_g, dst_g, (id(self.group), tag))
+        payload, t_avail = runtime.mailboxes.get(key, runtime.aborting)
+        san = runtime.sanitizer
+        if san is not None:
+            san.verify_recv(src_g, dst_g, key, payload)
         clock.sync_to(t_avail, "comm")
         if runtime.tracer is not None:
             runtime.tracer.annotate(

@@ -25,6 +25,10 @@ from repro.runtime.errors import CollectiveTimeout
 
 _POLL_INTERVAL = 0.05
 
+#: shared empty trace-tag mapping — rounds only swap in a real dict when the
+#: sanitizer contributes tags, so the disabled path allocates nothing extra
+_NO_EXTRA: Dict[str, Any] = {}
+
 #: finalize(payloads by local rank) ->
 #:   (results by local rank, cost, op name, itemsize for element accounting)
 FinalizeFn = Callable[
@@ -36,6 +40,7 @@ class _Round:
     __slots__ = (
         "payloads", "entry_times", "results", "done", "claimed", "error",
         "op", "t_end", "wire_bytes", "retries", "retry_seconds", "algorithm",
+        "specs", "trace_extra",
     )
 
     def __init__(self) -> None:
@@ -52,6 +57,9 @@ class _Round:
         self.retries = 0
         self.retry_seconds = 0.0
         self.algorithm = ""
+        # sanitizer state: per-local-rank CollectiveSpec, extra span tags
+        self.specs: Optional[Dict[int, Any]] = None
+        self.trace_extra: Dict[str, Any] = _NO_EXTRA
 
 
 class ProcessGroup:
@@ -105,11 +113,16 @@ class ProcessGroup:
 
     # ------------------------------------------------------------------
 
-    def rendezvous(self, my_global_rank: int, payload: Any, finalize: FinalizeFn) -> Any:
+    def rendezvous(self, my_global_rank: int, payload: Any,
+                   finalize: FinalizeFn, spec: Any = None) -> Any:
         """Enter a collective round; returns this rank's share of the result.
 
         ``finalize`` must be logically identical on all ranks; the last
-        arriver's instance runs.
+        arriver's instance runs.  ``spec`` (a
+        :class:`~repro.sanitize.spec.CollectiveSpec`, built by the
+        communicator only when a sanitizer is installed) declares what this
+        rank believes the call to be; the sanitizer cross-checks the specs
+        when the round fills.
         """
         me = self.local_rank(my_global_rank)
         clock = self.runtime.clocks[my_global_rank]
@@ -119,10 +132,22 @@ class ProcessGroup:
             injector.check_time_crash(my_global_rank, clock.time)
 
         tracer = self.runtime.tracer
+        san = self.runtime.sanitizer
+        if spec is not None:
+            spec.seq = self._seq[my_global_rank]
 
         if self.size == 1:
             t0 = clock.time
+            extra: Dict[str, Any] = _NO_EXTRA
+            if san is not None:
+                san.verify_round(self, self._seq[my_global_rank], {0: spec} if spec else None)
             results, cost, op, itemsize = finalize({0: payload})
+            if san is not None:
+                extra = san.finish_round(
+                    self, self._seq[my_global_rank],
+                    {0: spec} if spec else None, {0: payload}, results,
+                )
+                self._seq[my_global_rank] += 1
             clock.advance(cost.seconds, "comm")
             if cost.wire_bytes:
                 self.counters.record(
@@ -133,7 +158,7 @@ class ProcessGroup:
                 tracer.annotate(
                     my_global_rank, "collective", op, t0, clock.time,
                     wire_bytes=cost.wire_bytes, group_size=1, primary=True,
-                    algo=cost.algorithm,
+                    algo=cost.algorithm, **extra,
                 )
             return results[0]
 
@@ -147,10 +172,22 @@ class ProcessGroup:
                 self._rounds[seq] = rnd
             rnd.payloads[me] = payload
             rnd.entry_times[me] = clock.time
+            if spec is not None:
+                if rnd.specs is None:
+                    rnd.specs = {}
+                rnd.specs[me] = spec
 
-            if len(rnd.payloads) == self.size:
+            if rnd.done:
+                # The round already failed (a sanitizer desync verdict)
+                # while this rank was on its way; claim the error below.
+                pass
+            elif len(rnd.payloads) == self.size:
                 # Last arriver finalizes on behalf of everyone.
+                race_token = None
                 try:
+                    if san is not None:
+                        san.verify_round(self, seq, rnd.specs)
+                        race_token = san.race_acquire(self, rnd.payloads)
                     results, cost, op, itemsize = finalize(rnd.payloads)
                     failures, permanent = 0, False
                     retry_seconds = 0.0
@@ -158,6 +195,10 @@ class ProcessGroup:
                         failures, permanent = injector.collective_verdict(
                             op, self.ranks, seq
                         )
+                        if (failures or permanent) and san is not None:
+                            san.note_injected_glitch(
+                                op, self.ranks, failures, permanent
+                            )
                         if permanent:
                             # Exhaust the full retransmission budget, then
                             # give up: every member raises the timeout.
@@ -191,6 +232,12 @@ class ProcessGroup:
                             op, cost.wire_bytes, cost.wire_elements(itemsize),
                             algorithm=cost.algorithm,
                         )
+                    if san is not None:
+                        rnd.trace_extra = san.finish_round(
+                            self, seq, rnd.specs, rnd.payloads, results,
+                            race_token,
+                        )
+                        race_token = None  # released by finish_round
                     rnd.algorithm = cost.algorithm
                     rnd.op = op
                     rnd.t_end = t_end
@@ -199,21 +246,42 @@ class ProcessGroup:
                     rnd.retry_seconds = retry_seconds
                     rnd.results = results
                 except BaseException as exc:  # propagate to all members
+                    if race_token is not None:
+                        san.race_release(race_token)
                     rnd.error = exc
                 rnd.done = True
                 self._cond.notify_all()
             else:
                 deadline = self.runtime.deadlock_timeout
-                while not rnd.done:
-                    if self.runtime.aborting():
-                        self.runtime.check_abort()
-                    if deadline <= 0:
-                        raise CollectiveTimeout(
-                            "collective", self.ranks,
-                            timeout=self.runtime.deadlock_timeout,
-                        )
-                    self._cond.wait(_POLL_INTERVAL)
-                    deadline -= _POLL_INTERVAL
+                if san is not None:
+                    san.enter_wait(my_global_rank, self, seq, spec, rnd)
+                try:
+                    while not rnd.done:
+                        if self.runtime.aborting():
+                            self.runtime.check_abort()
+                        if san is not None:
+                            err = san.check_stalled(self, seq, rnd)
+                            if err is not None and not rnd.done:
+                                rnd.error = err
+                                rnd.done = True
+                                self._cond.notify_all()
+                                if tracer is not None:
+                                    tracer.instant(
+                                        my_global_rank,
+                                        f"sanitizer:{type(err).__name__}",
+                                        clock.time,
+                                    )
+                                break
+                        if deadline <= 0:
+                            raise CollectiveTimeout(
+                                "collective", self.ranks,
+                                timeout=self.runtime.deadlock_timeout,
+                            )
+                        self._cond.wait(_POLL_INTERVAL)
+                        deadline -= _POLL_INTERVAL
+                finally:
+                    if san is not None:
+                        san.exit_wait(my_global_rank)
 
             if rnd.error is not None:
                 rnd.claimed += 1
@@ -231,7 +299,7 @@ class ProcessGroup:
                     rnd.entry_times[me], rnd.t_end,
                     wire_bytes=rnd.wire_bytes, group_size=self.size,
                     retries=rnd.retries, primary=(me == 0),
-                    algo=rnd.algorithm,
+                    algo=rnd.algorithm, **rnd.trace_extra,
                 )
                 if rnd.retries:
                     tracer.annotate(

@@ -107,6 +107,56 @@ class CommConfig:
 
 
 @dataclass
+class SanitizeConfig:
+    """SPMD sanitizer knobs (``repro.sanitize``).
+
+    ``enabled`` turns on cross-rank collective call-spec checking (op,
+    shape/dtype signature, reduce op, membership, sequence number) —
+    divergences raise :class:`~repro.sanitize.errors.CollectiveMismatch`
+    or ``CollectiveDesync`` instead of hanging.  ``checksum`` adds payload
+    CRCs (p2p end-to-end, collective input/result digests); ``race`` arms
+    the shared-buffer race detector; ``record`` writes each rank's op
+    stream to a golden file after the run; ``replay`` conformance-checks
+    the run against an existing golden file.
+    """
+
+    enabled: bool = False
+    checksum: bool = False
+    race: bool = False
+    callsites: bool = True
+    record: Optional[str] = None
+    replay: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.record is not None and self.replay is not None:
+            raise ValueError(
+                "sanitize.record and sanitize.replay are mutually exclusive "
+                "(one run either produces or consumes a golden file)"
+            )
+        if not self.enabled and (
+            self.checksum or self.race or self.record or self.replay
+        ):
+            raise ValueError(
+                "sanitize.enabled must be true to use checksum/race/"
+                "record/replay"
+            )
+
+    def build(self) -> Any:
+        """Instantiate the configured :class:`CommSanitizer` (raises
+        ``ValueError`` when the section is disabled)."""
+        if not self.enabled:
+            raise ValueError("sanitize section is disabled")
+        from repro.sanitize import CommSanitizer
+
+        return CommSanitizer(
+            checksum=self.checksum,
+            race=self.race,
+            callsites=self.callsites,
+            replay=self.replay,
+        )
+
+
+@dataclass
 class Config:
     """Validated top-level configuration."""
 
@@ -116,6 +166,7 @@ class Config:
     fp16: FP16Config = field(default_factory=FP16Config)
     zero: ZeroConfig = field(default_factory=ZeroConfig)
     comm: CommConfig = field(default_factory=CommConfig)
+    sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
     gradient_clipping: float = 0.0
     num_microbatches: int = 1
     seed: int = 0
@@ -151,6 +202,11 @@ class Config:
         comm_d = dict(d.pop("comm", {}) or {})
         if comm_d:
             cfg.comm = CommConfig(**comm_d)
+        sanitize_d = dict(d.pop("sanitize", {}) or {})
+        if sanitize_d:
+            # any sanitize key implies the section is wanted
+            sanitize_d.setdefault("enabled", True)
+            cfg.sanitize = SanitizeConfig(**sanitize_d)
         if d:
             raise ValueError(f"unknown top-level config keys: {sorted(d)}")
         cfg.validate()
@@ -160,6 +216,7 @@ class Config:
         self.tensor.validate()
         self.zero.validate()
         self.comm.validate()
+        self.sanitize.validate()
         if self.pipeline < 1:
             raise ValueError(f"pipeline size must be >= 1, got {self.pipeline}")
         if self.num_microbatches < 1:

@@ -36,7 +36,10 @@ def launch(
     built from ``config``.  Returns per-rank results.
 
     Pass ``tracer=`` (a :class:`repro.trace.Tracer`) to record a per-rank
-    timeline of the run."""
+    timeline of the run.  A ``sanitize`` config section arms the SPMD
+    sanitizer (``repro.sanitize``) for the run; with ``sanitize.record``
+    set, each rank's op stream is saved to that golden file after a clean
+    run."""
     cfg = config if isinstance(config, Config) else Config.from_dict(config)
 
     def wrapper(ctx: RankContext) -> Any:
@@ -59,7 +62,18 @@ def launch(
                 grp.cost_model.selector.clear()
     if tracer is not None:
         tracer.install(rt)
-    return rt.run(wrapper, materialize=materialize, seed=cfg.seed)
+    san = None
+    if cfg.sanitize.enabled and rt.sanitizer is None:
+        san = cfg.sanitize.build()
+        san.install(rt)
+    try:
+        results = rt.run(wrapper, materialize=materialize, seed=cfg.seed)
+        if san is not None and cfg.sanitize.record:
+            san.save_golden(cfg.sanitize.record)
+        return results
+    finally:
+        if san is not None:
+            san.uninstall()
 
 
 def initialize(

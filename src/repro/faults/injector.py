@@ -19,6 +19,11 @@ Crash events fire **once per injector** (not once per run): after an
 aborted run the "node" is considered replaced, so a resumed program on the
 same runtime does not immediately re-crash.  All other fault budgets reset
 on :meth:`install`, i.e. per run.
+
+When a :class:`~repro.sanitize.CommSanitizer` runs in checksum mode it
+attributes every injector-scheduled corruption/glitch to the fault plan
+(``ChecksumEvent(injected=True)``) — so a checksum mismatch the injector
+does **not** own is reported as a logic bug, not noise.
 """
 
 from __future__ import annotations

@@ -125,6 +125,30 @@ def _make_abort_error() -> SpmdAborted:
     return SpmdAborted(failed_rank, cause)
 
 
+def _resolve_sanitizer(sanitize: Any) -> Any:
+    """Accept the ``sanitize=`` runtime argument in any of its forms:
+    ``True`` (all default checks), a :class:`~repro.config.SanitizeConfig`,
+    or a ready :class:`~repro.sanitize.CommSanitizer`."""
+    from repro.config import SanitizeConfig
+    from repro.sanitize import CommSanitizer
+
+    if isinstance(sanitize, CommSanitizer):
+        return sanitize
+    if sanitize is True:
+        return CommSanitizer(checksum=True, race=True)
+    if isinstance(sanitize, SanitizeConfig):
+        san = sanitize.build()
+        if san is None:
+            raise ValueError(
+                "sanitize config has enabled=False; pass None instead"
+            )
+        return san
+    raise TypeError(
+        f"sanitize must be True, a SanitizeConfig or a CommSanitizer, "
+        f"got {type(sanitize).__name__}"
+    )
+
+
 class SpmdRuntime:
     """Owns the cluster, clocks, process-group registry and mailboxes for one
     SPMD program (or a sequence of them over the same cluster)."""
@@ -138,6 +162,7 @@ class SpmdRuntime:
         retry: Optional[RetryPolicy] = None,
         tracer: Optional[Any] = None,
         comm_algorithm: str = "ring",
+        sanitize: Optional[Any] = None,
     ) -> None:
         if world_size is None:
             world_size = cluster.world_size
@@ -182,6 +207,11 @@ class SpmdRuntime:
         self.tracer: Optional[Any] = None
         if tracer is not None:
             tracer.install(self)
+        #: communication sanitizer (repro.sanitize.CommSanitizer) or None;
+        #: like the tracer, every hook site gates on this being non-None.
+        self.sanitizer: Optional[Any] = None
+        if sanitize is not None and sanitize is not False:
+            _resolve_sanitizer(sanitize).install(self)
 
     # -- failure propagation -------------------------------------------------
 
@@ -259,6 +289,8 @@ class SpmdRuntime:
         self._reset_comm_state()
         if self.fault_injector is not None:
             self.fault_injector.install(self)
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run(self)
         self._abort.clear()
         self.failure = None
 
@@ -286,6 +318,8 @@ class SpmdRuntime:
                         error=type(exc).__name__,
                     )
             finally:
+                if self.sanitizer is not None:
+                    self.sanitizer.on_rank_done(rank)
                 _thread_local.ctx = None
 
         threads = [
@@ -297,6 +331,10 @@ class SpmdRuntime:
         for t in threads:
             t.join()
 
+        if self.sanitizer is not None:
+            # on a clean replayed run, a golden stream the program stopped
+            # short of is itself a divergence and raises here
+            self.sanitizer.end_run(ok=self.failure is None)
         if self.failure is not None:
             rank, cause = self.failure
             raise RemoteRankError(rank, cause) from cause
@@ -327,12 +365,13 @@ def spmd_launch(
     fault_plan: Optional[Any] = None,
     tracer: Optional[Any] = None,
     comm_algorithm: str = "ring",
+    sanitize: Optional[Any] = None,
     **kwargs: Any,
 ) -> List[Any]:
     """One-shot convenience: build a runtime, run ``fn`` on every rank,
     return per-rank results."""
     rt = SpmdRuntime(
         cluster, world_size, fault_plan=fault_plan, tracer=tracer,
-        comm_algorithm=comm_algorithm,
+        comm_algorithm=comm_algorithm, sanitize=sanitize,
     )
     return rt.run(fn, *args, materialize=materialize, seed=seed, **kwargs)

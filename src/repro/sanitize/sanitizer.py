@@ -1,0 +1,615 @@
+"""The cross-rank communication sanitizer.
+
+:class:`CommSanitizer` is the runtime correctness checker for the threaded
+SPMD runtime (the analogue of ``TORCH_DISTRIBUTED_DEBUG=DETAIL`` plus parts
+of compute-sanitizer).  Installed on a :class:`~repro.runtime.spmd.SpmdRuntime`
+it piggybacks on every :meth:`ProcessGroup.rendezvous
+<repro.comm.group.ProcessGroup.rendezvous>` and p2p transfer — never adding
+a collective round of its own — and provides four facilities:
+
+1. **Mismatch detection** — every member rank's
+   :class:`~repro.sanitize.spec.CollectiveSpec` is cross-checked when a
+   round fills; incompatible calls raise
+   :class:`~repro.sanitize.errors.CollectiveMismatch` naming the divergent
+   ranks and their Python call sites.
+2. **Desync detection** — a rank blocked in a round polls the sanitizer,
+   which diagnoses peers that already exited the program or are parked in
+   other rounds forming a wait-for cycle, raising
+   :class:`~repro.sanitize.errors.CollectiveDesync` instead of letting the
+   round die of ``deadlock_timeout``.
+3. **Payload checksums** (``checksum=True``) — CRC32 of every payload on
+   both sides of the wire; corruption is attributed to the fault injector
+   (scheduled :class:`~repro.faults.plan.MessageFault`) or flagged as a
+   logic bug via :class:`~repro.sanitize.errors.ChecksumMismatch`.  Result
+   digests feed the trace-span ``digest`` tag and the cross-algorithm
+   bitwise-parity assertions.
+4. **Shared-buffer race detection** (``race=True``) — numpy buffers handed
+   to a collective are frozen (``writeable=False``) while in flight; result
+   buffers that alias another rank's input (e.g. ``ring_pass``) stay frozen
+   as *loans*, so a later mutation by the owner raises at the guilty line
+   instead of silently corrupting the borrower.
+
+All state is per-run (reset by :meth:`begin_run`); every hook in the hot
+path gates on ``runtime.sanitizer is None`` so the disabled cost is one
+attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.payload import is_spec
+from repro.sanitize.errors import (
+    ChecksumMismatch,
+    CollectiveDesync,
+    CollectiveMismatch,
+    ReplayDivergence,
+    SharedBufferRace,
+)
+from repro.sanitize.replay import (
+    GOLDEN_VERSION,
+    OpRecord,
+    load_golden,
+    make_record,
+    records_equal,
+    save_golden,
+)
+from repro.sanitize.spec import (
+    CollectiveSpec,
+    _shape_dtype,
+    call_signature,
+    capture_callsite,
+)
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC32 of a payload's identity: shape+dtype header plus raw bytes for
+    ndarrays, shape+dtype only for :class:`SpecArray` stand-ins, recursive
+    combination for chunk lists, ``repr`` for control-plane objects."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        head = zlib.crc32(repr((payload.shape, payload.dtype.str)).encode())
+        return zlib.crc32(np.ascontiguousarray(payload).tobytes(), head)
+    if is_spec(payload):
+        return zlib.crc32(
+            repr((payload.shape, payload.dtype.name, "spec")).encode()
+        )
+    if isinstance(payload, (list, tuple)):
+        crc = len(payload)
+        for p in payload:
+            crc = zlib.crc32(
+                payload_checksum(p).to_bytes(4, "little"), crc
+            )
+        return crc
+    return zlib.crc32(repr(payload).encode())
+
+
+@dataclass
+class ChecksumEvent:
+    """One observed payload-integrity incident."""
+
+    kind: str  #: "p2p" | "collective"
+    op: str
+    src: int
+    dst: int
+    injected: bool  #: True when the fault injector scheduled it
+    healed: bool  #: True when the retry layer retransmitted successfully
+    expected: Optional[int] = None
+    actual: Optional[int] = None
+
+
+@dataclass(eq=False)
+class _Frozen:
+    """One buffer frozen for the duration of a rendezvous round."""
+
+    arr: np.ndarray
+    prior_writeable: bool
+    crc: int
+    owner_local: int
+    owner_global: int
+
+
+def _arrays_of(payload: Any) -> List[np.ndarray]:
+    if isinstance(payload, np.ndarray):
+        return [payload]
+    if isinstance(payload, (list, tuple)):
+        return [a for p in payload for a in _arrays_of(p)]
+    return []
+
+
+class BufferRaceDetector:
+    """Ownership tracker for numpy buffers handed to collectives.
+
+    While a round is in flight every real payload is made read-only; at
+    round completion buffers are released unless a *different* rank's
+    result aliases them (``np.shares_memory``), in which case the buffer
+    stays frozen as a recorded loan until :meth:`final_release` — mutating
+    it raises numpy's read-only ``ValueError`` at the guilty call site,
+    which is exactly the "mutation while in flight" the detector exists to
+    catch.  Loans whose bytes changed anyway (mutation through an aliasing
+    base array that escaped the freeze) are reported as violations.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._loaned: List[Tuple[_Frozen, str, int]] = []
+        self.loans: List[Dict[str, Any]] = []
+        self.violations: List[SharedBufferRace] = []
+
+    def reset(self) -> None:
+        with self._lock:
+            self._release([f for f, _, _ in self._loaned])
+            self._loaned.clear()
+            self.loans.clear()
+            self.violations.clear()
+
+    def acquire(self, payloads: Dict[int, Any],
+                to_global: Sequence[int]) -> List[_Frozen]:
+        """Freeze every real payload buffer of a filling round; returns the
+        token to pass back to :meth:`verify_and_release`."""
+        token: List[_Frozen] = []
+        for local, p in payloads.items():
+            for arr in _arrays_of(p):
+                prior = bool(arr.flags.writeable)
+                if prior:
+                    arr.flags.writeable = False
+                token.append(_Frozen(
+                    arr, prior, payload_checksum(arr), local, to_global[local]
+                ))
+        return token
+
+    def verify_and_release(self, op: str, token: List[_Frozen],
+                           results: Dict[int, Any],
+                           to_global: Sequence[int]) -> None:
+        """Check in-flight integrity, record cross-rank aliases as loans
+        (kept frozen), release everything else."""
+        loaned: List[_Frozen] = []
+        for entry in token:
+            if payload_checksum(entry.arr) != entry.crc:
+                raise SharedBufferRace(
+                    op, entry.owner_global,
+                    "input buffer mutated while the collective was in flight",
+                )
+            borrowers = [
+                to_global[local]
+                for local, res in results.items()
+                if local != entry.owner_local and any(
+                    np.shares_memory(r, entry.arr) for r in _arrays_of(res)
+                )
+            ]
+            if borrowers:
+                loaned.append(entry)
+                with self._lock:
+                    self._loaned.append((entry, op, entry.owner_global))
+                    self.loans.append({
+                        "op": op,
+                        "owner": entry.owner_global,
+                        "borrowers": borrowers,
+                    })
+        self._release([e for e in token if e not in loaned])
+
+    def release(self, token: List[_Frozen]) -> None:
+        """Error-path release: restore every buffer of an aborted round."""
+        self._release(token)
+
+    def final_release(self) -> List[SharedBufferRace]:
+        """End of run: verify loaned buffers were never mutated, then
+        restore their writeable flags.  Returns (and records) violations."""
+        with self._lock:
+            out = []
+            for entry, op, owner in self._loaned:
+                if payload_checksum(entry.arr) != entry.crc:
+                    out.append(SharedBufferRace(
+                        op, owner,
+                        "loaned buffer mutated while a peer rank still "
+                        "held a reference to it",
+                    ))
+            self._release([f for f, _, _ in self._loaned])
+            self._loaned.clear()
+            self.violations.extend(out)
+            return list(out)
+
+    @staticmethod
+    def _release(entries: List[_Frozen]) -> None:
+        for entry in entries:
+            if entry.prior_writeable:
+                try:
+                    entry.arr.flags.writeable = True
+                except ValueError:  # view of a read-only base
+                    pass
+
+
+@dataclass
+class _WaitState:
+    group: Any
+    seq: int
+    spec: Optional[CollectiveSpec]
+    rnd: Any
+
+
+class CommSanitizer:
+    """Runtime cross-rank correctness checker (see module docstring).
+
+    Parameters
+    ----------
+    checksum:
+        Hash payloads on both sides of every transfer and attach result
+        digests to collective records and trace spans.
+    race:
+        Enable the :class:`BufferRaceDetector`.
+    callsites:
+        Capture the Python call site of every collective (stack walk; turn
+        off to cheapen heavily-instrumented runs).
+    replay:
+        A golden document (from :func:`repro.sanitize.replay.load_golden`)
+        or a path to one; the live op stream is conformance-checked against
+        it and diverging ops raise :class:`ReplayDivergence`.
+    """
+
+    def __init__(self, *, checksum: bool = False, race: bool = False,
+                 callsites: bool = True,
+                 replay: Optional[Any] = None) -> None:
+        self.checksum = checksum
+        self.capture_callsites = callsites
+        self.race_detector = BufferRaceDetector() if race else None
+        if isinstance(replay, str):
+            replay = load_golden(replay)
+        self._replay: Optional[Dict[str, Any]] = replay
+        self._lock = threading.Lock()
+        self._streams: Dict[int, List[OpRecord]] = {}
+        self._send_crcs: Dict[Any, List[int]] = {}
+        self._waiting: Dict[int, _WaitState] = {}
+        self._done: set = set()
+        self._world = 0
+        self._runtime: Optional[Any] = None
+        self.events: List[ChecksumEvent] = []
+        self.rounds_checked = 0
+        self.mismatches = 0
+        self.desyncs = 0
+        self.p2p_checked = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, runtime: Any) -> "CommSanitizer":
+        """Attach to ``runtime``: every comm hook gates on
+        ``runtime.sanitizer`` being non-None."""
+        if self._runtime is not None and self._runtime is not runtime:
+            self.uninstall()
+        self._runtime = runtime
+        self._world = runtime.world_size
+        runtime.sanitizer = self
+        return self
+
+    def uninstall(self) -> None:
+        rt = self._runtime
+        if rt is None:
+            return
+        rt.sanitizer = None
+        self._runtime = None
+
+    def begin_run(self, runtime: Any) -> None:
+        """Per-run reset (called from :meth:`SpmdRuntime.run`)."""
+        with self._lock:
+            self._streams.clear()
+            self._send_crcs.clear()
+            self._waiting.clear()
+            self._done.clear()
+            self._world = runtime.world_size
+            self.events.clear()
+            self.rounds_checked = 0
+            self.mismatches = 0
+            self.desyncs = 0
+            self.p2p_checked = 0
+        if self.race_detector is not None:
+            self.race_detector.reset()
+
+    def end_run(self, ok: bool) -> None:
+        """Post-run: release race-detector freezes; on a clean replay run,
+        a golden stream the program did not finish is itself a divergence."""
+        if self.race_detector is not None:
+            self.race_detector.final_release()
+        if ok and self._replay is not None:
+            with self._lock:
+                for rank in sorted(self._replay["streams"]):
+                    golden = self._replay["streams"][rank]
+                    live = len(self._streams.get(rank, ()))
+                    if live < len(golden):
+                        raise ReplayDivergence(rank, live, golden[live], None)
+
+    def on_rank_done(self, rank: int) -> None:
+        with self._lock:
+            self._done.add(rank)
+
+    # -- spec construction (called from Communicator, sanitizer-gated) ------
+
+    def make_spec(self, op: str, payload: Any, comm: Any,
+                  **params: Any) -> CollectiveSpec:
+        contributes = True
+        if op in ("broadcast", "scatter"):
+            root = params.get("root")
+            contributes = (
+                root is not None
+                and comm.group.global_rank(int(root)) == comm.global_rank
+            )
+        return CollectiveSpec(
+            op=op,
+            signature=call_signature(op, payload, **params),
+            global_rank=comm.global_rank,
+            group_ranks=tuple(comm.group.ranks),
+            callsite=capture_callsite() if self.capture_callsites else "",
+            contributes=contributes,
+        )
+
+    # -- rendezvous hooks ----------------------------------------------------
+
+    def verify_round(self, group: Any, seq: int,
+                     specs: Optional[Dict[int, CollectiveSpec]]) -> None:
+        """Cross-check every member's call spec once a round is full."""
+        if not specs:
+            return
+        sides: Dict[str, List[int]] = {}
+        callsites: Dict[int, str] = {}
+        for local in sorted(specs):
+            s = specs[local]
+            g = group.ranks[local]
+            sides.setdefault(s.signature, []).append(g)
+            if s.callsite:
+                callsites[g] = s.callsite
+        if len(sides) > 1:
+            with self._lock:
+                self.mismatches += 1
+            raise CollectiveMismatch(group.ranks, seq, sides, callsites)
+        with self._lock:
+            self.rounds_checked += 1
+
+    def race_acquire(self, group: Any,
+                     payloads: Dict[int, Any]) -> Optional[List[_Frozen]]:
+        if self.race_detector is None:
+            return None
+        return self.race_detector.acquire(payloads, group.ranks)
+
+    def race_release(self, token: Optional[List[_Frozen]]) -> None:
+        if token and self.race_detector is not None:
+            self.race_detector.release(token)
+
+    def finish_round(self, group: Any, seq: int,
+                     specs: Optional[Dict[int, CollectiveSpec]],
+                     payloads: Dict[int, Any], results: Dict[int, Any],
+                     race_token: Optional[List[_Frozen]] = None,
+                     ) -> Dict[str, Any]:
+        """Successful round epilogue: race verification, per-rank op-stream
+        records (with checksums when enabled), replay conformance.  Returns
+        the extra tags for the round's trace spans."""
+        op = next(iter(specs.values())).op if specs else "collective"
+        if race_token is not None and self.race_detector is not None:
+            self.race_detector.verify_and_release(
+                op, race_token, results, group.ranks
+            )
+        digest: Optional[int] = None
+        with self._lock:
+            for local in sorted(payloads):
+                g = group.ranks[local]
+                spec = specs.get(local) if specs else None
+                crc = rcrc = None
+                if self.checksum:
+                    if spec is None or spec.contributes:
+                        crc = payload_checksum(payloads[local])
+                    rcrc = payload_checksum(results.get(local))
+                    digest = zlib.crc32(
+                        rcrc.to_bytes(4, "little"),
+                        digest if digest is not None else 0,
+                    )
+                rec = make_record(
+                    "collective", op,
+                    spec.signature if spec else op,
+                    group=list(group.ranks), seq=seq, crc=crc,
+                )
+                if rcrc is not None:
+                    rec["rcrc"] = rcrc
+                self._append_record_locked(g, rec)
+        extra: Dict[str, Any] = {"sanitized": True}
+        if digest is not None:
+            extra["digest"] = digest
+        return extra
+
+    # -- desync detection ----------------------------------------------------
+
+    def enter_wait(self, rank: int, group: Any, seq: int,
+                   spec: Optional[CollectiveSpec], rnd: Any) -> None:
+        with self._lock:
+            self._waiting[rank] = _WaitState(group, seq, spec, rnd)
+
+    def exit_wait(self, rank: int) -> None:
+        with self._lock:
+            self._waiting.pop(rank, None)
+
+    def check_stalled(self, group: Any, seq: int, rnd: Any) -> Optional[BaseException]:
+        """Called from the rendezvous wait loop (group condition held).
+        Returns a :class:`CollectiveDesync` when the round provably cannot
+        complete; ``None`` while completion is still possible."""
+        arrived_locals = set(rnd.payloads)
+        missing = [group.ranks[l] for l in range(group.size)
+                   if l not in arrived_locals]
+        if not missing:
+            return None
+        with self._lock:
+            exited = sorted(g for g in missing if g in self._done)
+            if exited:
+                self.desyncs += 1
+                return self._desync(
+                    group, seq, rnd, exited,
+                    "already exited the program without reaching it",
+                )
+            parked = self._find_wait_cycle(group, rnd, missing)
+        if parked is not None:
+            with self._lock:
+                self.desyncs += 1
+            return self._desync(group, seq, rnd, [g for g, _ in parked],
+                                "are parked in other collectives forming a "
+                                "wait cycle: "
+                                + "; ".join(d for _, d in parked))
+        return None
+
+    def _find_wait_cycle(self, group: Any, rnd: Any, missing: List[int],
+                         ) -> Optional[List[Tuple[int, str]]]:
+        """BFS over the wait-for graph: does some missing rank transitively
+        wait on a rank already parked in *this* round?  (Lock held.)"""
+        arrived = {group.ranks[l] for l in rnd.payloads}
+        seen: set = set()
+        frontier = [g for g in missing if g in self._waiting]
+        entry: Dict[int, _WaitState] = {}
+        try:
+            while frontier:
+                g = frontier.pop()
+                if g in seen:
+                    continue
+                seen.add(g)
+                ws = self._waiting.get(g)
+                if ws is None or ws.rnd.done:
+                    continue
+                entry.setdefault(g, ws)
+                w_arrived = set(ws.rnd.payloads)
+                w_missing = [ws.group.ranks[l] for l in range(ws.group.size)
+                             if l not in w_arrived]
+                if any(m in arrived for m in w_missing):
+                    return [
+                        (r, f"rank {r} in {e.spec.describe()}"
+                            if e.spec else f"rank {r}")
+                        for r, e in entry.items()
+                    ]
+                frontier.extend(m for m in w_missing if m in self._waiting)
+        except RuntimeError:  # a foreign round's dict mutated mid-scan
+            return None  # transient; the next poll tick re-checks
+        return None
+
+    def _desync(self, group: Any, seq: int, rnd: Any,
+                guilty: List[int], detail: str) -> CollectiveDesync:
+        specs = rnd.specs or {}
+        waiting = sorted(group.ranks[l] for l in rnd.payloads)
+        callsites = {
+            group.ranks[l]: s.callsite for l, s in specs.items() if s.callsite
+        }
+        op = next(iter(specs.values())).op if specs else "collective"
+        return CollectiveDesync(
+            group.ranks, seq, op, waiting, guilty, detail, callsites
+        )
+
+    # -- p2p hooks -----------------------------------------------------------
+
+    def note_send(self, src: int, dst: int, key: Any, payload: Any) -> None:
+        sd = _shape_dtype(payload)
+        crc = payload_checksum(payload) if self.checksum else None
+        with self._lock:
+            if crc is not None:
+                self._send_crcs.setdefault(key, []).append(crc)
+            self._append_record_locked(src, make_record(
+                "send", "send", f"send{sd}", peer=dst, crc=crc,
+            ))
+
+    def verify_recv(self, src: int, dst: int, key: Any, payload: Any) -> None:
+        sd = _shape_dtype(payload)
+        crc = None
+        if self.checksum:
+            crc = payload_checksum(payload)
+            with self._lock:
+                fifo = self._send_crcs.get(key)
+                expected = fifo.pop(0) if fifo else None
+                self.p2p_checked += 1
+            if expected is not None and expected != crc:
+                self.events.append(ChecksumEvent(
+                    "p2p", "recv", src, dst, injected=False, healed=False,
+                    expected=expected, actual=crc,
+                ))
+                raise ChecksumMismatch(
+                    "recv", src, dst, expected, crc, injected=False
+                )
+        with self._lock:
+            self._append_record_locked(dst, make_record(
+                "recv", "recv", f"recv{sd}", peer=src, crc=crc,
+            ))
+
+    def note_injected_corruption(self, src: int, dst: int) -> None:
+        """The fault injector corrupted one p2p attempt; the transport's
+        receiver-side checksum caught it and the retry layer retransmits —
+        attribution: injected, healed."""
+        with self._lock:
+            self.events.append(ChecksumEvent(
+                "p2p", "p2p", src, dst, injected=True, healed=True,
+            ))
+
+    def note_injected_glitch(self, op: str, ranks: Sequence[int],
+                             attempts: int, permanent: bool) -> None:
+        with self._lock:
+            self.events.append(ChecksumEvent(
+                "collective", op, min(ranks), max(ranks),
+                injected=True, healed=not permanent,
+            ))
+
+    # -- streams / replay ----------------------------------------------------
+
+    def _append_record_locked(self, rank: int, rec: OpRecord) -> None:
+        stream = self._streams.setdefault(rank, [])
+        idx = len(stream)
+        stream.append(rec)
+        if self._replay is not None:
+            golden = self._replay["streams"].get(rank, [])
+            expected = golden[idx] if idx < len(golden) else None
+            if expected is None or not records_equal(expected, rec):
+                raise ReplayDivergence(rank, idx, expected, rec)
+
+    def streams(self) -> Dict[int, List[OpRecord]]:
+        with self._lock:
+            return {r: list(s) for r, s in self._streams.items()}
+
+    def golden(self) -> Dict[str, Any]:
+        """The current run's op streams as a golden document."""
+        return {
+            "version": GOLDEN_VERSION,
+            "world_size": self._world,
+            "streams": self.streams(),
+        }
+
+    def save_golden(self, path: str) -> None:
+        save_golden(path, self._world, self.streams())
+
+    def collective_digests(self, rank: int = 0) -> List[Tuple[str, int, Optional[int]]]:
+        """``(op, seq, result-crc)`` stream for one rank — bitwise parity
+        across collective algorithms is asserted by comparing these."""
+        with self._lock:
+            return [
+                (r["op"], r.get("seq", -1), r.get("rcrc"))
+                for r in self._streams.get(rank, [])
+                if r["kind"] == "collective"
+            ]
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "rounds_checked": self.rounds_checked,
+                "mismatches": self.mismatches,
+                "desyncs": self.desyncs,
+                "p2p_checked": self.p2p_checked,
+                "events": list(self.events),
+                "loans": (list(self.race_detector.loans)
+                          if self.race_detector else []),
+                "race_violations": (list(self.race_detector.violations)
+                                    if self.race_detector else []),
+                "stream_lengths": {
+                    r: len(s) for r, s in sorted(self._streams.items())
+                },
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommSanitizer(checksum={self.checksum}, "
+            f"race={self.race_detector is not None}, "
+            f"rounds={self.rounds_checked})"
+        )

@@ -19,6 +19,12 @@ charges.  Two event sources feed it:
 Instrumentation is zero-cost when disabled: every hook site is a single
 ``is None`` check on an attribute that defaults to ``None``.
 
+When a :class:`~repro.sanitize.CommSanitizer` is installed alongside the
+tracer, collective spans additionally carry ``sanitized=True`` and (under
+checksum mode) a ``digest`` tag — the combined CRC of the round's result
+buffers — and sanitizer verdicts appear as ``sanitizer:<ErrorType>``
+instant events on the rank that detected them.
+
 Consumers: :func:`repro.trace.chrome.chrome_trace` (open in
 ``chrome://tracing`` / Perfetto) and :class:`repro.trace.report.TraceReport`
 (text summary).

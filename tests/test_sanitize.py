@@ -1,0 +1,640 @@
+"""SPMD sanitizer tests: cross-rank mismatch/desync detection, payload
+checksums, shared-buffer race detection, record/replay conformance, and
+the zero-overhead-when-disabled guarantee."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import uniform_cluster
+from repro.comm.communicator import Communicator
+from repro.config import Config, SanitizeConfig
+from repro.faults import FaultPlan
+from repro.runtime import SpmdRuntime
+from repro.runtime.errors import RemoteRankError
+from repro.sanitize import (
+    ChecksumMismatch,
+    CollectiveDesync,
+    CollectiveMismatch,
+    CommSanitizer,
+    ReplayDivergence,
+    first_divergence,
+    load_golden,
+    payload_checksum,
+)
+
+pytestmark = pytest.mark.sanitize
+
+#: far above any test's wall time — every desync must be *diagnosed*, never
+#: aged out by the deadlock timeout
+LONG_TIMEOUT = 300.0
+
+
+def _run(world, fn, *, san=None, plan=None, tracer=None, cluster=None):
+    rt = SpmdRuntime(
+        cluster if cluster is not None else uniform_cluster(world),
+        world, sanitize=san, fault_plan=plan, tracer=tracer,
+        deadlock_timeout=LONG_TIMEOUT,
+    )
+    return rt, rt.run(fn)
+
+
+def _cause(excinfo):
+    cause = excinfo.value.__cause__
+    assert cause is not None, "RemoteRankError should chain the root cause"
+    return cause
+
+
+# ---------------------------------------------------------------------------
+# mismatch detection
+
+
+class TestMismatchDetection:
+    def test_wrong_op_raises_mismatch(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            x = np.ones(4)
+            if ctx.rank == 1:
+                return comm.all_gather(x)
+            return comm.all_reduce(x)
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert cause.divergent_ranks == (1,)
+        assert "all_gather" in str(cause) and "all_reduce" in str(cause)
+
+    def test_wrong_shape_raises_mismatch(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            n = 6 if ctx.rank == 2 else 4
+            return comm.all_reduce(np.ones(n))
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert cause.divergent_ranks == (2,)
+        assert "shape=(6)" in str(cause) and "shape=(4)" in str(cause)
+
+    def test_wrong_dtype_raises_mismatch(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            dt = np.float32 if ctx.rank == 3 else np.float64
+            return comm.all_reduce(np.ones(4, dtype=dt))
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert cause.divergent_ranks == (3,)
+        assert "float32" in str(cause) and "float64" in str(cause)
+
+    def test_wrong_reduce_op_raises_mismatch(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            op = "max" if ctx.rank == 0 else "sum"
+            return comm.all_reduce(np.ones(4), op=op)
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert cause.divergent_ranks == (0,)
+
+    def test_wrong_broadcast_root_raises_mismatch(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            root = 1 if ctx.rank == 2 else 0
+            x = np.arange(4.0) if ctx.rank == root else np.zeros(4)
+            return comm.broadcast(x, root=root)
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert cause.divergent_ranks == (2,)
+
+    def test_mismatch_names_callsite(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            n = 8 if ctx.rank == 1 else 4
+            return comm.all_reduce(np.ones(n))  # <- the guilty line
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(2, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert 1 in cause.callsites
+        assert "test_sanitize.py" in cause.callsites[1]
+        assert "in prog" in cause.callsites[1]
+
+    def test_all_gather_extent_differences_allowed(self):
+        # the concat axis legitimately differs across ranks: not a mismatch
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            out = comm.all_gather(np.ones((ctx.rank + 1, 3)), axis=0)
+            return out.shape
+
+        _, results = _run(4, prog, san=CommSanitizer())
+        assert results == [(10, 3)] * 4
+
+    def test_clean_run_counts_rounds(self):
+        san = CommSanitizer()
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            comm.all_reduce(np.ones(4))
+            comm.barrier()
+            return comm.all_gather(np.full(2, float(ctx.rank)))
+
+        _run(4, prog, san=san)
+        assert san.summary()["rounds_checked"] == 3
+        assert san.summary()["mismatches"] == 0
+
+    def test_subgroup_mismatch_detected(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            sub = comm.subgroup([0, 1]) if ctx.rank < 2 else comm.subgroup([2, 3])
+            n = 5 if ctx.rank == 3 else 4
+            return sub.all_reduce(np.ones(n))
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveMismatch)
+        assert cause.divergent_ranks == (3,)
+        assert tuple(cause.group_ranks) == (2, 3)
+
+
+# ---------------------------------------------------------------------------
+# desync detection (never a hang)
+
+
+class TestDesyncDetection:
+    def test_skipped_collective_raises_desync_fast(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            comm.all_reduce(np.ones(4))
+            if ctx.rank == 2:
+                return "bailed early"
+            return comm.all_reduce(np.ones(4))
+
+        t0 = time.monotonic()
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        elapsed = time.monotonic() - t0
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveDesync)
+        assert cause.missing_ranks == (2,)
+        # waiting set is the arrival snapshot at diagnosis time: whoever of
+        # ranks 0/1/3 had already deposited when rank 2's exit was noticed
+        assert set(cause.waiting_ranks) <= {0, 1, 3}
+        assert cause.waiting_ranks
+        assert "exited" in str(cause)
+        # diagnosed by the sanitizer, not aged out by deadlock_timeout
+        assert elapsed < LONG_TIMEOUT / 10
+
+    def test_extra_collective_raises_desync(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            comm.barrier()
+            if ctx.rank == 0:
+                comm.all_reduce(np.ones(2))  # nobody else joins
+            return "done"
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveDesync)
+        assert cause.waiting_ranks == (0,)
+        assert cause.op == "all_reduce"
+
+    def test_cross_group_wait_cycle_diagnosed(self):
+        # ranks 0+1 wait in the world group while ranks 2+3 are parked in a
+        # subgroup collective that can complete only after the world one —
+        # no rank has exited, yet the rounds can never fill
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank < 2:
+                return comm.all_reduce(np.ones(2))
+            sub = comm.subgroup([0, 2, 3])  # includes rank 0: cycle
+            return sub.all_reduce(np.ones(2))
+
+        t0 = time.monotonic()
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, prog, san=CommSanitizer())
+        elapsed = time.monotonic() - t0
+        cause = _cause(ei)
+        assert isinstance(cause, (CollectiveDesync, CollectiveMismatch))
+        assert elapsed < LONG_TIMEOUT / 10
+
+    def test_desync_message_names_callsites(self):
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 1:
+                return None
+            return comm.all_reduce(np.ones(4))
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(2, prog, san=CommSanitizer())
+        cause = _cause(ei)
+        assert isinstance(cause, CollectiveDesync)
+        assert "test_sanitize.py" in str(cause)
+
+
+# ---------------------------------------------------------------------------
+# payload checksums
+
+
+class TestChecksums:
+    def test_p2p_checksums_clean(self):
+        san = CommSanitizer(checksum=True)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.send(np.arange(8.0), dst=1)
+                return None
+            return comm.recv(src=0).sum()
+
+        _, results = _run(2, prog, san=san)
+        assert results[1] == 28.0
+        assert san.summary()["p2p_checked"] == 1
+        assert san.summary()["events"] == []
+
+    def test_checksum_mismatch_is_logic_bug(self):
+        # a direct producer/consumer hash disagreement with no injected
+        # fault must be attributed to a logic bug
+        san = CommSanitizer(checksum=True)
+        san.note_send(0, 1, key="k", payload=np.arange(4.0))
+        with pytest.raises(ChecksumMismatch) as ei:
+            san.verify_recv(0, 1, key="k", payload=np.zeros(4))
+        assert ei.value.injected is False
+        assert "logic bug" in str(ei.value)
+
+    def test_payload_checksum_distinguishes_bytes(self):
+        a = payload_checksum(np.arange(4.0))
+        b = payload_checksum(np.arange(4.0) + 1)
+        c = payload_checksum(np.arange(4.0))
+        assert a != b and a == c
+        # shape is part of the identity even when bytes agree
+        z = np.zeros(4)
+        assert payload_checksum(z) != payload_checksum(z.reshape(2, 2))
+
+    def test_algorithm_bitwise_parity(self):
+        # identical program under ring/tree/hierarchical must produce
+        # bitwise-identical collective results (asserted via result CRCs)
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            x = np.linspace(0.0, 1.0, 16) * (ctx.rank + 1)
+            comm.all_reduce(x)
+            comm.all_gather(np.full(3, float(ctx.rank)))
+            return comm.reduce_scatter(np.arange(8.0) + ctx.rank)
+
+        digests = {}
+        for algo in ("ring", "tree", "hierarchical"):
+            san = CommSanitizer(checksum=True)
+            rt = SpmdRuntime(
+                uniform_cluster(4), 4, sanitize=san, comm_algorithm=algo,
+            )
+            rt.run(prog)
+            digests[algo] = san.collective_digests(rank=0)
+        assert digests["ring"] == digests["tree"] == digests["hierarchical"]
+        assert all(rcrc is not None for _, _, rcrc in digests["ring"])
+
+
+# ---------------------------------------------------------------------------
+# chaos interaction (fault injector + sanitizer)
+
+
+@pytest.mark.chaos
+class TestChaosInteraction:
+    def test_injected_corruption_attributed_and_healed(self):
+        plan = FaultPlan().corrupt(src=0, dst=1, count=1)
+        san = CommSanitizer(checksum=True)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.send(np.arange(8.0), dst=1)
+                return None
+            return comm.recv(src=0).sum()
+
+        rt, results = _run(2, prog, san=san, plan=plan)
+        # payload arrived intact after the retransmission
+        assert results[1] == 28.0
+        events = san.summary()["events"]
+        assert len(events) == 1
+        ev = events[0]
+        assert (ev.kind, ev.src, ev.dst) == ("p2p", 0, 1)
+        assert ev.injected and ev.healed
+        # the retry-then-pass shows up in CommCounters
+        counters = rt.world_group.counters
+        assert counters.retries_total == 1
+        assert counters.by_op_retries.get("p2p") == 1
+
+    def test_injected_collective_glitch_attributed(self):
+        plan = FaultPlan().glitch(op="all_reduce", attempts=2, max_glitches=1)
+        san = CommSanitizer(checksum=True)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            return comm.all_reduce(np.ones(4))
+
+        rt, results = _run(4, prog, san=san, plan=plan)
+        np.testing.assert_allclose(results[0], np.full(4, 4.0))
+        events = [e for e in san.summary()["events"] if e.kind == "collective"]
+        assert len(events) == 1
+        assert events[0].injected and events[0].healed
+        assert rt.world_group.counters.retries_total == 2
+
+    def test_drop_retries_keep_checksums_clean(self):
+        # dropped packets never reach verify_recv; the delivered copy must
+        # hash clean and the event log must stay free of logic-bug entries
+        plan = FaultPlan().drop(src=0, dst=1, count=3)
+        san = CommSanitizer(checksum=True)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.send(np.arange(16.0), dst=1)
+                return None
+            return comm.recv(src=0).sum()
+
+        _, results = _run(2, prog, san=san, plan=plan)
+        assert results[1] == 120.0
+        assert not [e for e in san.summary()["events"] if not e.injected]
+
+
+# ---------------------------------------------------------------------------
+# shared-buffer race detection
+
+
+class TestRaceDetection:
+    def test_loaned_ring_pass_buffer_mutation_raises(self):
+        # ring_pass hands receivers references to senders' arrays; mutating
+        # the sender's copy afterwards must fail at the guilty line
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            x = np.full(4, float(ctx.rank))
+            got = comm.ring_pass(x, shift=1)
+            x[:] = 99.0  # borrower still holds this buffer
+            return got
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(2, prog, san=CommSanitizer(race=True))
+        cause = _cause(ei)
+        assert isinstance(cause, ValueError)
+        assert "read-only" in str(cause)
+
+    def test_race_detector_records_loans(self):
+        san = CommSanitizer(race=True)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            return comm.ring_pass(np.full(4, float(ctx.rank)), shift=1)
+
+        _run(2, prog, san=san)
+        loans = san.summary()["loans"]
+        assert loans and all(l["op"] == "ring_pass" for l in loans)
+        assert san.summary()["race_violations"] == []
+
+    def test_non_aliased_buffers_released(self):
+        # all_reduce results are fresh arrays: inputs must be writable again
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            x = np.ones(4)
+            comm.all_reduce(x)
+            x[:] = 5.0  # fine: nobody borrowed x
+            return x.sum()
+
+        _, results = _run(2, prog, san=CommSanitizer(race=True))
+        assert results == [20.0, 20.0]
+
+
+# ---------------------------------------------------------------------------
+# record / replay conformance
+
+
+class TestRecordReplay:
+    @staticmethod
+    def _prog(ctx):
+        comm = Communicator.world(ctx)
+        x = np.full(4, float(ctx.rank + 1))
+        comm.all_reduce(x)
+        if ctx.rank == 0:
+            comm.send(np.arange(4.0), dst=1)
+        elif ctx.rank == 1:
+            comm.recv(src=0)
+        root = np.arange(4.0) if ctx.rank == 0 else np.zeros(4)
+        return comm.broadcast(root, root=0)
+
+    def test_record_then_conforming_replay(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        san = CommSanitizer(checksum=True)
+        _run(4, self._prog, san=san)
+        san.save_golden(str(golden))
+
+        doc = load_golden(str(golden))
+        assert doc["world_size"] == 4
+        assert len(doc["streams"]) == 4
+
+        _run(4, self._prog, san=CommSanitizer(checksum=True,
+                                              replay=str(golden)))
+
+    def test_replay_pinpoints_first_divergence(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        san = CommSanitizer(checksum=True)
+        _run(4, self._prog, san=san)
+        san.save_golden(str(golden))
+
+        def drifted(ctx):
+            comm = Communicator.world(ctx)
+            x = np.full(4, float(ctx.rank + 1))
+            comm.all_reduce(x)
+            comm.barrier()  # <- was a send/recv + broadcast
+            root = np.arange(4.0) if ctx.rank == 0 else np.zeros(4)
+            return comm.broadcast(root, root=0)
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, drifted, san=CommSanitizer(checksum=True,
+                                               replay=str(golden)))
+        cause = _cause(ei)
+        assert isinstance(cause, ReplayDivergence)
+        assert cause.step == 1
+        assert cause.got["op"] == "barrier"
+
+    def test_replay_detects_data_divergence(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        san = CommSanitizer(checksum=True)
+        _run(4, self._prog, san=san)
+        san.save_golden(str(golden))
+
+        def other_data(ctx):
+            comm = Communicator.world(ctx)
+            x = np.full(4, float(ctx.rank + 7))  # same ops, other bytes
+            comm.all_reduce(x)
+            if ctx.rank == 0:
+                comm.send(np.arange(4.0), dst=1)
+            elif ctx.rank == 1:
+                comm.recv(src=0)
+            root = np.arange(4.0) if ctx.rank == 0 else np.zeros(4)
+            return comm.broadcast(root, root=0)
+
+        with pytest.raises(RemoteRankError) as ei:
+            _run(4, other_data, san=CommSanitizer(checksum=True,
+                                                  replay=str(golden)))
+        cause = _cause(ei)
+        assert isinstance(cause, ReplayDivergence)
+        assert cause.step == 0
+        assert "payload bytes differ" in str(cause)
+
+    def test_truncated_run_is_divergence(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        san = CommSanitizer()
+        _run(4, self._prog, san=san)
+        san.save_golden(str(golden))
+
+        def short(ctx):
+            comm = Communicator.world(ctx)
+            comm.all_reduce(np.full(4, float(ctx.rank + 1)))
+            return None  # stops before the p2p + broadcast
+
+        with pytest.raises(ReplayDivergence):
+            _run(4, short, san=CommSanitizer(replay=str(golden)))
+
+    def test_offline_first_divergence(self):
+        san_a = CommSanitizer(checksum=True)
+        _run(4, self._prog, san=san_a)
+
+        def drifted(ctx):
+            comm = Communicator.world(ctx)
+            x = np.full(4, float(ctx.rank + 1))
+            comm.all_reduce(x)
+            comm.all_reduce(x)  # diverges here on every rank
+            return None
+
+        san_b = CommSanitizer(checksum=True)
+        _run(4, drifted, san=san_b)
+
+        div = first_divergence(san_a.golden(), san_b.golden())
+        assert div is not None
+        assert (div.rank, div.step) == (0, 1)
+        assert first_divergence(san_a.golden(), san_a.golden()) is None
+
+
+# ---------------------------------------------------------------------------
+# configuration surface
+
+
+class TestConfig:
+    def test_sanitize_section_parsed(self):
+        cfg = Config.from_dict({"sanitize": {"checksum": True, "race": True}})
+        assert cfg.sanitize.enabled  # implied by any sanitize key
+        san = cfg.sanitize.build()
+        assert isinstance(san, CommSanitizer)
+        assert san.checksum and san.race_detector is not None
+
+    def test_record_replay_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Config.from_dict({"sanitize": {
+                "record": "a.json", "replay": "b.json",
+            }})
+
+    def test_options_require_enabled(self):
+        with pytest.raises(ValueError, match="enabled"):
+            SanitizeConfig(enabled=False, checksum=True).validate()
+
+    def test_launch_with_sanitize_config(self):
+        def prog(ctx, pc):
+            comm = Communicator.world(ctx)
+            n = 3 if ctx.rank == 1 else 4
+            return comm.all_reduce(np.ones(n))
+
+        with pytest.raises(RemoteRankError) as ei:
+            repro.launch({"sanitize": {"enabled": True}},
+                         uniform_cluster(4), prog, world_size=4)
+        assert isinstance(_cause(ei), CollectiveMismatch)
+
+    def test_launch_record_writes_golden(self, tmp_path):
+        golden = tmp_path / "run.json"
+
+        def prog(ctx, pc):
+            comm = Communicator.world(ctx)
+            return comm.all_reduce(np.ones(4))
+
+        cluster = uniform_cluster(4)
+        repro.launch({"sanitize": {"record": str(golden)}}, cluster, prog,
+                     world_size=4)
+        doc = load_golden(str(golden))
+        assert all(len(s) == 1 for s in doc["streams"].values())
+        # and the saved golden immediately replays clean
+        repro.launch({"sanitize": {"replay": str(golden)}}, cluster, prog,
+                     world_size=4)
+
+
+# ---------------------------------------------------------------------------
+# overhead guard: disabled sanitizer must cost nothing
+
+
+class TestOverheadGuard:
+    @staticmethod
+    def _prog(ctx):
+        comm = Communicator.world(ctx)
+        x = np.full(8, float(ctx.rank))
+        for _ in range(3):
+            x = comm.all_reduce(x)
+        comm.barrier()
+        return comm.all_gather(np.full(2, float(ctx.rank))).sum()
+
+    def test_disabled_sanitizer_builds_no_specs(self, monkeypatch):
+        import repro.sanitize.sanitizer as san_mod
+
+        calls = []
+        orig = san_mod.CollectiveSpec
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return orig(*args, **kwargs)
+
+        monkeypatch.setattr(san_mod, "CollectiveSpec", counting)
+        _run(4, self._prog)  # no sanitizer
+        assert calls == []  # the disabled hot path never allocates a spec
+        _run(4, self._prog, san=CommSanitizer())
+        assert len(calls) == 5 * 4  # 5 collectives x 4 ranks when enabled
+
+    def test_sanitizer_adds_no_collective_rounds(self):
+        from repro.trace import Tracer
+
+        def snapshot(san):
+            tracer = Tracer()
+            rt, results = _run(4, self._prog, san=san, tracer=tracer)
+            c = rt.world_group.counters
+            spans = [s for s in tracer.spans() if s.cat == "collective"]
+            return (results, c.calls_total, c.bytes_total,
+                    rt.clocks[0].time, len(spans))
+
+        res_off, calls_off, bytes_off, t_off, spans_off = snapshot(None)
+        res_on, calls_on, bytes_on, t_on, spans_on = snapshot(
+            CommSanitizer(checksum=True, race=True)
+        )
+        # verification piggybacks on existing rounds: identical wire
+        # traffic, call counts, simulated time and span counts
+        assert res_on == res_off
+        assert calls_on == calls_off
+        assert bytes_on == bytes_off
+        assert t_on == t_off
+        assert spans_on == spans_off
+
+    def test_disabled_rounds_share_empty_trace_extra(self):
+        from repro.comm.group import _NO_EXTRA, _Round
+
+        rnd = _Round()
+        assert rnd.trace_extra is _NO_EXTRA
+        assert rnd.specs is None

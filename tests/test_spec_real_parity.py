@@ -340,3 +340,131 @@ class TestSelectorInvariant:
         ring = price(ranks, nbytes, algorithm="ring")
         assert auto.seconds <= ring.seconds * (1 + 1e-12)
         assert auto.algorithm in ("ring", "tree", "hierarchical")
+
+# -- sanitizer signature properties ----------------------------------------
+
+
+from repro.sanitize import (  # noqa: E402
+    CollectiveMismatch,
+    CommSanitizer,
+    call_signature,
+)
+
+
+@pytest.mark.sanitize
+class TestSanitizerSignatureProperty:
+    """The sanitizer's matching contract: member ranks' call signatures are
+    identical iff their op streams match — payload determinants (op, shape,
+    dtype, reduce op, root) all feed the signature, while legitimately
+    rank-varying parts (the concat-axis extent) are wildcarded out."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(["all_reduce", "reduce", "reduce_scatter"]),
+        st.sampled_from(DTYPES),
+        st.lists(st.integers(1, 6), min_size=1, max_size=3),
+        st.sampled_from(["sum", "max", "min", "prod"]),
+        st.sampled_from(["shape", "dtype", "op", "none"]),
+    )
+    def test_reduce_family_signature_iff_call_matches(
+        self, kind, dtype, shape, reduce_op, perturb
+    ):
+        shape = tuple(shape)
+        base = call_signature(
+            kind, SpecArray(shape, dtype), reduce_op=reduce_op, root=0, axis=0
+        )
+        # identical calls on another rank always produce the identical string
+        assert base == call_signature(
+            kind, SpecArray(shape, dtype), reduce_op=reduce_op, root=0, axis=0
+        )
+        if perturb == "none":
+            return
+        other_shape = shape[:-1] + (shape[-1] + 1,)
+        other_dtype = "float64" if dtype != "float64" else "int32"
+        other_op = "max" if reduce_op != "max" else "sum"
+        perturbed = call_signature(
+            kind,
+            SpecArray(other_shape if perturb == "shape" else shape,
+                      other_dtype if perturb == "dtype" else dtype),
+            reduce_op=other_op if perturb == "op" else reduce_op,
+            root=0, axis=0,
+        )
+        assert perturbed != base
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(["all_gather", "gather"]),
+        st.sampled_from(DTYPES),
+        st.lists(st.integers(1, 6), min_size=1, max_size=3),
+        st.integers(0, 2),
+        st.integers(1, 5),
+    )
+    def test_concat_axis_extent_wildcarded(self, kind, dtype, shape, axis,
+                                           delta):
+        shape = tuple(shape)
+        axis = axis % len(shape)
+        grown = shape[:axis] + (shape[axis] + delta,) + shape[axis + 1:]
+        a = call_signature(kind, SpecArray(shape, dtype), axis=axis, root=0)
+        b = call_signature(kind, SpecArray(grown, dtype), axis=axis, root=0)
+        # different extents along the concat axis: same signature
+        assert a == b
+        if len(shape) > 1:
+            other_axis = (axis + 1) % len(shape)
+            off = shape[:other_axis] + (shape[other_axis] + delta,) \
+                + shape[other_axis + 1:]
+            # different extents anywhere else: different signature
+            assert call_signature(
+                kind, SpecArray(off, dtype), axis=axis, root=0
+            ) != a
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["all_reduce", "all_gather", "barrier"]),
+                st.integers(1, 5),
+            ),
+            min_size=1, max_size=3,
+        ),
+        st.one_of(st.none(), st.integers(0, WORLD - 1)),
+        st.integers(0, 2),
+    )
+    def test_run_raises_iff_streams_diverge(self, stream, bad_rank, bad_step):
+        """End-to-end: a random identical op stream verifies clean; the same
+        stream with one rank's op perturbed at one step raises a typed
+        mismatch naming that rank."""
+        bad_step = bad_step % len(stream)
+
+        def prog(ctx):
+            comm = Communicator.world(ctx)
+            for step, (kind, n) in enumerate(stream):
+                if ctx.rank == bad_rank and step == bad_step:
+                    n += 1  # divergent payload extent
+                    if kind == "barrier":
+                        kind = "all_reduce"  # divergent op
+                x = np.ones(n, dtype=np.float32)
+                if kind == "all_reduce":
+                    comm.all_reduce(x)
+                elif kind == "all_gather":
+                    comm.all_gather(x)
+                else:
+                    comm.barrier()
+            return "ok"
+
+        san = CommSanitizer()
+        rt = SpmdRuntime(uniform_cluster(WORLD), sanitize=san)
+        if bad_rank is None:
+            assert rt.run(prog) == ["ok"] * WORLD
+            assert san.summary()["mismatches"] == 0
+            assert san.summary()["rounds_checked"] == len(stream)
+        else:
+            kind = stream[bad_step][0]
+            if kind == "all_gather":
+                # only the concat extent differs: legitimately allowed
+                assert rt.run(prog) == ["ok"] * WORLD
+                return
+            with pytest.raises(RemoteRankError) as ei:
+                rt.run(prog)
+            cause = ei.value.__cause__
+            assert isinstance(cause, CollectiveMismatch)
+            assert cause.divergent_ranks == (bad_rank,)
