@@ -1,0 +1,136 @@
+"""Perf-regression gate over the ``BENCH_<N>.json`` trajectory.
+
+Each PR's :mod:`run_bench` writes a machine-readable report; this gate
+diffs the newest one against every prior report and fails when a scenario
+both files measure lost more than 10% *simulated* throughput.  Simulated
+metrics are deterministic — same code, same numbers — so any drift is a
+real change to the cost model, the collective algorithms or a scheduler,
+never measurement noise; the threshold only leaves room for intentional
+model refinements that are documented in the PR.
+
+Run standalone (exit 1 on regression)::
+
+    python benchmarks/check_regression.py [--root .] [--tolerance 0.10]
+
+or as the pytest lane ``pytest -m bench_gate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: default allowed fractional throughput drop per shared scenario
+TOLERANCE = 0.10
+
+
+def extract_throughputs(report: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a run_bench report into ``scenario-key -> simulated
+    throughput`` (higher is better).  Seconds-valued metrics are inverted
+    so every entry compares the same way.  Unknown sections are ignored —
+    older reports simply share fewer keys with newer ones."""
+    out: Dict[str, float] = {}
+    for c in report.get("collectives", []):
+        scen = c["scenario"]
+        out[f"{scen}/ring"] = 1.0 / c["ring_seconds"]
+        out[f"{scen}/auto"] = 1.0 / c["auto_seconds"]
+    for v in report.get("vit_system_ii_1d", []):
+        scen = v["scenario"]
+        for algo in ("ring", "auto"):
+            if algo in v:
+                out[f"{scen}/{algo}"] = v[algo]["img_per_sec"]
+    san = report.get("sanitizer_fig13b")
+    if san:
+        for name, var in san.get("variants", {}).items():
+            out[f"{san['scenario']}/{name}"] = var["sim_samples_per_sec"]
+    ovl = report.get("overlap_fig13b")
+    if ovl:
+        for mode in ("overlap_off", "overlap_on"):
+            if mode in ovl:
+                out[f"{ovl['scenario']}/{mode}"] = ovl[mode]["sim_img_per_sec"]
+    return out
+
+
+def compare(
+    new: Dict[str, float], old: Dict[str, float], tolerance: float = TOLERANCE
+) -> List[Tuple[str, float, float, float]]:
+    """Regressions in ``new`` vs ``old`` over shared scenarios: a list of
+    ``(scenario, old_throughput, new_throughput, drop_fraction)`` where the
+    drop exceeds ``tolerance``."""
+    regressions = []
+    for key in sorted(set(new) & set(old)):
+        o, n = old[key], new[key]
+        if o <= 0:
+            continue
+        drop = 1.0 - n / o
+        if drop > tolerance:
+            regressions.append((key, o, n, drop))
+    return regressions
+
+
+def bench_files(root: Path) -> List[Path]:
+    """``BENCH_<N>.json`` files at the repo root, ordered by N."""
+    found = []
+    for p in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m:
+            found.append((int(m.group(1)), p))
+    return [p for _, p in sorted(found)]
+
+
+def check(root: Path, tolerance: float = TOLERANCE) -> List[str]:
+    """Diff the newest report against every prior one; returns human-readable
+    regression lines (empty = gate passes)."""
+    files = bench_files(root)
+    if len(files) < 2:
+        return []
+    newest = files[-1]
+    new = extract_throughputs(json.loads(newest.read_text()))
+    problems: List[str] = []
+    for prior in files[:-1]:
+        old = extract_throughputs(json.loads(prior.read_text()))
+        shared = len(set(new) & set(old))
+        if shared == 0:
+            problems.append(
+                f"{newest.name} vs {prior.name}: no shared scenarios — "
+                f"the benchmark runner stopped covering prior workloads"
+            )
+            continue
+        for key, o, n, drop in compare(new, old, tolerance):
+            problems.append(
+                f"{newest.name} vs {prior.name}: {key} dropped {drop:.1%} "
+                f"({o:.4g} -> {n:.4g} sim throughput)"
+            )
+    return problems
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="directory holding BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = ap.parse_args()
+    root = Path(args.root)
+    files = bench_files(root)
+    if len(files) < 2:
+        print(f"bench gate: {len(files)} report(s) under {root} — nothing to diff")
+        return 0
+    problems = check(root, args.tolerance)
+    if problems:
+        print(f"bench gate FAILED ({len(problems)} regression(s)):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    names = ", ".join(p.name for p in files[:-1])
+    print(
+        f"bench gate OK: {files[-1].name} holds throughput within "
+        f"{args.tolerance:.0%} of {names}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

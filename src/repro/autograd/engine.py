@@ -139,3 +139,5 @@ def _accumulate_leaf(t: Tensor, g: Payload) -> None:
         t.grad = Tensor(g, device=t.device, tag="grad")
     else:
         t.grad.payload = padd(t.grad.payload, g)
+    if t.grad_hook is not None:
+        t.grad_hook(t)

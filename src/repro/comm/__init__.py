@@ -16,10 +16,12 @@ from repro.comm.payload import SpecArray, payload_nbytes, payload_elements
 from repro.comm.algorithms import ALGORITHMS, SELECTABLE_OPS, AlgorithmSelector
 from repro.comm.cost import CollectiveCost, CostModel
 from repro.comm.counters import CommCounters
-from repro.comm.group import ProcessGroup
-from repro.comm.communicator import Communicator
+from repro.comm.group import ProcessGroup, WorkHandle
+from repro.comm.communicator import Communicator, Request
 
 __all__ = [
+    "WorkHandle",
+    "Request",
     "SpecArray",
     "payload_nbytes",
     "payload_elements",

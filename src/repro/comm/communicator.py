@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.comm.cost import CollectiveCost
-from repro.comm.group import ProcessGroup
+from repro.comm.group import ProcessGroup, WorkHandle
 from repro.comm.payload import Payload, SpecArray, is_spec, like
 from repro.runtime.errors import CollectiveTimeout
 
@@ -148,8 +148,10 @@ class Communicator:
 
     # -- collectives ---------------------------------------------------------
 
-    def all_reduce(self, x: Payload, op: ReduceOp = "sum") -> Payload:
-        """Reduce across the group; every rank receives the full result."""
+    def _allreduce_round(self, x: Payload, op: ReduceOp):
+        """Finalize closure + sanitizer spec for an all_reduce round; shared
+        by the blocking and nonblocking entry points so both price and
+        combine identically."""
         _check_reduce_op(op, "all_reduce")
 
         def finalize(payloads: Dict[int, Payload]):
@@ -165,12 +167,21 @@ class Communicator:
         san = self.group.runtime.sanitizer
         spec = (None if san is None
                 else san.make_spec("all_reduce", x, self, reduce_op=op))
+        return finalize, spec
+
+    def all_reduce(self, x: Payload, op: ReduceOp = "sum") -> Payload:
+        """Reduce across the group; every rank receives the full result."""
+        finalize, spec = self._allreduce_round(x, op)
         return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
-    def all_gather(self, x: Payload, axis: int = 0) -> Payload:
-        """Concatenate every rank's payload along ``axis``; all ranks receive
-        the concatenation (in local-rank order)."""
+    def iallreduce(self, x: Payload, op: ReduceOp = "sum") -> "WorkHandle":
+        """Nonblocking :meth:`all_reduce`: the round runs on the group's comm
+        stream; ``wait()`` on the returned handle delivers this rank's result
+        and max-joins its compute clock to the completion time."""
+        finalize, spec = self._allreduce_round(x, op)
+        return self.group.rendezvous_async(self.global_rank, x, finalize, spec)
 
+    def _allgather_round(self, x: Payload, axis: int):
         def finalize(payloads: Dict[int, Payload]):
             chunks = [payloads[i] for i in sorted(payloads)]
             gathered = _concat_axis(chunks, axis, "all_gather")
@@ -184,11 +195,20 @@ class Communicator:
         san = self.group.runtime.sanitizer
         spec = (None if san is None
                 else san.make_spec("all_gather", x, self, axis=axis))
+        return finalize, spec
+
+    def all_gather(self, x: Payload, axis: int = 0) -> Payload:
+        """Concatenate every rank's payload along ``axis``; all ranks receive
+        the concatenation (in local-rank order)."""
+        finalize, spec = self._allgather_round(x, axis)
         return self.group.rendezvous(self.global_rank, x, finalize, spec)
 
-    def reduce_scatter(self, x: Payload, axis: int = 0, op: ReduceOp = "sum") -> Payload:
-        """Reduce across the group, then scatter the result: rank i receives
-        the i-th chunk of the reduction along ``axis``."""
+    def iall_gather(self, x: Payload, axis: int = 0) -> "WorkHandle":
+        """Nonblocking :meth:`all_gather` (see :meth:`iallreduce`)."""
+        finalize, spec = self._allgather_round(x, axis)
+        return self.group.rendezvous_async(self.global_rank, x, finalize, spec)
+
+    def _reduce_scatter_round(self, x: Payload, axis: int, op: ReduceOp):
         _check_reduce_op(op, "reduce_scatter")
 
         def finalize(payloads: Dict[int, Payload]):
@@ -201,7 +221,19 @@ class Communicator:
         san = self.group.runtime.sanitizer
         spec = (None if san is None else san.make_spec(
             "reduce_scatter", x, self, reduce_op=op, axis=axis))
+        return finalize, spec
+
+    def reduce_scatter(self, x: Payload, axis: int = 0, op: ReduceOp = "sum") -> Payload:
+        """Reduce across the group, then scatter the result: rank i receives
+        the i-th chunk of the reduction along ``axis``."""
+        finalize, spec = self._reduce_scatter_round(x, axis, op)
         return self.group.rendezvous(self.global_rank, x, finalize, spec)
+
+    def ireduce_scatter(self, x: Payload, axis: int = 0,
+                        op: ReduceOp = "sum") -> "WorkHandle":
+        """Nonblocking :meth:`reduce_scatter` (see :meth:`iallreduce`)."""
+        finalize, spec = self._reduce_scatter_round(x, axis, op)
+        return self.group.rendezvous_async(self.global_rank, x, finalize, spec)
 
     def broadcast(self, x: Optional[Payload], root: int = 0) -> Payload:
         """Send root's payload to every rank (``root`` is a local rank)."""
@@ -347,7 +379,8 @@ class Communicator:
 
     # -- point-to-point ---------------------------------------------------------
 
-    def _deliver(self, x: Payload, dst: int, tag: Any) -> CollectiveCost:
+    def _deliver(self, x: Payload, dst: int, tag: Any,
+                 start_time: Optional[float] = None) -> CollectiveCost:
         """Run the fault/retry loop for one p2p transmission and enqueue the
         payload; returns the successful attempt's cost (the caller decides
         when the sender's clock is charged for it — blocking ``send``
@@ -391,7 +424,13 @@ class Communicator:
                     raise CollectiveTimeout(
                         "p2p", (src_g, dst_g), attempts=failures
                     )
-        t_avail = clock.time + cost.seconds
+        # stream sends start at max(issue time, sender's p2p stream tail);
+        # injected retransmissions above advance the sender's clock, so the
+        # max keeps availability consistent with the charged retries
+        if start_time is None:
+            t_avail = clock.time + cost.seconds
+        else:
+            t_avail = max(start_time, clock.time) + cost.seconds
         self.group.counters.record("p2p", cost.wire_bytes, int(x.size))
         payload = x if is_spec(x) else x.copy()
         key = (src_g, dst_g, (id(self.group), tag))
@@ -444,20 +483,81 @@ class Communicator:
         self.send(x, dst, tag)
         return self.recv(src, tag)
 
-    def isend(self, x: Payload, dst: int, tag: Any = 0) -> "Request":
-        """Non-blocking send (mpi4py style).  The eager mailbox transport
-        makes the payload immediately available, so the returned request is
-        already complete; the sender's clock is still charged the full
-        transfer on wait() (retransmission charges land immediately)."""
-        cost = self._deliver(x, dst, tag)
-        return Request(kind="send", comm=self, seconds=cost.seconds)
+    def isend(self, x: Payload, dst: int, tag: Any = 0) -> WorkHandle:
+        """Non-blocking send (mpi4py style).
+
+        With ``runtime.comm_overlap`` enabled the transfer runs on the
+        sender's p2p comm stream: it starts at max(issue time, stream tail),
+        the sender's clock is not charged, and ``wait()`` max-joins to the
+        transfer completion (charging only the exposed remainder).  With
+        overlap disabled the legacy eager semantics apply: the payload is
+        immediately available and the sender's clock is charged the full
+        transfer on ``wait()`` (retransmission charges land immediately).
+        """
+        runtime = self.group.runtime
+        if not runtime.comm_overlap:
+            cost = self._deliver(x, dst, tag)
+            return Request(kind="send", comm=self, seconds=cost.seconds)
+        src_g = self.global_rank
+        clock = runtime.clocks[src_g]
+        start = max(clock.time, self.group._p2p_tails[src_g])
+        cost = self._deliver(x, dst, tag, start_time=start)
+        start = max(start, clock.time)  # injected retries moved the clock
+        t_end = start + cost.seconds
+        self.group._p2p_tails[src_g] = t_end
+        runtime.comm_streams[src_g].occupy(start, t_end)
+        if runtime.tracer is not None:
+            runtime.tracer.annotate(
+                src_g, "comm_stream", "isend", start, t_end,
+                dst=self.group.global_rank(dst), nbytes=int(x.nbytes),
+            )
+        return StreamSendHandle(self, t_end, cost.seconds)
 
     def irecv(self, src: int, tag: Any = 0) -> "Request":
         """Non-blocking receive; ``wait()`` blocks until the message lands."""
         return Request(kind="recv", comm=self, src=src, tag=tag)
 
 
-class Request:
+class StreamSendHandle(WorkHandle):
+    """Handle for an overlap-mode ``isend`` running on the sender's p2p
+    stream; ``wait()`` max-joins the sender's clock to transfer completion."""
+
+    __slots__ = ("_comm", "_t_end", "_seconds", "_done")
+
+    def __init__(self, comm: "Communicator", t_end: float, seconds: float) -> None:
+        self._comm = comm
+        self._t_end = t_end
+        self._seconds = seconds
+        self._done = False
+
+    def test(self) -> bool:
+        # the payload is enqueued at issue; completion is purely a simulated-
+        # time question, answered at wait()
+        return True
+
+    def wait(self) -> None:
+        if self._done:
+            return None
+        runtime = self._comm.group.runtime
+        rank = self._comm.global_rank
+        clock = runtime.clocks[rank]
+        t_wait = clock.time
+        exposed = min(self._seconds, max(0.0, self._t_end - t_wait))
+        clock.sync_to(self._t_end, "comm")
+        runtime.comm_streams[rank].note_exposed(exposed)
+        self._comm.group.counters.record_overlap(
+            "p2p", exposed, max(0.0, self._seconds - exposed)
+        )
+        if runtime.tracer is not None and exposed > 0.0:
+            runtime.tracer.annotate(
+                rank, "overlap", "wait/isend", t_wait, self._t_end,
+                exposed=exposed, overlapped=max(0.0, self._seconds - exposed),
+            )
+        self._done = True
+        return None
+
+
+class Request(WorkHandle):
     """Handle for a non-blocking operation (``Request.wait`` completes it)."""
 
     def __init__(self, kind: str, comm: "Communicator", seconds: float = 0.0,

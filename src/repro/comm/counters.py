@@ -31,6 +31,11 @@ class CommCounters:
     calls_total: int = 0
     retries_total: int = 0
     retry_bytes_total: int = 0
+    #: comm/compute-overlap accounting (nonblocking ops only, recorded at
+    #: wait per member rank): seconds the compute clock stalled on a handle
+    #: vs seconds hidden behind compute.  Not folded into byte totals.
+    exposed_seconds_total: float = 0.0
+    overlapped_seconds_total: float = 0.0
     by_op_bytes: Dict[str, int] = field(default_factory=dict)
     by_op_elements: Dict[str, int] = field(default_factory=dict)
     by_op_calls: Dict[str, int] = field(default_factory=dict)
@@ -69,6 +74,14 @@ class CommCounters:
             self.by_op_bytes[op] = self.by_op_bytes.get(op, 0) + wire_bytes
             self.by_op_elements[op] = self.by_op_elements.get(op, 0) + wire_elements
 
+    def record_overlap(self, op: str, exposed_seconds: float,
+                       overlapped_seconds: float) -> None:
+        """Account one rank's wait on a nonblocking ``op``: how much of the
+        op's duration was exposed (stalled on) vs overlapped with compute."""
+        with self._lock:
+            self.exposed_seconds_total += exposed_seconds
+            self.overlapped_seconds_total += overlapped_seconds
+
     def reset(self) -> None:
         with self._lock:
             self.bytes_total = 0
@@ -76,6 +89,8 @@ class CommCounters:
             self.calls_total = 0
             self.retries_total = 0
             self.retry_bytes_total = 0
+            self.exposed_seconds_total = 0.0
+            self.overlapped_seconds_total = 0.0
             self.by_op_bytes.clear()
             self.by_op_elements.clear()
             self.by_op_calls.clear()
@@ -91,6 +106,8 @@ class CommCounters:
             out.calls_total += src.calls_total
             out.retries_total += src.retries_total
             out.retry_bytes_total += src.retry_bytes_total
+            out.exposed_seconds_total += src.exposed_seconds_total
+            out.overlapped_seconds_total += src.overlapped_seconds_total
             for k, v in src.by_op_bytes.items():
                 out.by_op_bytes[k] = out.by_op_bytes.get(k, 0) + v
             for k, v in src.by_op_elements.items():

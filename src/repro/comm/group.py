@@ -39,8 +39,8 @@ FinalizeFn = Callable[
 class _Round:
     __slots__ = (
         "payloads", "entry_times", "results", "done", "claimed", "error",
-        "op", "t_end", "wire_bytes", "retries", "retry_seconds", "algorithm",
-        "specs", "trace_extra",
+        "op", "t_start", "t_end", "wire_bytes", "retries", "retry_seconds",
+        "algorithm", "specs", "trace_extra", "mode",
     )
 
     def __init__(self) -> None:
@@ -52,6 +52,7 @@ class _Round:
         self.error: Optional[BaseException] = None
         # trace annotations filled in by the finalizer
         self.op: Optional[str] = None
+        self.t_start = 0.0
         self.t_end = 0.0
         self.wire_bytes = 0
         self.retries = 0
@@ -60,6 +61,27 @@ class _Round:
         # sanitizer state: per-local-rank CollectiveSpec, extra span tags
         self.specs: Optional[Dict[int, Any]] = None
         self.trace_extra: Dict[str, Any] = _NO_EXTRA
+        # "sync" (blocking rendezvous) or "async" (handle-based); set by the
+        # first arriver — mixing the two in one round is a program error
+        self.mode: Optional[str] = None
+
+
+class WorkHandle:
+    """Handle for a nonblocking communication operation.
+
+    ``wait()`` completes the op and reconciles the caller's compute clock by
+    *max-join*: the clock jumps to the op's completion time if it has not
+    already passed it, charging only the exposed remainder as ``comm``.
+    ``test()`` polls completion without blocking or charging time.
+    """
+
+    __slots__ = ()
+
+    def wait(self) -> Any:
+        raise NotImplementedError
+
+    def test(self) -> bool:
+        raise NotImplementedError
 
 
 class ProcessGroup:
@@ -85,6 +107,12 @@ class ProcessGroup:
         self._cond = threading.Condition()
         self._rounds: Dict[int, _Round] = {}
         self._seq: Dict[int, int] = {r: 0 for r in ranks}
+        #: simulated time this group's comm stream drains: every collective
+        #: (blocking or nonblocking) serializes after it, NCCL-stream-style
+        self.async_tail = 0.0
+        #: per-sender p2p stream tails (only the owning rank's thread writes
+        #: its key; pre-populated so concurrent reads never resize the dict)
+        self._p2p_tails: Dict[int, float] = {g: 0.0 for g in ranks}
 
     def local_rank(self, global_rank: int) -> int:
         try:
@@ -109,6 +137,9 @@ class ProcessGroup:
         with self._cond:
             self._rounds.clear()
             self._seq = {r: 0 for r in self.ranks}
+            self.async_tail = 0.0
+            for g in self.ranks:
+                self._p2p_tails[g] = 0.0
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -148,7 +179,10 @@ class ProcessGroup:
                     {0: spec} if spec else None, {0: payload}, results,
                 )
                 self._seq[my_global_rank] += 1
+            if self.async_tail > clock.time:
+                clock.sync_to(self.async_tail, "comm")
             clock.advance(cost.seconds, "comm")
+            self.async_tail = clock.time
             if cost.wire_bytes:
                 self.counters.record(
                     op, cost.wire_bytes, cost.wire_elements(itemsize),
@@ -170,6 +204,7 @@ class ProcessGroup:
             if rnd is None:
                 rnd = _Round()
                 self._rounds[seq] = rnd
+            self._check_mode(rnd, "sync")
             rnd.payloads[me] = payload
             rnd.entry_times[me] = clock.time
             if spec is not None:
@@ -213,14 +248,16 @@ class ProcessGroup:
                                 failures * cost.wire_elements(itemsize),
                                 attempts=failures,
                             )
+                    # a blocking round serializes after any in-flight
+                    # nonblocking ops on this group's comm stream
+                    t_base = max(rnd.entry_times.values())
+                    if self.async_tail > t_base:
+                        t_base = self.async_tail
                     if permanent:
-                        t_end = max(rnd.entry_times.values()) + retry_seconds
+                        t_end = t_base + retry_seconds
                     else:
-                        t_end = (
-                            max(rnd.entry_times.values())
-                            + cost.seconds
-                            + retry_seconds
-                        )
+                        t_end = t_base + cost.seconds + retry_seconds
+                    self.async_tail = t_end
                     for g in self.ranks:
                         self.runtime.clocks[g].sync_to(t_end, "comm")
                     if permanent:
@@ -311,3 +348,248 @@ class ProcessGroup:
             if rnd.claimed == self.size:
                 del self._rounds[seq]
             return result
+
+    # ------------------------------------------------------------------
+
+    def _check_mode(self, rnd: _Round, mode: str) -> None:
+        """All ranks of a round must agree on blocking vs nonblocking: for a
+        nonblocking round, *handle completion* (not issue order) defines the
+        rendezvous point, so a blocking caller mixed into it would have its
+        clock synced under the wrong semantics.  Fail the round for everyone
+        rather than silently mis-pricing it."""
+        if rnd.mode is None:
+            rnd.mode = mode
+        elif rnd.mode != mode:
+            err: BaseException = RuntimeError(
+                f"collective on group {self.ranks} mixes blocking and "
+                f"nonblocking calls across ranks (round is {rnd.mode!r}, "
+                f"this rank called {mode!r})"
+            )
+            if not rnd.done:
+                rnd.error = err
+                rnd.done = True
+                self._cond.notify_all()
+            rnd.claimed += 1
+            raise err
+
+    def rendezvous_async(self, my_global_rank: int, payload: Any,
+                         finalize: FinalizeFn, spec: Any = None) -> "WorkHandle":
+        """Enter a collective round without blocking.
+
+        The round finalizes inline on whichever rank *issues* it last (per-
+        rank program order makes that deterministic in simulated time); the
+        collective then occupies the group's comm stream from
+        ``max(async_tail, max issue times)`` for its priced cost.  No
+        compute clock moves at finalize — each member reconciles when it
+        waits the returned handle (max-join).  Byte/cost accounting is
+        identical to the blocking rendezvous.
+        """
+        me = self.local_rank(my_global_rank)
+        clock = self.runtime.clocks[my_global_rank]
+
+        injector = self.runtime.fault_injector
+        if injector is not None:
+            injector.check_time_crash(my_global_rank, clock.time)
+
+        san = self.runtime.sanitizer
+        if spec is not None:
+            spec.seq = self._seq[my_global_rank]
+
+        seq = self._seq[my_global_rank]
+        self._seq[my_global_rank] = seq + 1
+
+        with self._cond:
+            rnd = self._rounds.get(seq)
+            if rnd is None:
+                rnd = _Round()
+                self._rounds[seq] = rnd
+            self._check_mode(rnd, "async")
+            rnd.payloads[me] = payload
+            rnd.entry_times[me] = clock.time
+            if spec is not None:
+                if rnd.specs is None:
+                    rnd.specs = {}
+                rnd.specs[me] = spec
+            if not rnd.done and len(rnd.payloads) == self.size:
+                self._finalize_async(rnd, seq, finalize)
+            return AsyncCollectiveHandle(self, seq, me, my_global_rank, spec)
+
+    def _finalize_async(self, rnd: _Round, seq: int, finalize: FinalizeFn) -> None:
+        """Finalize a nonblocking round (lock held, last issuer's thread)."""
+        runtime = self.runtime
+        injector = runtime.fault_injector
+        san = runtime.sanitizer
+        tracer = runtime.tracer
+        race_token = None
+        try:
+            if san is not None:
+                san.verify_round(self, seq, rnd.specs)
+                race_token = san.race_acquire(self, rnd.payloads)
+            results, cost, op, itemsize = finalize(rnd.payloads)
+            failures, permanent = 0, False
+            retry_seconds = 0.0
+            if injector is not None:
+                failures, permanent = injector.collective_verdict(
+                    op, self.ranks, seq
+                )
+                if (failures or permanent) and san is not None:
+                    san.note_injected_glitch(op, self.ranks, failures, permanent)
+                if permanent:
+                    failures = runtime.retry_policy.max_retries + 1
+                if failures:
+                    policy = runtime.retry_policy
+                    for a in range(1, failures + 1):
+                        retry_seconds += cost.seconds + policy.backoff(a)
+                    self.counters.record_retry(
+                        op,
+                        failures * cost.wire_bytes,
+                        failures * cost.wire_elements(itemsize),
+                        attempts=failures,
+                    )
+            t_start = max(rnd.entry_times.values())
+            if self.async_tail > t_start:
+                t_start = self.async_tail
+            if permanent:
+                t_end = t_start + retry_seconds
+            else:
+                t_end = t_start + cost.seconds + retry_seconds
+            self.async_tail = t_end
+            for g in self.ranks:
+                runtime.comm_streams[g].occupy(t_start, t_end)
+            if permanent:
+                raise CollectiveTimeout(op, self.ranks, attempts=failures)
+            if cost.wire_bytes:
+                self.counters.record(
+                    op, cost.wire_bytes, cost.wire_elements(itemsize),
+                    algorithm=cost.algorithm,
+                )
+            if san is not None:
+                rnd.trace_extra = san.finish_round(
+                    self, seq, rnd.specs, rnd.payloads, results, race_token,
+                )
+                race_token = None  # released by finish_round
+            rnd.algorithm = cost.algorithm
+            rnd.op = op
+            rnd.t_start = t_start
+            rnd.t_end = t_end
+            rnd.wire_bytes = cost.wire_bytes
+            rnd.retries = failures
+            rnd.retry_seconds = retry_seconds
+            rnd.results = results
+            if tracer is not None:
+                for local, g in enumerate(self.ranks):
+                    tracer.annotate(
+                        g, "comm_stream", op, t_start, t_end,
+                        wire_bytes=cost.wire_bytes, group_size=self.size,
+                        retries=failures, primary=(local == 0),
+                        algo=cost.algorithm, **rnd.trace_extra,
+                    )
+        except BaseException as exc:  # propagate to every waiter
+            if race_token is not None:
+                san.race_release(race_token)
+            rnd.error = exc
+        rnd.done = True
+        self._cond.notify_all()
+
+
+class AsyncCollectiveHandle(WorkHandle):
+    """One rank's handle on an in-flight nonblocking collective round."""
+
+    __slots__ = ("_group", "_seq", "_me", "_rank", "_spec", "_done", "_result")
+
+    def __init__(self, group: ProcessGroup, seq: int, me: int, rank: int,
+                 spec: Any) -> None:
+        self._group = group
+        self._seq = seq
+        self._me = me
+        self._rank = rank
+        self._spec = spec
+        self._done = False
+        self._result: Any = None
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        with self._group._cond:
+            rnd = self._group._rounds.get(self._seq)
+            return rnd is None or rnd.done
+
+    def wait(self) -> Any:
+        """Block (in host time) until the round completes, then max-join the
+        caller's compute clock to the completion time.  Only the portion of
+        the op duration the clock actually stalls on is exposed; the rest is
+        accounted as overlapped."""
+        if self._done:
+            return self._result
+        group = self._group
+        runtime = group.runtime
+        clock = runtime.clocks[self._rank]
+        tracer = runtime.tracer
+        san = runtime.sanitizer
+        with group._cond:
+            rnd = group._rounds.get(self._seq)
+            if rnd is None:
+                raise RuntimeError(
+                    f"nonblocking collective #{self._seq} on group "
+                    f"{group.ranks} has no round state (runtime reset while "
+                    f"the handle was outstanding?)"
+                )
+            if not rnd.done:
+                deadline = runtime.deadlock_timeout
+                if san is not None:
+                    san.enter_wait(self._rank, group, self._seq, self._spec, rnd)
+                try:
+                    while not rnd.done:
+                        if runtime.aborting():
+                            runtime.check_abort()
+                        if san is not None:
+                            err = san.check_stalled(group, self._seq, rnd)
+                            if err is not None and not rnd.done:
+                                rnd.error = err
+                                rnd.done = True
+                                group._cond.notify_all()
+                                if tracer is not None:
+                                    tracer.instant(
+                                        self._rank,
+                                        f"sanitizer:{type(err).__name__}",
+                                        clock.time,
+                                    )
+                                break
+                        if deadline <= 0:
+                            raise CollectiveTimeout(
+                                "collective", group.ranks,
+                                timeout=runtime.deadlock_timeout,
+                            )
+                        group._cond.wait(_POLL_INTERVAL)
+                        deadline -= _POLL_INTERVAL
+                finally:
+                    if san is not None:
+                        san.exit_wait(self._rank)
+            if rnd.error is not None:
+                rnd.claimed += 1
+                if rnd.claimed == group.size:
+                    del group._rounds[self._seq]
+                self._done = True
+                raise rnd.error
+            assert rnd.results is not None
+            result = rnd.results[self._me]
+            t_start, t_end, op = rnd.t_start, rnd.t_end, rnd.op
+            rnd.claimed += 1
+            if rnd.claimed == group.size:
+                del group._rounds[self._seq]
+        duration = t_end - t_start
+        t_wait = clock.time
+        exposed = min(duration, max(0.0, t_end - t_wait))
+        clock.sync_to(t_end, "comm")
+        runtime.comm_streams[self._rank].note_exposed(exposed)
+        group.counters.record_overlap(
+            op or "collective", exposed, max(0.0, duration - exposed)
+        )
+        if tracer is not None and exposed > 0.0:
+            tracer.annotate(
+                self._rank, "overlap", f"wait/{op}", t_wait, t_end,
+                exposed=exposed, overlapped=max(0.0, duration - exposed),
+            )
+        self._done = True
+        self._result = result
+        return result

@@ -88,11 +88,15 @@ class CommConfig:
     ``algorithm=None`` keeps the runtime's default (flat ring); set
     ``"auto"`` for cost-driven per-call selection or pin one family.
     ``island_ratio`` is the bandwidth-ratio threshold for fast-link island
-    detection used by the hierarchical algorithms.
+    detection used by the hierarchical algorithms.  ``overlap`` enables
+    comm/compute overlap: nonblocking collectives on per-rank comm streams,
+    hook-driven DDP bucket flushing, ZeRO chunk prefetch and pipeline
+    stream sends (numerics are bitwise identical either way).
     """
 
     algorithm: Optional[str] = None
     island_ratio: float = 0.5
+    overlap: bool = False
 
     def validate(self) -> None:
         if self.algorithm is not None and self.algorithm not in COMM_ALGORITHMS:

@@ -25,7 +25,7 @@ from repro.config import Config
 from repro.context.parallel_context import ParallelContext, ParallelMode
 from repro.nn.module import Module
 from repro.parallel.common import sync_parameter_gradients
-from repro.parallel.data import sync_gradients
+from repro.parallel.data import DistributedDataParallel, sync_gradients
 from repro.parallel.pipeline.schedule import PipelineSchedule
 from repro.tensor.tensor import Tensor
 
@@ -62,6 +62,15 @@ class Engine:
 
     def backward(self, loss: Tensor) -> None:
         if self.gradient_accumulation > 1:
+            if (
+                isinstance(self.model, DistributedDataParallel)
+                and self.model.overlap
+            ):
+                raise RuntimeError(
+                    "gradient accumulation needs overlap=False: hook-driven "
+                    "bucket flushing would all-reduce after the first backward "
+                    "instead of once per accumulation window"
+                )
             from repro.autograd import ops
 
             loss = ops.mul(loss, 1.0 / self.gradient_accumulation)
@@ -85,8 +94,12 @@ class Engine:
                 return False
         # replicated-parameter sums (2.5D depth, sequence parallelism)
         sync_parameter_gradients(self.model)
-        # data-parallel average
-        if self.pc.data_size > 1:
+        # data-parallel average; a DDP-wrapped model owns its own sync (the
+        # overlap path only waits handles — the all-reduces already ran on
+        # the comm stream during backward)
+        if isinstance(self.model, DistributedDataParallel):
+            self.model.sync()
+        elif self.pc.data_size > 1:
             sync_gradients(params, self.pc.comm(ParallelMode.DATA))
         if self.config.gradient_clipping > 0:
             self.optimizer.clip_grad_norm(self.config.gradient_clipping)

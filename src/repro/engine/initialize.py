@@ -50,9 +50,14 @@ def launch(
         rt = runtime
         if cfg.comm.algorithm is not None:
             rt.set_comm_algorithm(cfg.comm.algorithm)
+        if cfg.comm.overlap:
+            rt.comm_overlap = True
     else:
         rt = SpmdRuntime(
-            cluster, world_size, comm_algorithm=cfg.comm.algorithm or "ring"
+            cluster,
+            world_size,
+            comm_algorithm=cfg.comm.algorithm or "ring",
+            comm_overlap=cfg.comm.overlap,
         )
     if cfg.comm.island_ratio != rt.comm_island_ratio:
         with rt._group_lock:
@@ -97,6 +102,19 @@ def initialize(
         from repro.amp.fp16 import cast_model_to
 
         cast_model_to(model, "float16")
+    if (
+        cfg.comm.overlap
+        and pc.data_size > 1
+        and cfg.model_parallel_size() == 1
+        and not cfg.fp16.enabled
+    ):
+        # pure data parallelism: auto-wrap so gradient buckets all-reduce
+        # nonblocking from backward hooks (fp16 keeps the post-backward sweep
+        # because unscale+overflow check must precede any gradient traffic)
+        from repro.parallel.data import DistributedDataParallel
+
+        if not isinstance(model, DistributedDataParallel):
+            model = DistributedDataParallel(model, pc, overlap=True)
     if schedule is None and pc.pipeline_size > 1:
         schedule = GPipeSchedule(pc, cfg.num_microbatches)
     return Engine(model, optimizer, criterion, pc, cfg, schedule=schedule)

@@ -5,11 +5,20 @@ parameter gradients are averaged across the data-parallel group with
 bucketed all-reduce — fusing small gradients into flat buckets is what
 keeps bandwidth utilisation high on real NCCL and the alpha term small in
 our cost model.
+
+With ``comm.overlap`` enabled the DDP wrapper goes further: buckets are
+built over *reversed* registration order (gradients become ready back to
+front) and each bucket's all-reduce is issued nonblocking from a gradient
+hook the moment its last gradient lands, so bucket k's transfer runs on
+the comm stream while earlier layers' backward still computes.  ``sync()``
+then only waits the handles and unpacks — numerically identical to the
+post-backward sweep, because each bucket's reduction combines the same
+per-rank values in the same local-rank order.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -22,10 +31,20 @@ from repro.utils.units import MB
 
 
 def _bucketize(params: Sequence[Parameter], bucket_bytes: int) -> List[List[Parameter]]:
+    """Greedy order-preserving bucketing: close the current bucket once it
+    reaches ``bucket_bytes``.  A single parameter at or over the cap gets a
+    dedicated bucket — any accumulated smaller params are flushed first, so
+    an oversized param never drags neighbours past the cap with it."""
     buckets: List[List[Parameter]] = []
     current: List[Parameter] = []
     size = 0
     for p in params:
+        if p.nbytes >= bucket_bytes:
+            if current:
+                buckets.append(current)
+                current, size = [], 0
+            buckets.append([p])
+            continue
         current.append(p)
         size += p.nbytes
         if size >= bucket_bytes:
@@ -70,28 +89,116 @@ def sync_gradients(
 class DistributedDataParallel(Module):
     """DDP wrapper: forward delegates; ``sync()`` averages gradients across
     the DATA group (call it between ``backward`` and ``optimizer.step``; the
-    Engine does this automatically)."""
+    Engine does this automatically).
+
+    ``overlap=True`` (default: follow ``runtime.comm_overlap``) switches to
+    hook-driven bucket flushing: gradient buckets are laid out over reversed
+    parameter-registration order and each bucket's all-reduce is issued
+    nonblocking as soon as its last gradient is accumulated, overlapping
+    communication with the rest of backward.  ``sync()`` flushes stragglers,
+    waits the handles in issue order and unpacks.  Overlap assumes one
+    gradient accumulation per parameter per ``sync()`` — models that reuse
+    a parameter in several ops (tied weights) or accumulate over multiple
+    backwards must run with ``overlap=False``; a double fire raises rather
+    than desynchronizing numerics.
+    """
 
     def __init__(
         self,
         module: Module,
         pc: ParallelContext,
         bucket_mb: float = 25.0,
+        overlap: Optional[bool] = None,
     ) -> None:
         super().__init__()
         self.module = module
         self.pc = pc
         self.bucket_mb = bucket_mb
+        self.comm = pc.comm(ParallelMode.DATA)
+        if overlap is None:
+            overlap = getattr(self.comm.group.runtime, "comm_overlap", False)
+        self.overlap = bool(overlap) and self.comm.size > 1
+        self._buckets: List[List[Parameter]] = []
+        self._param_bucket: Dict[int, int] = {}
+        self._ready: List[Set[int]] = []
+        self._flushed: List[bool] = []
+        self._pending: List[Tuple[int, Any]] = []
+        if self.overlap:
+            self._install_hooks()
 
     def forward(self, *args, **kwargs):
         return self.module(*args, **kwargs)
 
-    def sync(self) -> None:
-        sync_gradients(
-            self.module.parameters(),
-            self.pc.comm(ParallelMode.DATA),
-            bucket_mb=self.bucket_mb,
+    # -- overlap path ------------------------------------------------------
+
+    def _install_hooks(self) -> None:
+        grad_params = [p for p in self.module.parameters() if p.requires_grad]
+        # gradients become ready back to front during backward, so bucket
+        # over reversed registration order to flush early buckets early
+        self._buckets = _bucketize(
+            list(reversed(grad_params)), int(self.bucket_mb * MB)
         )
+        self._ready = [set() for _ in self._buckets]
+        self._flushed = [False] * len(self._buckets)
+        for bi, bucket in enumerate(self._buckets):
+            for p in bucket:
+                self._param_bucket[id(p)] = bi
+                p.grad_hook = self._on_grad_ready
+
+    def _on_grad_ready(self, p: Tensor) -> None:
+        bi = self._param_bucket[id(p)]
+        ready = self._ready[bi]
+        if self._flushed[bi] or id(p) in ready:
+            raise RuntimeError(
+                f"DDP overlap: parameter {p.name or id(p)} accumulated a "
+                f"gradient twice before sync() — shared parameters and "
+                f"multi-backward gradient accumulation require overlap=False"
+            )
+        ready.add(id(p))
+        if len(ready) == len(self._buckets[bi]):
+            self._flush_bucket(bi)
+
+    def _flush_bucket(self, bi: int) -> None:
+        self._flushed[bi] = True
+        bucket = [p for p in self._buckets[bi] if p.grad is not None]
+        if not bucket:
+            return
+        if any(not p.grad.materialized for p in bucket):
+            nbytes = sum(p.grad.nbytes for p in bucket)
+            flat: Any = SpecArray((nbytes // 4,), "float32")
+        else:
+            flat = np.concatenate([p.grad.numpy().reshape(-1) for p in bucket])
+        self._pending.append((bi, self.comm.iallreduce(flat)))
+
+    def sync(self) -> None:
+        if not self.overlap:
+            sync_gradients(
+                self.module.parameters(), self.comm, bucket_mb=self.bucket_mb
+            )
+            return
+        # stragglers: buckets whose params got no gradient this step (or a
+        # partial set), flushed in bucket order so every rank issues the
+        # same collective sequence
+        for bi in range(len(self._buckets)):
+            if not self._flushed[bi]:
+                self._flush_bucket(bi)
+        for bi, handle in self._pending:
+            reduced = handle.wait()
+            if is_spec(reduced):
+                continue
+            bucket = [p for p in self._buckets[bi] if p.grad is not None]
+            averaged = reduced / self.comm.size
+            offset = 0
+            for p in bucket:
+                n = p.grad.size
+                p.grad.payload[...] = averaged[offset : offset + n].reshape(
+                    p.grad.shape
+                )
+                offset += n
+        self._pending.clear()
+        for ready in self._ready:
+            ready.clear()
+        self._flushed = [False] * len(self._buckets)
 
 
 def shard_batch(batch: np.ndarray, pc: ParallelContext) -> np.ndarray:

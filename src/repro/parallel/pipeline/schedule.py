@@ -54,6 +54,11 @@ class PipelineSchedule:
         runtime = self.comm.group.runtime
         self._tracer = runtime.tracer
         self._clock = runtime.clocks[self.comm.global_rank]
+        # overlap mode: activation/gradient sends run on the sender's p2p
+        # stream (isend) so the next microbatch's compute starts immediately;
+        # handles are drained (max-joined) at the end of the step
+        self._overlap = getattr(runtime, "comm_overlap", False) and self.n_stages > 1
+        self._pending_sends: List[Any] = []
 
     @property
     def is_first(self) -> bool:
@@ -68,7 +73,12 @@ class PipelineSchedule:
         return Tensor(payload, requires_grad=True)
 
     def _send_fwd(self, mb: int, out: Tensor) -> None:
-        self.comm.send(out.payload, self.stage + 1, tag=("fwd", mb))
+        if self._overlap:
+            self._pending_sends.append(
+                self.comm.isend(out.payload, self.stage + 1, tag=("fwd", mb))
+            )
+        else:
+            self.comm.send(out.payload, self.stage + 1, tag=("fwd", mb))
 
     def _recv_bwd(self, mb: int) -> Tensor:
         payload = self._traced_recv(self.stage + 1, ("bwd", mb))
@@ -91,7 +101,19 @@ class PipelineSchedule:
     def _send_bwd(self, mb: int, x: Tensor) -> None:
         if x.grad is None:
             raise RuntimeError("no gradient flowed to the stage input")
-        self.comm.send(x.grad.payload, self.stage - 1, tag=("bwd", mb))
+        if self._overlap:
+            self._pending_sends.append(
+                self.comm.isend(x.grad.payload, self.stage - 1, tag=("bwd", mb))
+            )
+        else:
+            self.comm.send(x.grad.payload, self.stage - 1, tag=("bwd", mb))
+
+    def _drain_sends(self) -> None:
+        """Wait outstanding stream sends (end of step): max-joins the stage
+        clock to the last transfer so step time includes the wire."""
+        for handle in self._pending_sends:
+            handle.wait()
+        self._pending_sends.clear()
 
     # -- per-microbatch work ---------------------------------------------------
 
@@ -179,6 +201,7 @@ class GPipeSchedule(PipelineSchedule):
                 total += loss.item()
                 have_loss = True
             states[mb] = (None, out, None)  # free input/loss refs eagerly
+        self._drain_sends()
         return total if have_loss else None
 
 
@@ -226,4 +249,5 @@ class OneFOneBSchedule(PipelineSchedule):
             bwd_one()
         for _ in range(warmup):  # drain
             bwd_one()
+        self._drain_sends()
         return total if have_loss else None

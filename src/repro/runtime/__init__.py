@@ -6,7 +6,7 @@ clocks, and provides deterministic failure propagation so that an exception
 on one rank aborts collectives on all others instead of deadlocking.
 """
 
-from repro.runtime.clock import SimClock
+from repro.runtime.clock import SimClock, StreamClock
 from repro.runtime.errors import (
     CollectiveTimeout,
     RankFailure,
@@ -17,6 +17,7 @@ from repro.runtime.spmd import RankContext, SpmdRuntime, current_rank_context, s
 
 __all__ = [
     "SimClock",
+    "StreamClock",
     "CollectiveTimeout",
     "RankFailure",
     "RemoteRankError",

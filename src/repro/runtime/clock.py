@@ -134,3 +134,93 @@ class SimClock:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimClock(t={self._time:.6f}s)"
+
+
+class StreamClock:
+    """Simulated time of one rank's communication stream.
+
+    Nonblocking operations do not advance the owning rank's
+    :class:`SimClock`; they *occupy* this stream instead: an op issued at
+    compute time ``t`` starts no earlier than the stream's current head,
+    runs for its priced cost, and moves the head forward.  The compute
+    clock reconciles lazily — ``WorkHandle.wait()`` max-joins it to the op
+    completion time, charging only the *exposed* remainder as ``comm``.
+
+    ``occupy``/``note_exposed`` may run on whichever thread finalizes or
+    waits a rendezvous; every mutation is commutative (``max`` / ``+=``),
+    so end-of-run readings are deterministic regardless of host-thread
+    interleaving.  ``overlapped`` starts as the full op duration at issue
+    and is reclassified to ``exposed`` at wait time for whatever portion
+    the compute clock actually stalled on.
+    """
+
+    __slots__ = ("_time", "_lock", "_busy", "_exposed", "_overlapped")
+
+    def __init__(self) -> None:
+        self._time = 0.0
+        self._lock = threading.Lock()
+        self._busy: Dict[str, float] = {}
+        self._exposed = 0.0
+        self._overlapped = 0.0
+
+    @property
+    def time(self) -> float:
+        """Stream head: simulated time the last queued op completes."""
+        return self._time
+
+    @property
+    def exposed_seconds(self) -> float:
+        """Comm seconds the compute clock stalled on at ``wait()``."""
+        return self._exposed
+
+    @property
+    def overlapped_seconds(self) -> float:
+        """Comm seconds hidden behind compute (duration minus exposed)."""
+        return self._overlapped
+
+    def occupy(self, t0: float, t1: float, category: str = "comm") -> None:
+        """Record one op running on the stream over ``[t0, t1]``; the whole
+        duration is provisionally counted as overlapped until a ``wait``
+        reclassifies the stalled portion via :meth:`note_exposed`."""
+        if t1 < t0:
+            raise ValueError(f"stream occupancy ends before it starts: {t0} -> {t1}")
+        with self._lock:
+            dt = t1 - t0
+            self._busy[category] = self._busy.get(category, 0.0) + dt
+            self._overlapped += dt
+            if t1 > self._time:
+                self._time = t1
+
+    def note_exposed(self, seconds: float) -> None:
+        """Reclassify ``seconds`` of previously-occupied stream time from
+        overlapped to exposed (called by ``WorkHandle.wait``)."""
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            self._exposed += seconds
+            self._overlapped -= seconds
+
+    def busy_seconds(self) -> float:
+        with self._lock:
+            return sum(self._busy.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Occupied seconds per category plus the exposed/overlapped split."""
+        with self._lock:
+            out = dict(self._busy)
+            out["exposed"] = self._exposed
+            out["overlapped"] = self._overlapped
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._time = 0.0
+            self._busy.clear()
+            self._exposed = 0.0
+            self._overlapped = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamClock(t={self._time:.6f}s, exposed={self._exposed:.6f}s, "
+            f"overlapped={self._overlapped:.6f}s)"
+        )

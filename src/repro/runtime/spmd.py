@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.machine import ClusterSpec
-from repro.runtime.clock import SimClock
+from repro.runtime.clock import SimClock, StreamClock
 from repro.runtime.errors import CollectiveTimeout, RemoteRankError, SpmdAborted
 from repro.utils.backoff import RetryPolicy
 
@@ -163,6 +163,7 @@ class SpmdRuntime:
         tracer: Optional[Any] = None,
         comm_algorithm: str = "ring",
         sanitize: Optional[Any] = None,
+        comm_overlap: bool = False,
     ) -> None:
         if world_size is None:
             world_size = cluster.world_size
@@ -186,9 +187,16 @@ class SpmdRuntime:
         #: island-detection bandwidth-ratio threshold for hierarchical
         #: collectives (see Topology.islands)
         self.comm_island_ratio = 0.5
+        #: route nonblocking p2p and scheduler comm through per-rank comm
+        #: streams (comm/compute overlap) instead of legacy blocking-on-wait
+        #: semantics; i-collectives always use the streams.
+        self.comm_overlap = bool(comm_overlap)
         self.cluster = cluster
         self.world_size = world_size
         self.clocks = [SimClock() for _ in range(world_size)]
+        #: per-rank communication streams (see StreamClock); only populated
+        #: with occupancy when nonblocking primitives are used.
+        self.comm_streams = [StreamClock() for _ in range(world_size)]
         self.deadlock_timeout = float(deadlock_timeout)
         self.mailboxes = _Mailboxes(self.deadlock_timeout)
         self.retry_policy = retry if retry is not None else RetryPolicy()
@@ -286,6 +294,8 @@ class SpmdRuntime:
         if reset_clocks:
             for c in self.clocks:
                 c.reset()
+            for s in self.comm_streams:
+                s.reset()
         self._reset_comm_state()
         if self.fault_injector is not None:
             self.fault_injector.install(self)
@@ -351,8 +361,12 @@ class SpmdRuntime:
     # -- results ---------------------------------------------------------------
 
     def max_time(self) -> float:
-        """Simulated makespan of the last program (slowest rank)."""
-        return max(c.time for c in self.clocks)
+        """Simulated makespan of the last program (slowest rank; includes
+        comm-stream tails so fire-and-forget sends are not under-counted)."""
+        return max(
+            max(c.time for c in self.clocks),
+            max(s.time for s in self.comm_streams),
+        )
 
 
 def spmd_launch(
@@ -366,6 +380,7 @@ def spmd_launch(
     tracer: Optional[Any] = None,
     comm_algorithm: str = "ring",
     sanitize: Optional[Any] = None,
+    comm_overlap: bool = False,
     **kwargs: Any,
 ) -> List[Any]:
     """One-shot convenience: build a runtime, run ``fn`` on every rank,
@@ -373,5 +388,6 @@ def spmd_launch(
     rt = SpmdRuntime(
         cluster, world_size, fault_plan=fault_plan, tracer=tracer,
         comm_algorithm=comm_algorithm, sanitize=sanitize,
+        comm_overlap=comm_overlap,
     )
     return rt.run(fn, *args, materialize=materialize, seed=seed, **kwargs)

@@ -32,6 +32,19 @@ a collective round of its own — and provides four facilities:
 All state is per-run (reset by :meth:`begin_run`); every hook in the hot
 path gates on ``runtime.sanitizer is None`` so the disabled cost is one
 attribute check.
+
+**Nonblocking collectives.**  For ``iallreduce``-style calls the rendezvous
+point is *handle completion*, not issue order: every member still joins the
+same per-group sequence number (issue order per group is required to match
+across ranks — that is what the spec check verifies), but ranks may
+``wait()`` their handles in any order afterwards.  ``verify_round`` and the
+checksum/race hooks fire when the round's last *issuer* arrives, and the
+desync detector treats a rank parked in ``WorkHandle.wait()`` exactly like
+one parked in a blocking rendezvous: ``enter_wait``/``exit_wait`` bracket
+the park and ``check_stalled`` can convict it of a wait-for cycle.  A group
+where some ranks issue a collective blocking and others nonblocking fails
+the round for everyone (mixed-mode rendezvous error from the process
+group) before any sanitizer check runs.
 """
 
 from __future__ import annotations

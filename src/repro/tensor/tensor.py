@@ -124,6 +124,7 @@ class Tensor:
         "requires_grad",
         "grad",
         "grad_fn",
+        "grad_hook",
         "tag",
         "name",
         "__weakref__",
@@ -151,6 +152,9 @@ class Tensor:
         self.requires_grad = requires_grad
         self.grad: Optional[Tensor] = None
         self.grad_fn: Optional[Any] = None  # repro.autograd.function.Node
+        # called with this tensor after every leaf-gradient accumulation
+        # (DDP overlap uses it to flush ready buckets during backward)
+        self.grad_hook: Optional[Any] = None
         self.name: Optional[str] = None
 
     # -- basic properties ------------------------------------------------------
@@ -206,6 +210,7 @@ class Tensor:
         t.requires_grad = False
         t.grad = None
         t.grad_fn = None
+        t.grad_hook = None
         t.name = None
         return t
 

@@ -2,9 +2,12 @@
 
 Serialises a :class:`~repro.trace.tracer.Tracer` into the Trace Event
 Format consumed by ``chrome://tracing`` and Perfetto: one process for the
-simulated cluster, one thread lane per rank, duration events as balanced
-``B``/``E`` pairs, instants as ``i`` and memory samples as ``C`` counters.
-Timestamps are simulated microseconds (``ts = sim_seconds * 1e6``).
+simulated cluster, one thread lane per rank (plus a ``rank N comm stream``
+lane when the run issued nonblocking collectives — stream transfers run
+concurrently with the compute lane, so they get their own tid), duration
+events as balanced ``B``/``E`` pairs, instants as ``i`` and memory samples
+as ``C`` counters.  Timestamps are simulated microseconds
+(``ts = sim_seconds * 1e6``).
 
 Per lane the emitted stream is well-formed by construction: spans are
 sorted outermost-first and closed LIFO, timestamps are clamped
@@ -20,6 +23,11 @@ from repro.trace.tracer import Span, Tracer
 
 _US = 1e6  # trace-event timestamps are microseconds
 
+#: tid offset for the per-rank comm-stream lanes (rank r -> tid r + offset);
+#: stream spans overlap compute-lane spans in wall time, so they cannot
+#: share the compute lane's nesting-based B/E emission
+_STREAM_TID = 1000
+
 
 def _ts(seconds: float) -> float:
     return round(seconds * _US, 3)
@@ -33,6 +41,7 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
             "args": {"name": "repro simulated cluster"},
         }
     ]
+    stream_ranks = {s.rank for s in tracer.spans(cat="comm_stream")}
     for rank in tracer.ranks():
         events.append({
             "ph": "M", "pid": 0, "tid": rank, "name": "thread_name",
@@ -40,13 +49,29 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
         })
         events.append({
             "ph": "M", "pid": 0, "tid": rank, "name": "thread_sort_index",
-            "args": {"sort_index": rank},
+            "args": {"sort_index": 2 * rank},
         })
+        if rank in stream_ranks:
+            events.append({
+                "ph": "M", "pid": 0, "tid": rank + _STREAM_TID,
+                "name": "thread_name",
+                "args": {"name": f"rank {rank} comm stream"},
+            })
+            events.append({
+                "ph": "M", "pid": 0, "tid": rank + _STREAM_TID,
+                "name": "thread_sort_index",
+                "args": {"sort_index": 2 * rank + 1},
+            })
 
     for rank in tracer.ranks():
         events.extend(_lane_events(
-            [s for s in tracer.spans() if s.rank == rank]
+            [s for s in tracer.spans() if s.rank == rank and s.cat != "comm_stream"]
         ))
+        if rank in stream_ranks:
+            events.extend(_lane_events(
+                [s for s in tracer.spans(cat="comm_stream") if s.rank == rank],
+                tid=rank + _STREAM_TID,
+            ))
 
     for inst in tracer.instants():
         events.append({
@@ -62,14 +87,16 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def _lane_events(spans: List[Span]) -> List[Dict[str, Any]]:
-    """Emit balanced B/E pairs for one rank's spans.
+def _lane_events(spans: List[Span], tid: int = None) -> List[Dict[str, Any]]:
+    """Emit balanced B/E pairs for one lane's spans.
 
-    Spans from one rank all derive from the same monotonic simulated clock,
+    Spans on one lane all derive from the same monotonic simulated clock
+    (compute clock for the rank lane, stream clock for a comm-stream lane),
     so they nest; sorting by (start, -end) puts enclosing spans first and a
     LIFO stack closes inner spans before outer ones.  Timestamps are
     clamped non-decreasing so rounding can never produce an out-of-order
-    lane.
+    lane.  ``tid`` overrides the emitted thread id (comm-stream lanes use
+    ``rank + _STREAM_TID``).
     """
     events: List[Dict[str, Any]] = []
     last_ts = float("-inf")
@@ -79,7 +106,8 @@ def _lane_events(spans: List[Span]) -> List[Dict[str, Any]]:
         ts = max(_ts(t), last_ts)
         last_ts = ts
         ev: Dict[str, Any] = {
-            "ph": ph, "pid": 0, "tid": span.rank, "ts": ts,
+            "ph": ph, "pid": 0,
+            "tid": span.rank if tid is None else tid, "ts": ts,
             "name": span.name, "cat": span.cat,
         }
         if ph == "B" and span.args:

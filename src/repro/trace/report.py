@@ -3,8 +3,10 @@
 :class:`TraceReport` condenses a traced run into the tables the paper's
 figures are made of: per-rank time breakdown by category (Fig 9-style
 compute/comm split), the top-k collectives by wire bytes and by time
-(Table 1 / Fig 5 territory), and the pipeline-bubble fraction (the
-``(p-1)/(m+p-1)`` term behind Fig 13b).
+(Table 1 / Fig 5 territory), the pipeline-bubble fraction (the
+``(p-1)/(m+p-1)`` term behind Fig 13b), and — for overlap-enabled runs —
+the per-rank split of comm-stream time into *exposed* (a ``wait()``
+actually stalled for it) and *overlapped* (hidden under compute) seconds.
 """
 
 from __future__ import annotations
@@ -40,6 +42,12 @@ class TraceReport:
     per_rank_total: Dict[int, float] = field(default_factory=dict)
     collectives: Dict[str, CollectiveStat] = field(default_factory=dict)
     bubble_seconds: Dict[int, float] = field(default_factory=dict)
+    # comm-stream accounting (empty unless the run used nonblocking comm):
+    # stream occupancy, the exposed tail waits stalled for, and the hidden
+    # remainder (stream - exposed)
+    stream_seconds: Dict[int, float] = field(default_factory=dict)
+    exposed_comm: Dict[int, float] = field(default_factory=dict)
+    overlapped_comm: Dict[int, float] = field(default_factory=dict)
 
     @classmethod
     def from_tracer(cls, tracer: Tracer) -> "TraceReport":
@@ -61,6 +69,19 @@ class TraceReport:
             rep.bubble_seconds[s.rank] = (
                 rep.bubble_seconds.get(s.rank, 0.0) + s.duration
             )
+        for s in tracer.spans(cat="comm_stream"):
+            rep.stream_seconds[s.rank] = (
+                rep.stream_seconds.get(s.rank, 0.0) + s.duration
+            )
+        for s in tracer.spans(cat="overlap"):
+            rep.exposed_comm[s.rank] = (
+                rep.exposed_comm.get(s.rank, 0.0)
+                + float(s.args.get("exposed", s.duration))
+            )
+        for rank, stream in rep.stream_seconds.items():
+            rep.overlapped_comm[rank] = max(
+                0.0, stream - rep.exposed_comm.get(rank, 0.0)
+            )
         return rep
 
     # -- derived metrics ---------------------------------------------------
@@ -77,6 +98,14 @@ class TraceReport:
         cats = self.per_rank.get(rank, {})
         total = self.per_rank_total.get(rank, 0.0)
         return cats.get("comm", 0.0) / total if total else 0.0
+
+    def hidden_comm_fraction(self, rank: int) -> float:
+        """Fraction of this rank's comm-stream time hidden under compute
+        (1.0 = fully overlapped; 0.0 when the rank issued no stream comm)."""
+        stream = self.stream_seconds.get(rank, 0.0)
+        if not stream:
+            return 0.0
+        return self.overlapped_comm.get(rank, 0.0) / stream
 
     def top_collectives(self, k: int = 5, by: str = "wire_bytes") -> List[CollectiveStat]:
         """The ``k`` heaviest collectives by ``wire_bytes`` or ``rank_seconds``."""
@@ -112,6 +141,20 @@ class TraceReport:
                 lines.append(
                     f"{stat.op:>15s}  {stat.calls:7d}  {stat.wire_bytes:14d}  "
                     f"{stat.rank_seconds:13.6f}  {stat.retries:7d}"
+                )
+        if self.stream_seconds:
+            lines.append("")
+            lines.append("comm-stream overlap (simulated seconds)")
+            lines.append(
+                f"rank  {'stream':>10s}  {'exposed':>10s}  "
+                f"{'overlapped':>10s}  {'hidden':>7s}"
+            )
+            for rank in sorted(self.stream_seconds):
+                lines.append(
+                    f"{rank:4d}  {self.stream_seconds[rank]:10.6f}  "
+                    f"{self.exposed_comm.get(rank, 0.0):10.6f}  "
+                    f"{self.overlapped_comm.get(rank, 0.0):10.6f}  "
+                    f"{self.hidden_comm_fraction(rank):6.1%}"
                 )
         lines.append("")
         lines.append(f"pipeline bubble fraction: {self.bubble_fraction():.4f}")

@@ -14,7 +14,11 @@ charges.  Two event sources feed it:
   transfers (``p2p``), per-microbatch pipeline stages (``pipeline``) and
   receive stalls (``bubble``), ZeRO chunk traffic (``zero``), trainer steps
   and checkpoints (``step``/``checkpoint``), and one ``rank`` lifecycle
-  span per rank.
+  span per rank.  Nonblocking collectives add a **comm-stream lane** per
+  rank: ``comm_stream`` spans mark when each async transfer occupied the
+  rank's communication stream, and ``overlap`` spans on the compute lane
+  mark the *exposed* tail a ``wait()`` actually stalled for — together they
+  split comm time into hidden (overlapped) and exposed parts.
 
 Instrumentation is zero-cost when disabled: every hook site is a single
 ``is None`` check on an attribute that defaults to ``None``.
@@ -43,7 +47,7 @@ CLOCK_CATEGORIES = ("compute", "comm", "wait", "offload", "optimizer")
 #: categories emitted by annotation sites (not summed into breakdowns)
 ANNOTATION_CATEGORIES = (
     "collective", "p2p", "pipeline", "bubble", "retry",
-    "zero", "step", "checkpoint", "rank",
+    "zero", "step", "checkpoint", "rank", "comm_stream", "overlap",
 )
 
 #: event kinds

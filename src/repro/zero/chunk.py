@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +68,11 @@ class Chunk:
         self._full_storage: Optional[Storage] = None
         self._grad_shard: Optional[np.ndarray] = None
         self._grad_storage: Optional[Storage] = None
+        # in-flight nonblocking ops (overlap scheduler): the prefetched
+        # all-gather handle and the (handle, average) of an async
+        # reduce-scatter of this chunk's gradients
+        self._pending_gather: Optional[Any] = None
+        self._pending_rs: Optional[Tuple[Any, bool]] = None
         self.last_used_step = -1
 
     # -- packing ----------------------------------------------------------------
@@ -131,15 +136,31 @@ class Chunk:
         old.release()
         self.location = where
 
+    def prefetch(self, cost_model: CostModel, rank: int, clock) -> None:
+        """Issue this chunk's all-gather on the comm stream without blocking
+        (the overlap scheduler calls this one block ahead); the next
+        :meth:`fetch` completes it.  An offloaded shard pays its host
+        transfer here — same charge as the blocking path, just earlier."""
+        if self.is_fetched or self._pending_gather is not None:
+            return
+        if self.location == "cpu":
+            cost = cost_model.host_transfer(rank, self.shard_nbytes)
+            clock.advance(cost.seconds, "offload")
+        self._pending_gather = self.comm.iall_gather(self.shard_payload(), axis=0)
+
     def fetch(self, cost_model: CostModel, rank: int, clock, step: int = 0) -> None:
         """Reconstruct the full fp16 chunk on the GPU."""
         if self.is_fetched:
             self.last_used_step = step
             return
-        if self.location == "cpu":
-            cost = cost_model.host_transfer(rank, self.shard_nbytes)
-            clock.advance(cost.seconds, "offload")
-        gathered = self.comm.all_gather(self.shard_payload(), axis=0)
+        if self._pending_gather is not None:
+            gathered = self._pending_gather.wait()
+            self._pending_gather = None
+        else:
+            if self.location == "cpu":
+                cost = cost_model.host_transfer(rank, self.shard_nbytes)
+                clock.advance(cost.seconds, "offload")
+            gathered = self.comm.all_gather(self.shard_payload(), axis=0)
         if self.values is not None and not is_spec(gathered):
             self.values[...] = gathered
         self._full_storage = Storage(self.gpu, self.full_nbytes, "param")
@@ -159,25 +180,36 @@ class Chunk:
         clock,
         reuse_fp16_storage: bool = True,
         average: bool = True,
+        async_op: bool = False,
     ) -> None:
         """Collect full parameter grads, reduce-scatter across the group,
         keep this rank's grad shard (optionally reusing the fp16 param
-        shard storage — Fig 6)."""
+        shard storage — Fig 6).
+
+        ``async_op=True`` issues the reduce-scatter nonblocking on the comm
+        stream and returns immediately; :meth:`finish_grad_reduce` completes
+        it (the overlap scheduler calls that right before the chunk's
+        optimizer update)."""
         if self.values is not None and all(
             r.param.grad is not None and r.param.grad.materialized for r in self.records
         ):
-            flat = np.zeros(self.capacity, dtype=np.float32)
+            flat: Payload = np.zeros(self.capacity, dtype=np.float32)
             for r in self.records:
                 flat[r.offset : r.offset + r.numel] = (
                     r.param.grad.numpy().astype(np.float32).reshape(-1)
                 )
-            shard = self.comm.reduce_scatter(flat, axis=0)
-            if average:
-                shard = shard / self.comm.size
-            self._grad_shard = shard
         else:
-            self.comm.reduce_scatter(SpecArray((self.capacity,), self.dtype), axis=0)
-            self._grad_shard = None
+            flat = SpecArray((self.capacity,), self.dtype)
+        if async_op:
+            self._pending_rs = (self.comm.ireduce_scatter(flat, axis=0), average)
+        else:
+            shard = self.comm.reduce_scatter(flat, axis=0)
+            if is_spec(shard):
+                self._grad_shard = None
+            else:
+                if average:
+                    shard = shard / self.comm.size
+                self._grad_shard = shard
         if not reuse_fp16_storage:
             self._grad_storage = Storage(
                 self.gpu if self.location == "gpu" else self.cpu,
@@ -191,6 +223,21 @@ class Chunk:
         # drop the full per-parameter gradients
         for r in self.records:
             r.param.grad = None
+
+    def finish_grad_reduce(self) -> None:
+        """Complete an ``async_op`` reduce-scatter (no-op otherwise): wait
+        the handle and keep this rank's averaged grad shard."""
+        if self._pending_rs is None:
+            return
+        handle, average = self._pending_rs
+        self._pending_rs = None
+        shard = handle.wait()
+        if is_spec(shard):
+            self._grad_shard = None
+        else:
+            if average:
+                shard = shard / self.comm.size
+            self._grad_shard = shard
 
     @property
     def grad_shard(self) -> Optional[np.ndarray]:

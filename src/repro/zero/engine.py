@@ -57,12 +57,18 @@ class ZeroOffloadEngine:
         weight_decay: float = 0.0,
         reuse_fp16_storage: bool = True,
         param_dtype: str = "float16",
+        overlap: Optional[bool] = None,
     ) -> None:
         self.ctx = ctx
         self.blocks = blocks
         self.comm = dp_comm
         self.policy = policy
         self.criterion = criterion
+        if overlap is None:
+            overlap = getattr(ctx.runtime, "comm_overlap", False)
+        #: overlap scheduler: prefetch the next block's all-gathers while the
+        #: current block computes, reduce-scatter gradients asynchronously
+        self.overlap = bool(overlap) and dp_comm.size > 1
         self.lr = lr
         self.betas = betas
         self.eps = eps
@@ -147,10 +153,19 @@ class ZeroOffloadEngine:
 
     # -- chunk traffic ------------------------------------------------------------
 
+    def _prefetch_block(self, idx: int) -> None:
+        """Issue the block's all-gathers on the comm stream (overlap mode);
+        the block's later ``_fetch_block`` waits them."""
+        for chunk in self._block_chunks[idx]:
+            if not chunk.is_fetched and chunk._pending_gather is None:
+                self.policy.pre_fetch(chunk, self.ctx.clock, self._step)
+                chunk.prefetch(self.cost_model, self.ctx.rank, self.ctx.clock)
+
     def _fetch_block(self, idx: int) -> None:
         t0 = self.ctx.clock.time
         for chunk in self._block_chunks[idx]:
-            self.policy.pre_fetch(chunk, self.ctx.clock, self._step)
+            if chunk._pending_gather is None:
+                self.policy.pre_fetch(chunk, self.ctx.clock, self._step)
             chunk.fetch(self.cost_model, self.ctx.rank, self.ctx.clock, self._step)
         if self._tracer is not None:
             self._tracer.annotate(
@@ -194,6 +209,8 @@ class ZeroOffloadEngine:
         with no_grad():
             for b in range(len(self.blocks)):
                 self._fetch_block(b)
+                if self.overlap and b + 1 < len(self.blocks):
+                    self._prefetch_block(b + 1)
                 inputs.append(x)
                 x = self.blocks[b](x)
                 self._release_block(b)
@@ -203,6 +220,8 @@ class ZeroOffloadEngine:
         last = len(self.blocks) - 1
         for b in range(last, -1, -1):
             self._fetch_block(b)
+            if self.overlap and b > 0:
+                self._prefetch_block(b - 1)
             xin = inputs[b].detach()
             xin.requires_grad = b > 0
             out = self.blocks[b](xin)  # recompute with graph
@@ -222,11 +241,13 @@ class ZeroOffloadEngine:
                     self.ctx.rank,
                     self.ctx.clock,
                     reuse_fp16_storage=self.reuse_fp16_storage,
+                    async_op=self.overlap,
                 )
             self._release_block(b)
             inputs[b] = None  # type: ignore[call-overload]
 
         for chunk in self.chunk_mgr.chunks:
+            chunk.finish_grad_reduce()
             self._chunk_adam(chunk)
             chunk.clear_grad_shard()
         return loss_val

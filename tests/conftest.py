@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
 from repro.cluster import uniform_cluster
 from repro.runtime import SpmdRuntime
+
+#: builtin pytest marks that may legitimately appear in a -m expression
+_BUILTIN_MARKS = {
+    "parametrize", "skip", "skipif", "xfail", "usefixtures", "filterwarnings",
+}
+
+_MARK_EXPR_KEYWORDS = {"and", "or", "not", "True", "False", "None"}
 
 
 def pytest_addoption(parser):
@@ -17,6 +26,32 @@ def pytest_addoption(parser):
         default=0,
         help="seed for the deterministic fault-injection (chaos) tests",
     )
+
+
+def pytest_configure(config):
+    """Fail fast on ``-m`` expressions naming unregistered markers.
+
+    ``--strict-markers`` only protects the *declaration* side
+    (``@pytest.mark.typo`` errors at collection); a typo on the *selection*
+    side (``pytest -m chaso``) would still silently deselect everything and
+    report success.  Validate every identifier in the expression against the
+    registered marker list so a CI lane cannot go green by matching nothing.
+    """
+    expr = config.getoption("markexpr", "")
+    if not expr:
+        return
+    registered = {
+        line.split(":", 1)[0].split("(", 1)[0].strip()
+        for line in config.getini("markers")
+    }
+    allowed = registered | _BUILTIN_MARKS | _MARK_EXPR_KEYWORDS
+    idents = set(re.findall(r"[A-Za-z_]\w*", expr))
+    unknown = sorted(idents - allowed)
+    if unknown:
+        raise pytest.UsageError(
+            f"-m expression {expr!r} references unregistered marker(s) "
+            f"{unknown}; registered: {sorted(registered)}"
+        )
 
 
 @pytest.fixture

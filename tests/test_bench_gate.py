@@ -1,0 +1,95 @@
+"""The benchmark regression gate (``pytest -m bench_gate``).
+
+Wraps :mod:`benchmarks.check_regression` as a pytest lane: the newest
+``BENCH_<N>.json`` at the repo root must hold simulated throughput within
+10% of every prior report on every shared scenario.  Unit tests for the
+extraction/comparison logic run alongside so the gate itself is covered by
+tier-1.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from check_regression import (  # noqa: E402
+    bench_files,
+    check,
+    compare,
+    extract_throughputs,
+)
+
+pytestmark = pytest.mark.bench_gate
+
+
+class TestGateLogic:
+    def test_extract_covers_all_sections(self):
+        report = {
+            "collectives": [
+                {"scenario": "s/allreduce", "ring_seconds": 2.0, "auto_seconds": 1.0}
+            ],
+            "vit_system_ii_1d": [
+                {"scenario": "s/vit", "ring": {"img_per_sec": 10.0},
+                 "auto": {"img_per_sec": 20.0}}
+            ],
+            "sanitizer_fig13b": {
+                "scenario": "s/san",
+                "variants": {"off": {"sim_samples_per_sec": 5.0}},
+            },
+            "overlap_fig13b": {
+                "scenario": "s/ovl",
+                "overlap_off": {"sim_img_per_sec": 100.0},
+                "overlap_on": {"sim_img_per_sec": 125.0},
+            },
+        }
+        t = extract_throughputs(report)
+        assert t["s/allreduce/ring"] == 0.5
+        assert t["s/allreduce/auto"] == 1.0
+        assert t["s/vit/auto"] == 20.0
+        assert t["s/san/off"] == 5.0
+        assert t["s/ovl/overlap_on"] == 125.0
+
+    def test_compare_flags_only_regressions_past_tolerance(self):
+        old = {"a": 100.0, "b": 100.0, "c": 100.0, "only_old": 1.0}
+        new = {"a": 95.0, "b": 89.0, "c": 130.0, "only_new": 1.0}
+        regs = compare(new, old, tolerance=0.10)
+        assert [r[0] for r in regs] == ["b"]
+        assert regs[0][3] == pytest.approx(0.11)
+
+    def test_compare_ignores_unshared_scenarios(self):
+        assert compare({"x": 1.0}, {"y": 50.0}) == []
+
+
+class TestRepoGate:
+    def test_bench_trajectory_has_no_regression(self):
+        files = bench_files(ROOT)
+        if len(files) < 2:
+            pytest.skip("fewer than two BENCH_*.json reports to diff")
+        problems = check(ROOT)
+        assert problems == [], "\n".join(problems)
+
+    def test_newest_report_records_overlap_win(self):
+        """PR-5 acceptance: the DDP ViT overlap scenario shows >= 15% lower
+        simulated step time at identical wire bytes, with per-rank
+        exposed/overlapped comm recorded."""
+        import json
+
+        files = bench_files(ROOT)
+        if not files:
+            pytest.skip("no BENCH_*.json reports")
+        report = json.loads(files[-1].read_text())
+        ovl = report.get("overlap_fig13b")
+        if ovl is None:
+            pytest.skip("newest report predates the overlap scenario")
+        assert ovl["step_time_reduction"] >= 0.15
+        assert ovl["wire_bytes_identical"]
+        for mode in ("overlap_off", "overlap_on"):
+            per_rank = ovl[mode]["per_rank"]
+            assert per_rank and all(
+                "exposed_comm" in r and "overlapped_comm" in r for r in per_rank
+            )
+        on = ovl["overlap_on"]
+        assert on["overlapped_comm_seconds_total"] > 0.0
