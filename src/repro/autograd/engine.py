@@ -97,7 +97,11 @@ def backward(root: Tensor, grad: Optional[Tensor] = None) -> None:
         )
         if bflops:
             ref_t = _first_live(node)
-            _charge(bflops, ref_t.dtype if ref_t is not None else np.dtype("float32"))
+            _charge(
+                bflops,
+                ref_t.dtype if ref_t is not None else np.dtype("float32"),
+                op_name=f"{node.name}Backward",
+            )
 
         tensor_inputs = [t for t in node.inputs if isinstance(t, Tensor)]
         if len(in_grads) != len(tensor_inputs):

@@ -39,11 +39,14 @@ class no_grad:
         _state.grad_enabled = self._prev
 
 
-def _charge(flops: float, dtype: np.dtype) -> None:
+def _charge(flops: float, dtype: np.dtype, op_name: Optional[str] = None) -> None:
     """Charge compute time for ``flops`` to the current rank's clock."""
     if flops <= 0 or not in_spmd():
         return
     ctx = current_rank_context()
+    cap = getattr(ctx.runtime, "capture", None)
+    if cap is not None and op_name is not None:
+        cap.note_op(ctx.rank, op_name)
     name = dtype.name if dtype.name in ctx.device.peak_flops else "float32"
     ctx.clock.advance(ctx.device.compute_seconds(flops, name), "compute")
 
@@ -147,7 +150,7 @@ class Function:
         )
         fnctx = FnCtx()
         out = cls.forward(fnctx, *args, **kwargs)
-        _charge(fnctx.flops, _out_dtype(out))
+        _charge(fnctx.flops, _out_dtype(out), op_name=cls.__name__)
 
         multi = isinstance(out, tuple)
         payloads = out if multi else (out,)

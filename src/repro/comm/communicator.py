@@ -448,6 +448,13 @@ class Communicator:
         t0 = clock.time
         cost = self._deliver(x, dst, tag)
         clock.advance(cost.seconds, "comm")
+        cap = runtime.capture
+        if cap is not None:
+            cap.record_send(
+                self.global_rank, "ps", self.group,
+                self.group.global_rank(dst), tag, int(x.nbytes),
+                int(x.size), cost,
+            )
         if runtime.tracer is not None:
             runtime.tracer.annotate(
                 self.global_rank, "p2p", "send", t0, clock.time,
@@ -471,6 +478,9 @@ class Communicator:
         if san is not None:
             san.verify_recv(src_g, dst_g, key, payload)
         clock.sync_to(t_avail, "comm")
+        cap = runtime.capture
+        if cap is not None:
+            cap.record_recv(dst_g, self.group, src_g, tag)
         if runtime.tracer is not None:
             runtime.tracer.annotate(
                 dst_g, "p2p", "recv", t0, clock.time,
@@ -495,8 +505,15 @@ class Communicator:
         transfer on ``wait()`` (retransmission charges land immediately).
         """
         runtime = self.group.runtime
+        cap = runtime.capture
         if not runtime.comm_overlap:
             cost = self._deliver(x, dst, tag)
+            if cap is not None:
+                cap.record_send(
+                    self.global_rank, "pse", self.group,
+                    self.group.global_rank(dst), tag, int(x.nbytes),
+                    int(x.size), cost,
+                )
             return Request(kind="send", comm=self, seconds=cost.seconds)
         src_g = self.global_rank
         clock = runtime.clocks[src_g]
@@ -506,12 +523,18 @@ class Communicator:
         t_end = start + cost.seconds
         self.group._p2p_tails[src_g] = t_end
         runtime.comm_streams[src_g].occupy(start, t_end)
+        sid = None
+        if cap is not None:
+            sid = cap.record_isend_stream(
+                src_g, self.group, self.group.global_rank(dst), tag,
+                int(x.nbytes), int(x.size), cost,
+            )
         if runtime.tracer is not None:
             runtime.tracer.annotate(
                 src_g, "comm_stream", "isend", start, t_end,
                 dst=self.group.global_rank(dst), nbytes=int(x.nbytes),
             )
-        return StreamSendHandle(self, t_end, cost.seconds)
+        return StreamSendHandle(self, t_end, cost.seconds, sid=sid)
 
     def irecv(self, src: int, tag: Any = 0) -> "Request":
         """Non-blocking receive; ``wait()`` blocks until the message lands."""
@@ -522,13 +545,15 @@ class StreamSendHandle(WorkHandle):
     """Handle for an overlap-mode ``isend`` running on the sender's p2p
     stream; ``wait()`` max-joins the sender's clock to transfer completion."""
 
-    __slots__ = ("_comm", "_t_end", "_seconds", "_done")
+    __slots__ = ("_comm", "_t_end", "_seconds", "_done", "_sid")
 
-    def __init__(self, comm: "Communicator", t_end: float, seconds: float) -> None:
+    def __init__(self, comm: "Communicator", t_end: float, seconds: float,
+                 sid: Optional[int] = None) -> None:
         self._comm = comm
         self._t_end = t_end
         self._seconds = seconds
         self._done = False
+        self._sid = sid
 
     def test(self) -> bool:
         # the payload is enqueued at issue; completion is purely a simulated-
@@ -548,6 +573,9 @@ class StreamSendHandle(WorkHandle):
         self._comm.group.counters.record_overlap(
             "p2p", exposed, max(0.0, self._seconds - exposed)
         )
+        cap = runtime.capture
+        if cap is not None and self._sid is not None:
+            cap.record_stream_wait(rank, self._sid)
         if runtime.tracer is not None and exposed > 0.0:
             runtime.tracer.annotate(
                 rank, "overlap", "wait/isend", t_wait, self._t_end,
@@ -589,6 +617,9 @@ class Request(WorkHandle):
             self._comm.group.runtime.clocks[self._comm.global_rank].advance(
                 self._seconds, "comm"
             )
+            cap = self._comm.group.runtime.capture
+            if cap is not None:
+                cap.record_wait_eager(self._comm.global_rank, self._seconds)
         else:
             self._result = self._comm.recv(self._src, self._tag)
         self._done = True

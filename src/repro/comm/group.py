@@ -188,6 +188,9 @@ class ProcessGroup:
                     op, cost.wire_bytes, cost.wire_elements(itemsize),
                     algorithm=cost.algorithm,
                 )
+            cap = self.runtime.capture
+            if cap is not None:
+                cap.record_solo(my_global_rank, self, op, cost, itemsize, payload)
             if tracer is not None:
                 tracer.annotate(
                     my_global_rank, "collective", op, t0, clock.time,
@@ -282,6 +285,11 @@ class ProcessGroup:
                     rnd.retries = failures
                     rnd.retry_seconds = retry_seconds
                     rnd.results = results
+                    cap = self.runtime.capture
+                    if cap is not None:
+                        cap.record_round(
+                            self, seq, "sync", cost, op, itemsize, rnd.payloads
+                        )
                 except BaseException as exc:  # propagate to all members
                     if race_token is not None:
                         san.race_release(race_token)
@@ -328,6 +336,9 @@ class ProcessGroup:
 
             assert rnd.results is not None
             result = rnd.results[me]
+            cap = self.runtime.capture
+            if cap is not None:
+                cap.record_member(my_global_rank, self, seq, "c")
             if tracer is not None and rnd.op is not None:
                 # one span per member rank, from its own entry to the common
                 # completion; local rank 0's span carries the round totals
@@ -410,6 +421,9 @@ class ProcessGroup:
                 if rnd.specs is None:
                     rnd.specs = {}
                 rnd.specs[me] = spec
+            cap = self.runtime.capture
+            if cap is not None:
+                cap.record_member(my_global_rank, self, seq, "ic")
             if not rnd.done and len(rnd.payloads) == self.size:
                 self._finalize_async(rnd, seq, finalize)
             return AsyncCollectiveHandle(self, seq, me, my_global_rank, spec)
@@ -476,6 +490,11 @@ class ProcessGroup:
             rnd.retries = failures
             rnd.retry_seconds = retry_seconds
             rnd.results = results
+            cap = runtime.capture
+            if cap is not None:
+                cap.record_round(
+                    self, seq, "async", cost, op, itemsize, rnd.payloads
+                )
             if tracer is not None:
                 for local, g in enumerate(self.ranks):
                     tracer.annotate(
@@ -585,6 +604,9 @@ class AsyncCollectiveHandle(WorkHandle):
         group.counters.record_overlap(
             op or "collective", exposed, max(0.0, duration - exposed)
         )
+        cap = runtime.capture
+        if cap is not None:
+            cap.record_member(self._rank, group, self._seq, "cw")
         if tracer is not None and exposed > 0.0:
             tracer.annotate(
                 self._rank, "overlap", f"wait/{op}", t_wait, t_end,

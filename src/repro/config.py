@@ -161,6 +161,34 @@ class SanitizeConfig:
 
 
 @dataclass
+class ProjectionConfig:
+    """Projection execution mode (``repro.project``).
+
+    ``mode="project"`` makes :func:`repro.launch` *capture* the program at
+    the cluster's world size instead of just running it, then analytically
+    replay the op stream at ``target_world`` ranks — returning a
+    :class:`~repro.project.ProjectionReport` rather than per-rank results.
+    ``target_world`` must be a multiple of the launch world size.
+    """
+
+    mode: str = "off"  # off | project
+    target_world: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.mode not in ("off", "project"):
+            raise ValueError(
+                f"unknown projection mode {self.mode!r}; choose 'off' or 'project'"
+            )
+        if self.mode == "project":
+            if self.target_world is not None and self.target_world < 1:
+                raise ValueError(
+                    f"project.target_world must be >= 1, got {self.target_world}"
+                )
+        elif self.target_world is not None:
+            raise ValueError("project.target_world requires project.mode='project'")
+
+
+@dataclass
 class Config:
     """Validated top-level configuration."""
 
@@ -171,6 +199,7 @@ class Config:
     zero: ZeroConfig = field(default_factory=ZeroConfig)
     comm: CommConfig = field(default_factory=CommConfig)
     sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
+    project: ProjectionConfig = field(default_factory=ProjectionConfig)
     gradient_clipping: float = 0.0
     num_microbatches: int = 1
     seed: int = 0
@@ -211,6 +240,11 @@ class Config:
             # any sanitize key implies the section is wanted
             sanitize_d.setdefault("enabled", True)
             cfg.sanitize = SanitizeConfig(**sanitize_d)
+        project_d = dict(d.pop("project", {}) or {})
+        if project_d:
+            # any project key implies the mode is wanted
+            project_d.setdefault("mode", "project")
+            cfg.project = ProjectionConfig(**project_d)
         if d:
             raise ValueError(f"unknown top-level config keys: {sorted(d)}")
         cfg.validate()
@@ -221,6 +255,7 @@ class Config:
         self.zero.validate()
         self.comm.validate()
         self.sanitize.validate()
+        self.project.validate()
         if self.pipeline < 1:
             raise ValueError(f"pipeline size must be >= 1, got {self.pipeline}")
         if self.num_microbatches < 1:

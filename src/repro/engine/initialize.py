@@ -39,8 +39,18 @@ def launch(
     timeline of the run.  A ``sanitize`` config section arms the SPMD
     sanitizer (``repro.sanitize``) for the run; with ``sanitize.record``
     set, each rank's op stream is saved to that golden file after a clean
-    run."""
+    run.  With ``project.mode="project"`` the run is captured and replayed
+    analytically at ``project.target_world`` ranks instead, returning a
+    :class:`~repro.project.ProjectionReport` (see ``repro.project``)."""
     cfg = config if isinstance(config, Config) else Config.from_dict(config)
+
+    if cfg.project.mode == "project":
+        from repro.project import project_launch
+
+        return project_launch(
+            cfg, cluster, fn, world_size=world_size,
+            materialize=materialize, tracer=tracer,
+        )
 
     def wrapper(ctx: RankContext) -> Any:
         pc = ParallelContext(ctx, cfg)

@@ -1,0 +1,183 @@
+"""Projection execution mode: capture once, replay anywhere.
+
+``repro.project`` splits *what ops happen per rank* from *who executes
+them*.  A :func:`capture_run` executes an SPMD program on real threads at a
+small world size and records each rank's op stream (compute advances,
+priced collectives, stream issue/wait events).  :func:`project` then
+replays that stream analytically — no thread per rank — either
+
+* in **recorded** mode, reproducing the captured run's clocks, stream
+  occupancy and counters bit-for-bit (the fidelity contract the parity
+  tests enforce), or
+* in **model** mode, re-pricing every communication op through a
+  :class:`Fabric` cost model, optionally widening the world group by a
+  :class:`ScalePlan` factor — projecting an 8-rank capture to 1024+ ranks
+  in milliseconds.
+
+Typical use::
+
+    trace = capture_run(cluster, step_fn, world_size=8)
+    report = project(trace, factor=128,
+                     fabric=Fabric.from_cluster(big_cluster))
+    print(report.format())   # step time, comm volume, hidden-comm %
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.project.capture import CaptureRecorder, OpTrace
+from repro.project.fabric import Fabric, ProjectedCostModel
+from repro.project.replay import (
+    DEFAULT_SCALING,
+    ModelPricer,
+    RecordedPricer,
+    ReplayEngine,
+    ReplayResult,
+    ReplayStall,
+    ScalePlan,
+)
+from repro.project.report import ProjectionReport, RankProjection, build_report
+
+__all__ = [
+    "CaptureRecorder",
+    "OpTrace",
+    "Fabric",
+    "ProjectedCostModel",
+    "ScalePlan",
+    "RecordedPricer",
+    "ModelPricer",
+    "ReplayEngine",
+    "ReplayResult",
+    "ReplayStall",
+    "DEFAULT_SCALING",
+    "ProjectionReport",
+    "RankProjection",
+    "build_report",
+    "capture_run",
+    "project",
+    "project_launch",
+]
+
+
+def capture_run(
+    cluster: Any,
+    fn: Callable,
+    *,
+    world_size: Optional[int] = None,
+    materialize: bool = False,
+    seed: int = 0,
+    comm_algorithm: str = "ring",
+    comm_overlap: bool = False,
+    reset_memory: bool = True,
+) -> Tuple[List[Any], OpTrace]:
+    """Run ``fn`` SPMD over ``cluster`` with capture armed; returns
+    ``(per-rank results, OpTrace)``.
+
+    ``reset_memory`` clears the cluster's device memory pools first so the
+    trace's peak-memory snapshot reflects this run alone (``run`` itself
+    never resets pools)."""
+    from repro.runtime.spmd import SpmdRuntime
+
+    if reset_memory:
+        cluster.reset()
+    rec = CaptureRecorder()
+    rt = SpmdRuntime(
+        cluster,
+        world_size,
+        comm_algorithm=comm_algorithm,
+        comm_overlap=comm_overlap,
+        capture=rec,
+    )
+    try:
+        results = rt.run(fn, materialize=materialize, seed=seed)
+    finally:
+        rec.uninstall()
+    return results, rec.trace()
+
+
+def project(
+    trace: OpTrace,
+    *,
+    factor: int = 1,
+    plan: Optional[ScalePlan] = None,
+    fabric: Optional[Fabric] = None,
+    mode: str = "model",
+    tracer: Optional[Any] = None,
+) -> ProjectionReport:
+    """Replay ``trace`` analytically and aggregate a :class:`ProjectionReport`.
+
+    ``mode="recorded"`` replays the captured costs unchanged (requires
+    ``factor == 1``); ``mode="model"`` re-prices through ``fabric``
+    (default: :meth:`Fabric.from_cluster` of the captured cluster) with the
+    world group widened ``factor ×``.  Pass ``plan`` for finer control
+    (which group scales, payload-scaling overrides, compute rescaling);
+    ``factor`` is ignored when ``plan`` is given.  ``tracer`` records a
+    projected per-rank timeline."""
+    if plan is None:
+        plan = ScalePlan(factor=factor)
+    if mode == "recorded":
+        if plan.factor != 1:
+            raise ValueError(
+                "recorded mode replays the captured costs and cannot scale "
+                f"the world (factor={plan.factor}); use mode='model'"
+            )
+        pricer: Any = RecordedPricer()
+    elif mode == "model":
+        if fabric is None:
+            fabric = Fabric.from_cluster(trace.cluster)
+        pricer = ModelPricer(trace, fabric, plan)
+    else:
+        raise ValueError(f"unknown projection mode {mode!r}; "
+                         "choose 'recorded' or 'model'")
+    result = ReplayEngine(trace, pricer, plan, tracer=tracer).run()
+    return build_report(result, mode)
+
+
+def project_launch(
+    config: Any,
+    cluster: Any,
+    fn: Callable,
+    *,
+    world_size: Optional[int] = None,
+    materialize: bool = False,
+    fabric: Optional[Fabric] = None,
+    tracer: Optional[Any] = None,
+) -> ProjectionReport:
+    """The ``mode="project"`` backend of :func:`repro.launch`: capture
+    ``fn`` at the cluster's (or ``world_size``'s) scale, then project to
+    ``config.project.target_world``.
+
+    The target world must be a multiple of the captured world — the
+    quotient becomes the :class:`ScalePlan` factor."""
+    from repro.config import Config
+    from repro.context.parallel_context import ParallelContext
+    from repro.runtime.spmd import RankContext
+
+    cfg = config if isinstance(config, Config) else Config.from_dict(config)
+    world = world_size if world_size is not None else cluster.world_size
+    target = cfg.project.target_world or world
+    if target % world != 0:
+        raise ValueError(
+            f"project.target_world {target} must be a multiple of the "
+            f"captured world size {world}"
+        )
+
+    def wrapper(ctx: RankContext) -> Any:
+        pc = ParallelContext(ctx, cfg)
+        return fn(ctx, pc)
+
+    _results, trace = capture_run(
+        cluster,
+        wrapper,
+        world_size=world,
+        materialize=materialize,
+        seed=cfg.seed,
+        comm_algorithm=cfg.comm.algorithm or "ring",
+        comm_overlap=cfg.comm.overlap,
+    )
+    factor = target // world
+    mode = "recorded" if factor == 1 and fabric is None else "model"
+    return project(
+        trace, factor=factor, fabric=fabric, mode=mode, tracer=tracer
+    )

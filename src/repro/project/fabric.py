@@ -1,0 +1,229 @@
+"""Closed-form fabric model for pricing collectives at projected scale.
+
+The real :class:`~repro.comm.cost.CostModel` walks the cluster's networkx
+topology per member pair, which is fine at 2–64 ranks but quadratic in the
+group size — pricing a single 4096-rank all-reduce that way would dominate
+the projection budget.  A :class:`Fabric` abstracts the cluster down to the
+five numbers the cost formulas actually consume (intra/inter-node bandwidth
+and latency, node size), and :class:`ProjectedCostModel` re-implements the
+topology-probing helpers of ``CostModel`` as O(1)/O(k)-in-node-count
+closed forms **while inheriting every cost formula unchanged** — ring,
+tree and hierarchical algorithm math is byte-identical to the real model,
+so a projection priced on a :meth:`Fabric.from_cluster` of the captured
+cluster reproduces the captured costs exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.comm.cost import CollectiveCost, CostModel
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """Two-level cluster abstraction: nodes of ``node_size`` devices with
+    ``intra``-node links, bridged by ``inter``-node links."""
+
+    node_size: int
+    intra_bw: float
+    intra_lat: float
+    inter_bw: float
+    inter_lat: float
+    alpha: float = 5e-6
+    bw_ramp_time: float = 1.6e-4
+    h2d_bw: float = 16e9
+
+    @classmethod
+    def uniform(cls, bandwidth: float = 200e9, latency: float = 2e-6,
+                alpha: float = 5e-6, bw_ramp_time: float = 1.6e-4,
+                h2d_bw: float = 16e9) -> "Fabric":
+        """A flat fabric: every pair of ranks sees the same link (one
+        infinitely large node)."""
+        return cls(
+            node_size=1 << 62, intra_bw=bandwidth, intra_lat=latency,
+            inter_bw=bandwidth, inter_lat=latency,
+            alpha=alpha, bw_ramp_time=bw_ramp_time, h2d_bw=h2d_bw,
+        )
+
+    @classmethod
+    def from_cluster(cls, cluster) -> "Fabric":
+        """Distill a :class:`~repro.cluster.machine.ClusterSpec` into a
+        fabric by sampling representative intra- and inter-node paths."""
+        by_node = {}
+        for gpu in cluster.gpus:
+            by_node.setdefault(gpu.node, []).append(gpu)
+        node_size = max(len(v) for v in by_node.values())
+        nodes = sorted(by_node)
+        first = by_node[nodes[0]]
+        if len(first) > 1:
+            intra_bw, intra_lat = cluster.topology.path_stats(
+                first[0].name, first[1].name
+            )
+        else:
+            intra_bw, intra_lat = cluster.topology.path_stats(
+                first[0].name, first[0].name
+            )
+        if len(nodes) > 1:
+            inter_bw, inter_lat = cluster.topology.path_stats(
+                first[0].name, by_node[nodes[1]][0].name
+            )
+        else:
+            inter_bw, inter_lat = intra_bw, intra_lat
+        return cls(
+            node_size=node_size,
+            intra_bw=intra_bw, intra_lat=intra_lat,
+            inter_bw=inter_bw, inter_lat=inter_lat,
+            alpha=cluster.alpha, bw_ramp_time=cluster.bw_ramp_time,
+            h2d_bw=cluster.h2d_bandwidth(0),
+        )
+
+
+class _FabricTopology:
+    """Minimal topology stand-in for the :class:`AlgorithmSelector` memo
+    (which only reads ``.version`` to invalidate its cache)."""
+
+    __slots__ = ("version",)
+
+    def __init__(self) -> None:
+        self.version = 0
+
+
+class _FabricCluster:
+    """What ``CostModel.__init__`` and the selector read off a cluster."""
+
+    __slots__ = ("alpha", "bw_ramp_time", "topology", "fabric")
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.alpha = fabric.alpha
+        self.bw_ramp_time = fabric.bw_ramp_time
+        self.topology = _FabricTopology()
+        self.fabric = fabric
+
+
+class ProjectedCostModel(CostModel):
+    """A :class:`CostModel` over a :class:`Fabric` instead of a topology.
+
+    Ranks are plain integers; rank ``r`` lives on node ``r // node_size``.
+    Every override below replaces a topology walk with its closed form;
+    the inherited public methods (``allreduce``, ``allgather``, …) and the
+    per-algorithm formulas are untouched.
+    """
+
+    def __init__(self, fabric: Fabric) -> None:
+        super().__init__(_FabricCluster(fabric))
+        self.fabric = fabric
+
+    # -- node partition helpers -------------------------------------------
+
+    def _node_of(self, rank: int) -> int:
+        return int(rank) // self.fabric.node_size
+
+    def _pair_extremes(self, ranks: Sequence[int]) -> Tuple[float, float]:
+        """(min pair bandwidth, max pair latency) over all member pairs —
+        the closed form of iterating ``path_stats`` over combinations."""
+        f = self.fabric
+        counts: dict = {}
+        for r in ranks:
+            n = self._node_of(r)
+            counts[n] = counts.get(n, 0) + 1
+        bw = math.inf
+        lat = 0.0
+        if any(c > 1 for c in counts.values()):
+            bw = min(bw, f.intra_bw)
+            lat = max(lat, f.intra_lat)
+        if len(counts) > 1:
+            bw = min(bw, f.inter_bw)
+            lat = max(lat, f.inter_lat)
+        return bw, lat
+
+    # -- topology-probing seams, replaced with closed forms ---------------
+
+    def _ring(self, ranks: Sequence[int]) -> Tuple[float, float]:
+        """Node-contiguous ring: ``p`` hops of which ``k`` cross a node
+        boundary — the closed form of ``ring_stats(order_ring(names))`` on
+        a two-level fabric (each bridge crossing uses a distinct physical
+        link, so there is no self-contention to model)."""
+        f = self.fabric
+        p = len(ranks)
+        k = len({self._node_of(r) for r in ranks})
+        if k <= 1:
+            return f.intra_bw, p * f.intra_lat
+        return (
+            min(f.intra_bw, f.inter_bw),
+            (p - k) * f.intra_lat + k * f.inter_lat,
+        )
+
+    def _pairwise(self, ranks: Sequence[int]) -> Tuple[float, float]:
+        return self._pair_extremes(ranks)
+
+    def _star(self, root: int, ranks: Sequence[int]) -> Tuple[float, float]:
+        f = self.fabric
+        root_node = self._node_of(root)
+        bw = math.inf
+        lat = 0.0
+        for r in ranks:
+            if r == root:
+                continue
+            if self._node_of(r) == root_node:
+                bw = min(bw, f.intra_bw)
+                lat = max(lat, f.intra_lat)
+            else:
+                bw = min(bw, f.inter_bw)
+                lat = max(lat, f.inter_lat)
+        return bw, lat
+
+    def _islands(self, ranks: Sequence[int]) -> List[List[int]]:
+        groups: dict = {}
+        for r in ranks:
+            groups.setdefault(self._node_of(r), []).append(r)
+        return [groups[n] for n in sorted(groups)]
+
+    def _island_phases(self, islands: Sequence[Sequence[int]]):
+        f = self.fabric
+        intra = [
+            (len(g), f.intra_bw, len(g) * f.intra_lat)
+            for g in islands if len(g) > 1
+        ]
+        k = len(islands)
+        # island leaders sit on distinct nodes, so their ring is k
+        # inter-node hops (hierarchical only runs here when k >= 2)
+        bridge_bw = f.inter_bw if k > 1 else f.intra_bw
+        bridge_lat = k * f.inter_lat if k > 1 else f.intra_lat
+        s = min(len(g) for g in islands)
+        return intra, bridge_bw, bridge_lat, k, s
+
+    # -- direct-topology methods (expression-identical to CostModel) ------
+
+    def all_to_all(self, ranks: Sequence[int], nbytes_local: int) -> CollectiveCost:
+        p = len(ranks)
+        if p < 2 or nbytes_local == 0:
+            return CollectiveCost(0.0, 0)
+        bw, lat = self._pair_extremes(ranks)
+        seconds = (
+            (p - 1) * self.alpha + lat
+            + ((p - 1) / p) * nbytes_local / self._eff(bw, nbytes_local)
+        )
+        return CollectiveCost(seconds, (p - 1) * nbytes_local, "direct")
+
+    def p2p(self, src: int, dst: int, nbytes: int) -> CollectiveCost:
+        if nbytes == 0 or src == dst:
+            return CollectiveCost(0.0, 0)
+        f = self.fabric
+        if self._node_of(src) == self._node_of(dst):
+            bw, lat = f.intra_bw, f.intra_lat
+        else:
+            bw, lat = f.inter_bw, f.inter_lat
+        return CollectiveCost(
+            self.alpha + lat + nbytes / self._eff(bw, nbytes), nbytes, "direct"
+        )
+
+    def host_transfer(self, rank: int, nbytes: int) -> CollectiveCost:
+        if nbytes == 0:
+            return CollectiveCost(0.0, 0)
+        bw = self.fabric.h2d_bw
+        return CollectiveCost(
+            self.alpha + nbytes / self._eff(bw, nbytes), nbytes, "direct"
+        )

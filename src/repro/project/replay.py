@@ -1,0 +1,561 @@
+"""Analytic replay of a captured op stream.
+
+The engine re-executes an :class:`~repro.project.capture.OpTrace` on fresh
+per-rank :class:`~repro.runtime.clock.SimClock`/:class:`StreamClock` pairs
+without hosting a thread per rank: a single-threaded sweep scheduler drains
+each rank's event stream until the rank *blocks* (a collective round whose
+members have not all arrived, a nonblocking handle not yet finalized, a
+receive whose message is not yet in the mailbox) and repeats until every
+stream is exhausted.  The arithmetic performed per event is a line-for-line
+mirror of :mod:`repro.comm.group` / :mod:`repro.comm.communicator`, so with
+the *recorded* pricer the replayed clocks, stream clocks and counters
+reproduce the threaded run bit-for-bit.
+
+Costs come from a pluggable pricer:
+
+* :class:`RecordedPricer` — return the captured costs unchanged (fidelity
+  mode, used by the parity tests);
+* :class:`ModelPricer` — re-price every op through a
+  :class:`~repro.project.fabric.ProjectedCostModel`, optionally *scaling*
+  one group (normally the world group) to ``factor ×`` its captured size —
+  this is what projects a 8-rank capture to 1024 ranks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.counters import CommCounters
+from repro.runtime.clock import SimClock, StreamClock
+
+from repro.project.capture import OpTrace
+from repro.project.fabric import Fabric, ProjectedCostModel
+
+#: how a round's recorded per-op cost argument responds to growing the
+#: group: "constant" keeps the captured payload (a DP all-reduce moves the
+#: same gradient bytes at any world size), "inverse" shrinks it with the
+#: group (a ZeRO all-gather's local shard is ``total / p``).
+DEFAULT_SCALING: Dict[str, str] = {
+    "all_gather": "inverse",
+    "scatter": "inverse",
+    "reduce_scatter_out": "inverse",
+}
+
+
+class ReplayStall(RuntimeError):
+    """No rank can make progress but streams remain — a truncated or
+    internally inconsistent trace."""
+
+
+@dataclass
+class ScalePlan:
+    """How to stretch a captured trace to a larger world.
+
+    ``factor`` multiplies the world: the ``scale_group`` (default: the
+    group spanning every captured rank) is re-priced at ``factor ×`` its
+    captured size, while every *other* group is assumed replicated
+    ``factor`` times across the projected world (its costs are unchanged
+    and its traffic counts ``factor`` times in the totals).  This models
+    the standard data-parallel scale-out where the captured world is one
+    model replica and the world group carries the gradient traffic.
+    """
+
+    factor: int = 1
+    #: ranks (captured global ids) of the group to widen; ``None`` selects
+    #: the group spanning the whole captured world
+    scale_group: Optional[Tuple[int, ...]] = None
+    #: per-op overrides of :data:`DEFAULT_SCALING`
+    payload_scaling: Dict[str, str] = field(default_factory=dict)
+    #: multiplier on every non-comm clock advance (model a faster/slower
+    #: accelerator without recapturing)
+    compute_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(f"scale factor must be >= 1, got {self.factor}")
+        if self.compute_scale <= 0:
+            raise ValueError("compute_scale must be positive")
+
+    def scaling_for(self, op: str) -> str:
+        return self.payload_scaling.get(op, DEFAULT_SCALING.get(op, "constant"))
+
+
+@dataclass
+class PricedOp:
+    seconds: float
+    wire_bytes: int
+    elements: int
+    algorithm: str
+
+
+class RecordedPricer:
+    """Fidelity pricer: every op costs exactly what the capture recorded."""
+
+    scaled_gids: frozenset = frozenset()
+
+    def collective(self, gid: int, rnd: Dict[str, Any]) -> PricedOp:
+        return PricedOp(
+            rnd["seconds"], rnd["wire_bytes"],
+            rnd["wire_bytes"] // max(rnd["itemsize"], 1), rnd["algorithm"],
+        )
+
+    def p2p(self, gid: int, src: int, dst: int, nbytes: int,
+            recorded: Tuple[int, int, float]) -> PricedOp:
+        wire, elements, seconds = recorded
+        return PricedOp(seconds, wire, elements, "direct")
+
+    def multiplicity(self, gid: int) -> int:
+        return 1
+
+
+class ModelPricer:
+    """Re-price the captured ops through a fabric cost model, widening the
+    scale group by ``plan.factor``."""
+
+    def __init__(self, trace: OpTrace, fabric: Fabric,
+                 plan: Optional[ScalePlan] = None) -> None:
+        self.trace = trace
+        self.plan = plan or ScalePlan()
+        self.model = ProjectedCostModel(fabric)
+        self.algorithm = trace.comm_algorithm
+        scale_ranks = self.plan.scale_group
+        if scale_ranks is None:
+            scale_ranks = tuple(range(trace.world_size))
+        else:
+            scale_ranks = tuple(scale_ranks)
+        self.scaled_gids = frozenset(
+            gid for gid, ranks in enumerate(trace.groups)
+            if tuple(ranks) == scale_ranks
+        )
+        self._ranks2: Dict[int, Tuple[int, ...]] = {}
+        self._cache: Dict[Tuple[int, str, int], PricedOp] = {}
+
+    def group_ranks(self, gid: int) -> Tuple[int, ...]:
+        ranks2 = self._ranks2.get(gid)
+        if ranks2 is None:
+            ranks = self.trace.groups[gid]
+            if gid in self.scaled_gids and self.plan.factor > 1:
+                ranks2 = tuple(range(len(ranks) * self.plan.factor))
+            else:
+                ranks2 = tuple(ranks)
+            self._ranks2[gid] = ranks2
+        return ranks2
+
+    def multiplicity(self, gid: int) -> int:
+        """How many copies of this group the projected world hosts."""
+        return 1 if gid in self.scaled_gids else self.plan.factor
+
+    def _recorded_arg(self, op: str, rnd: Dict[str, Any]) -> int:
+        """Reconstruct the byte argument the group fed the cost model from
+        the recorded per-rank payload sizes."""
+        ns = rnd.get("nbytes") or [0]
+        n = max(ns)
+        if op == "scatter":
+            # the group prices scatter on the per-member chunk of the
+            # root's concatenated payload
+            return n // max(len(ns), 1)
+        if op == "all_gather_object":
+            return 64  # _OBJECT_NBYTES
+        return n
+
+    def collective(self, gid: int, rnd: Dict[str, Any]) -> PricedOp:
+        op = str(rnd["op"])
+        n = self._recorded_arg(op, rnd)
+        key = (gid, op, n)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        ranks = self.trace.groups[gid]
+        ranks2 = self.group_ranks(gid)
+        p, p2 = len(ranks), len(ranks2)
+        if p2 != p and self.plan.scaling_for(op) == "inverse" and n:
+            n = max(1, (n * p) // p2)
+        cost = self._price(op, ranks2, n)
+        priced = PricedOp(
+            cost.seconds, cost.wire_bytes,
+            cost.wire_elements(rnd.get("itemsize", 1)), cost.algorithm,
+        )
+        self._cache[key] = priced
+        return priced
+
+    def _price(self, op: str, ranks2: Sequence[int], n: int):
+        m = self.model
+        algo = self.algorithm
+        if op == "all_reduce":
+            return m.allreduce(ranks2, n, algo)
+        if op == "all_gather":
+            return m.allgather(ranks2, n, algo)
+        if op == "reduce_scatter":
+            return m.reduce_scatter(ranks2, n, algo)
+        if op == "broadcast":
+            return m.broadcast(ranks2, n, algo)
+        if op == "reduce":
+            return m.reduce(ranks2, n, algo)
+        if op == "scatter":
+            return m.scatter(ranks2[0], ranks2, n)
+        if op == "gather":
+            return m.gather(ranks2[0], ranks2, n)
+        if op == "all_to_all":
+            return m.all_to_all(ranks2, n)
+        if op == "barrier":
+            return m.barrier(ranks2)
+        if op == "all_gather_object":
+            return m.allgather(ranks2, 64)
+        if op == "split":
+            from repro.comm.cost import CollectiveCost
+            return CollectiveCost(m.alpha, 0)
+        if op == "ring_pass":
+            from repro.comm.cost import CollectiveCost
+            p2 = len(ranks2)
+            if p2 < 2 or n == 0:
+                return CollectiveCost(0.0, 0)
+            seconds = 0.0
+            wire = 0
+            for i in range(p2):
+                c = m.p2p(ranks2[i], ranks2[(i + 1) % p2], n)
+                seconds = max(seconds, c.seconds)
+                wire += c.wire_bytes
+            return CollectiveCost(seconds, wire, "direct")
+        # unknown op: price as an allreduce-shaped fallback
+        return m.allreduce(ranks2, n, algo)
+
+    def p2p(self, gid: int, src: int, dst: int, nbytes: int,
+            recorded: Tuple[int, int, float]) -> PricedOp:
+        _wire, elements, _seconds = recorded
+        cost = self.model.p2p(src, dst, nbytes)
+        return PricedOp(cost.seconds, cost.wire_bytes, elements, "direct")
+
+
+@dataclass
+class ReplayResult:
+    trace: OpTrace
+    plan: ScalePlan
+    clocks: List[SimClock]
+    streams: List[StreamClock]
+    counters: Dict[int, CommCounters]
+    multiplicity: Dict[int, int]
+
+    @property
+    def step_time(self) -> float:
+        times = [c.time for c in self.clocks] + [s.time for s in self.streams]
+        return max(times) if times else 0.0
+
+    @property
+    def target_world(self) -> int:
+        return self.trace.world_size * self.plan.factor
+
+
+class _RoundState:
+    __slots__ = ("entries", "t_start", "t_end", "claimed", "priced")
+
+    def __init__(self) -> None:
+        self.entries: Dict[int, float] = {}
+        self.t_start: Optional[float] = None
+        self.t_end: Optional[float] = None
+        self.claimed = 0
+        self.priced: Optional[PricedOp] = None
+
+
+class _ReplayHost:
+    """Minimal stand-in runtime so ``Tracer.install`` can attach clock
+    observers to the replay clocks."""
+
+    def __init__(self, clocks: List[SimClock]) -> None:
+        self.clocks = clocks
+        self.tracer = None
+
+
+class ReplayEngine:
+    def __init__(self, trace: OpTrace, pricer: Any,
+                 plan: Optional[ScalePlan] = None,
+                 tracer: Optional[Any] = None) -> None:
+        self.trace = trace
+        self.pricer = pricer
+        self.plan = plan or ScalePlan()
+        self.tracer = tracer
+        n = trace.world_size
+        self.clocks = [SimClock() for _ in range(n)]
+        self.streams = [StreamClock() for _ in range(n)]
+        self.counters: Dict[int, CommCounters] = {
+            gid: CommCounters() for gid in range(len(trace.groups))
+        }
+        self._tails: Dict[int, float] = {}
+        self._p2p_tails: Dict[Tuple[int, int], float] = {}
+        self._mailbox: Dict[Tuple[int, int, int, Any], deque] = {}
+        self._rounds: Dict[Tuple[int, int], _RoundState] = {}
+        self._sids: List[Dict[int, Tuple[int, float, float]]] = [
+            {} for _ in range(n)
+        ]
+        self._pos = [0] * n
+        if tracer is not None:
+            tracer.install(_ReplayHost(self.clocks))
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> ReplayResult:
+        streams = self.trace.streams
+        n = self.trace.world_size
+        while True:
+            progress = False
+            done = True
+            for rank in range(n):
+                if self._pos[rank] < len(streams[rank]):
+                    done = False
+                    if self._drain(rank):
+                        progress = True
+            if done:
+                break
+            if not progress:
+                stuck = {
+                    r: streams[r][self._pos[r]][0]
+                    for r in range(n) if self._pos[r] < len(streams[r])
+                }
+                raise ReplayStall(
+                    f"replay stalled with pending events {stuck}: the trace "
+                    "is truncated or internally inconsistent"
+                )
+        return ReplayResult(
+            trace=self.trace, plan=self.plan, clocks=self.clocks,
+            streams=self.streams, counters=self.counters,
+            multiplicity={
+                gid: self.pricer.multiplicity(gid)
+                for gid in range(len(self.trace.groups))
+            },
+        )
+
+    # -- event loop --------------------------------------------------------
+
+    def _drain(self, rank: int) -> bool:
+        stream = self.trace.streams[rank]
+        made_progress = False
+        while self._pos[rank] < len(stream):
+            if not self._step(rank, stream[self._pos[rank]]):
+                break
+            self._pos[rank] += 1
+            made_progress = True
+        return made_progress
+
+    def _step(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        """Execute one event for ``rank``; False means blocked."""
+        tag = ev[0]
+        if tag == "a":
+            return self._ev_advance(rank, ev)
+        if tag == "c":
+            return self._ev_collective(rank, ev)
+        if tag == "c1":
+            return self._ev_solo(rank, ev)
+        if tag == "ic":
+            return self._ev_issue(rank, ev)
+        if tag == "cw":
+            return self._ev_coll_wait(rank, ev)
+        if tag == "ps":
+            return self._ev_send(rank, ev, advance=True)
+        if tag == "pse":
+            return self._ev_send(rank, ev, advance=False)
+        if tag == "pw":
+            self.clocks[rank].advance(ev[1], "comm")
+            return True
+        if tag == "pss":
+            return self._ev_stream_send(rank, ev)
+        if tag == "psw":
+            return self._ev_stream_wait(rank, ev)
+        if tag == "pr":
+            return self._ev_recv(rank, ev)
+        raise ReplayStall(f"unknown capture event tag {tag!r}")
+
+    # -- per-event mirrors of group.py / communicator.py -------------------
+
+    def _ev_advance(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, category, dt, label = ev
+        clock = self.clocks[rank]
+        scale = self.plan.compute_scale
+        t0 = clock.time
+        clock.advance(dt if scale == 1.0 else dt * scale, category)
+        if self.tracer is not None and label is not None:
+            self.tracer.annotate(rank, category, label, t0, clock.time)
+        return True
+
+    def _round(self, gid: int, seq: int) -> _RoundState:
+        st = self._rounds.get((gid, seq))
+        if st is None:
+            st = _RoundState()
+            self._rounds[(gid, seq)] = st
+        return st
+
+    def _finalize(self, gid: int, seq: int, st: _RoundState,
+                  blocking: bool) -> None:
+        rnd = self.trace.rounds[(gid, seq)]
+        priced = self.pricer.collective(gid, rnd)
+        t_base = max(st.entries.values())
+        tail = self._tails.get(gid, 0.0)
+        if tail > t_base:
+            t_base = tail
+        t_end = t_base + priced.seconds
+        self._tails[gid] = t_end
+        st.t_start = t_base
+        st.t_end = t_end
+        st.priced = priced
+        if priced.wire_bytes:
+            self.counters[gid].record(
+                str(rnd["op"]), priced.wire_bytes, priced.elements,
+                algorithm=priced.algorithm,
+            )
+        if not blocking:
+            # async finalize occupies every member's comm stream now
+            for g in self.trace.groups[gid]:
+                self.streams[g].occupy(t_base, t_end)
+            if self.tracer is not None:
+                for local, g in enumerate(self.trace.groups[gid]):
+                    self.tracer.annotate(
+                        g, "comm_stream", str(rnd["op"]), t_base, t_end,
+                        primary=(local == 0), algorithm=priced.algorithm,
+                    )
+
+    def _ev_collective(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, gid, seq = ev
+        st = self._round(gid, seq)
+        clock = self.clocks[rank]
+        if rank not in st.entries:
+            st.entries[rank] = clock.time
+        if st.t_end is None:
+            if len(st.entries) < len(self.trace.groups[gid]):
+                return False
+            self._finalize(gid, seq, st, blocking=True)
+        t_entry = st.entries[rank]
+        clock.sync_to(st.t_end, "comm")
+        if self.tracer is not None:
+            rnd = self.trace.rounds[(gid, seq)]
+            self.tracer.annotate(
+                rank, "collective", str(rnd["op"]), t_entry, st.t_end,
+                primary=(rank == self.trace.groups[gid][0]),
+                algorithm=st.priced.algorithm if st.priced else "",
+            )
+        st.claimed += 1
+        if st.claimed == len(self.trace.groups[gid]):
+            del self._rounds[(gid, seq)]
+        return True
+
+    def _ev_solo(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, gid, info = ev
+        priced = self.pricer.collective(gid, info)
+        clock = self.clocks[rank]
+        t0 = clock.time
+        tail = self._tails.get(gid, 0.0)
+        if tail > clock.time:
+            clock.sync_to(tail, "comm")
+        clock.advance(priced.seconds, "comm")
+        self._tails[gid] = clock.time
+        if priced.wire_bytes:
+            self.counters[gid].record(
+                str(info["op"]), priced.wire_bytes, priced.elements,
+                algorithm=priced.algorithm,
+            )
+        if self.tracer is not None:
+            self.tracer.annotate(
+                rank, "collective", str(info["op"]), t0, clock.time,
+                primary=True, algorithm=priced.algorithm,
+            )
+        return True
+
+    def _ev_issue(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, gid, seq = ev
+        st = self._round(gid, seq)
+        st.entries[rank] = self.clocks[rank].time
+        if len(st.entries) == len(self.trace.groups[gid]):
+            self._finalize(gid, seq, st, blocking=False)
+        return True
+
+    def _ev_coll_wait(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, gid, seq = ev
+        st = self._rounds.get((gid, seq))
+        if st is None or st.t_end is None:
+            return False
+        rnd = self.trace.rounds[(gid, seq)]
+        clock = self.clocks[rank]
+        duration = st.t_end - st.t_start
+        t_wait = clock.time
+        exposed = min(duration, max(0.0, st.t_end - t_wait))
+        clock.sync_to(st.t_end, "comm")
+        self.streams[rank].note_exposed(exposed)
+        self.counters[gid].record_overlap(
+            str(rnd["op"]) or "collective", exposed,
+            max(0.0, duration - exposed),
+        )
+        if self.tracer is not None and exposed > 0.0:
+            self.tracer.annotate(
+                rank, "overlap", f"wait:{rnd['op']}", t_wait, st.t_end,
+                exposed=exposed,
+            )
+        st.claimed += 1
+        if st.claimed == len(self.trace.groups[gid]):
+            del self._rounds[(gid, seq)]
+        return True
+
+    def _ev_send(self, rank: int, ev: Tuple[Any, ...], advance: bool) -> bool:
+        _t, gid, dst, tag, nbytes, wire, elements, seconds = ev
+        priced = self.pricer.p2p(gid, rank, dst, nbytes,
+                                 (wire, elements, seconds))
+        clock = self.clocks[rank]
+        t0 = clock.time
+        t_avail = clock.time + priced.seconds
+        self.counters[gid].record("p2p", priced.wire_bytes, priced.elements)
+        self._mailbox.setdefault((gid, rank, dst, tag), deque()).append(t_avail)
+        if advance:
+            clock.advance(priced.seconds, "comm")
+            if self.tracer is not None:
+                self.tracer.annotate(
+                    rank, "p2p", f"send->{dst}", t0, clock.time, bytes=nbytes
+                )
+        return True
+
+    def _ev_stream_send(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, gid, sid, dst, tag, nbytes, wire, elements, seconds = ev
+        priced = self.pricer.p2p(gid, rank, dst, nbytes,
+                                 (wire, elements, seconds))
+        clock = self.clocks[rank]
+        tail = self._p2p_tails.get((gid, rank), 0.0)
+        start = max(clock.time, tail)
+        t_end = start + priced.seconds
+        self.counters[gid].record("p2p", priced.wire_bytes, priced.elements)
+        self._mailbox.setdefault((gid, rank, dst, tag), deque()).append(t_end)
+        self._p2p_tails[(gid, rank)] = t_end
+        self.streams[rank].occupy(start, t_end)
+        self._sids[rank][sid] = (gid, t_end, priced.seconds)
+        if self.tracer is not None:
+            self.tracer.annotate(
+                rank, "comm_stream", f"isend->{dst}", start, t_end,
+                primary=True, bytes=nbytes,
+            )
+        return True
+
+    def _ev_stream_wait(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, sid = ev
+        gid, t_end, seconds = self._sids[rank].pop(sid)
+        clock = self.clocks[rank]
+        t_wait = clock.time
+        exposed = min(seconds, max(0.0, t_end - t_wait))
+        clock.sync_to(t_end, "comm")
+        self.streams[rank].note_exposed(exposed)
+        self.counters[gid].record_overlap(
+            "p2p", exposed, max(0.0, seconds - exposed)
+        )
+        if self.tracer is not None and exposed > 0.0:
+            self.tracer.annotate(
+                rank, "overlap", "wait:p2p", t_wait, t_end, exposed=exposed
+            )
+        return True
+
+    def _ev_recv(self, rank: int, ev: Tuple[Any, ...]) -> bool:
+        _t, gid, src, tag = ev
+        q = self._mailbox.get((gid, src, rank, tag))
+        if not q:
+            return False
+        t_avail = q.popleft()
+        clock = self.clocks[rank]
+        t0 = clock.time
+        clock.sync_to(t_avail, "comm")
+        if self.tracer is not None:
+            self.tracer.annotate(rank, "p2p", f"recv<-{src}", t0, clock.time)
+        return True

@@ -1,0 +1,155 @@
+"""Projection results: aggregate a replay into per-role and whole-world
+numbers.
+
+The captured ranks are *roles*: under a :class:`~repro.project.replay.ScalePlan`
+with ``factor > 1`` each unscaled group (and each captured rank's compute
+timeline and memory footprint) stands for ``factor`` identical copies in the
+projected world, while the scaled group's traffic was re-priced at the full
+projected size and counts once.  Totals therefore weight each group's
+counters by its multiplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.comm.counters import CommCounters
+
+from repro.project.replay import ReplayResult
+
+
+def _merge_counts(total: Dict[str, int], part: Dict[str, int], mult: int) -> None:
+    for k, v in part.items():
+        total[k] = total.get(k, 0) + v * mult
+
+
+@dataclass
+class RankProjection:
+    """One captured role's projected timeline."""
+
+    rank: int
+    total_time: float
+    breakdown: Dict[str, float]
+    stream: Dict[str, float]
+    peak_memory_bytes: int
+
+
+@dataclass
+class ProjectionReport:
+    """What a projection run reports (the BENCH/README surface)."""
+
+    source_world: int
+    target_world: int
+    factor: int
+    mode: str
+    step_time: float
+    per_rank: List[RankProjection]
+    #: whole projected world, multiplicity-weighted
+    wire_bytes_total: int = 0
+    wire_elements_total: int = 0
+    comm_calls_total: int = 0
+    by_op_bytes: Dict[str, int] = field(default_factory=dict)
+    by_op_elements: Dict[str, int] = field(default_factory=dict)
+    by_op_calls: Dict[str, int] = field(default_factory=dict)
+    by_algorithm_bytes: Dict[str, int] = field(default_factory=dict)
+    exposed_comm_seconds: float = 0.0
+    overlapped_comm_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    #: per captured group: multiplicity-1 counters for parity checks
+    group_counters: Dict[int, CommCounters] = field(default_factory=dict)
+    group_multiplicity: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hidden_comm_fraction(self) -> float:
+        """Fraction of stream-comm seconds hidden under compute."""
+        total = self.exposed_comm_seconds + self.overlapped_comm_seconds
+        if total <= 0.0:
+            return 0.0
+        return self.overlapped_comm_seconds / total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source_world": self.source_world,
+            "target_world": self.target_world,
+            "factor": self.factor,
+            "mode": self.mode,
+            "step_time": self.step_time,
+            "wire_bytes_total": self.wire_bytes_total,
+            "wire_elements_total": self.wire_elements_total,
+            "comm_calls_total": self.comm_calls_total,
+            "by_op_bytes": dict(self.by_op_bytes),
+            "by_op_elements": dict(self.by_op_elements),
+            "by_algorithm_bytes": dict(self.by_algorithm_bytes),
+            "exposed_comm_seconds": self.exposed_comm_seconds,
+            "overlapped_comm_seconds": self.overlapped_comm_seconds,
+            "hidden_comm_fraction": self.hidden_comm_fraction,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "per_rank": [
+                {
+                    "rank": r.rank,
+                    "total_time": r.total_time,
+                    "breakdown": dict(r.breakdown),
+                    "stream": dict(r.stream),
+                    "peak_memory_bytes": r.peak_memory_bytes,
+                }
+                for r in self.per_rank
+            ],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"projection: {self.source_world} captured ranks -> "
+            f"{self.target_world} projected ranks ({self.mode} pricing)",
+            f"  step time           {self.step_time * 1e3:10.3f} ms",
+            f"  peak memory / rank  {self.peak_memory_bytes / 2**30:10.3f} GiB",
+            f"  comm volume         {self.wire_bytes_total / 2**30:10.3f} GiB "
+            f"({self.comm_calls_total} calls)",
+            f"  hidden comm         {self.hidden_comm_fraction * 100:9.1f} %",
+        ]
+        for op in sorted(self.by_op_bytes):
+            lines.append(
+                f"    {op:<18} {self.by_op_bytes[op] / 2**20:12.3f} MiB"
+            )
+        return "\n".join(lines)
+
+
+def build_report(result: ReplayResult, mode: str) -> ProjectionReport:
+    trace = result.trace
+    per_rank = [
+        RankProjection(
+            rank=r,
+            total_time=max(result.clocks[r].time, result.streams[r].time),
+            breakdown=result.clocks[r].breakdown(),
+            stream=result.streams[r].breakdown(),
+            peak_memory_bytes=int(trace.peak_memory[r]),
+        )
+        for r in range(trace.world_size)
+    ]
+    report = ProjectionReport(
+        source_world=trace.world_size,
+        target_world=result.target_world,
+        factor=result.plan.factor,
+        mode=mode,
+        step_time=result.step_time,
+        per_rank=per_rank,
+        peak_memory_bytes=max(trace.peak_memory) if trace.peak_memory else 0,
+        group_counters=dict(result.counters),
+        group_multiplicity=dict(result.multiplicity),
+    )
+    for gid, counters in result.counters.items():
+        mult = result.multiplicity.get(gid, 1)
+        report.wire_bytes_total += counters.bytes_total * mult
+        report.wire_elements_total += counters.elements_total * mult
+        report.comm_calls_total += counters.calls_total * mult
+        _merge_counts(report.by_op_bytes, counters.by_op_bytes, mult)
+        _merge_counts(report.by_op_elements, counters.by_op_elements, mult)
+        _merge_counts(report.by_op_calls, counters.by_op_calls, mult)
+        _merge_counts(
+            report.by_algorithm_bytes, counters.by_algorithm_bytes, mult
+        )
+        report.exposed_comm_seconds += counters.exposed_seconds_total * mult
+        report.overlapped_comm_seconds += (
+            counters.overlapped_seconds_total * mult
+        )
+    return report

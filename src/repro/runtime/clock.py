@@ -36,7 +36,8 @@ class SimClock:
     check per advance.
     """
 
-    __slots__ = ("_time", "_lock", "_busy", "_slowdowns", "_observer")
+    __slots__ = ("_time", "_lock", "_busy", "_slowdowns", "_observer",
+                 "_capture")
 
     def __init__(self) -> None:
         self._time = 0.0
@@ -44,11 +45,23 @@ class SimClock:
         self._busy: Dict[str, float] = {}
         self._slowdowns: List[Tuple[float, float, float]] = []
         self._observer = None
+        self._capture = None
 
     def set_observer(self, observer) -> None:
         """Install (or clear, with ``None``) the span observer."""
         with self._lock:
             self._observer = observer
+
+    def set_capture(self, capture) -> None:
+        """Install (or clear, with ``None``) the advance-capture callback.
+
+        Unlike the observer it receives ``(category, dt)`` with the *exact*
+        post-slowdown delta — including ``dt == 0`` advances, which still
+        create a breakdown entry — so a recorder can replay the advance
+        stream bit-for-bit (reconstructing ``dt`` from observed
+        ``t1 - t0`` is not exact in floating point)."""
+        with self._lock:
+            self._capture = capture
 
     @property
     def time(self) -> float:
@@ -108,6 +121,8 @@ class SimClock:
             t0 = self._time
             self._time += dt
             self._busy[category] = self._busy.get(category, 0.0) + dt
+            if self._capture is not None:
+                self._capture(category, dt)
             if self._observer is not None and dt > 0.0:
                 self._observer(category, t0, self._time)
 

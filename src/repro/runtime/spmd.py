@@ -164,6 +164,7 @@ class SpmdRuntime:
         comm_algorithm: str = "ring",
         sanitize: Optional[Any] = None,
         comm_overlap: bool = False,
+        capture: Optional[Any] = None,
     ) -> None:
         if world_size is None:
             world_size = cluster.world_size
@@ -220,6 +221,11 @@ class SpmdRuntime:
         self.sanitizer: Optional[Any] = None
         if sanitize is not None and sanitize is not False:
             _resolve_sanitizer(sanitize).install(self)
+        #: op-stream capture recorder (repro.project.CaptureRecorder) or
+        #: None; hook sites gate on this like tracer/sanitizer.
+        self.capture: Optional[Any] = None
+        if capture is not None:
+            capture.install(self)
 
     # -- failure propagation -------------------------------------------------
 
@@ -301,6 +307,8 @@ class SpmdRuntime:
             self.fault_injector.install(self)
         if self.sanitizer is not None:
             self.sanitizer.begin_run(self)
+        if self.capture is not None:
+            self.capture.begin_run(self)
         self._abort.clear()
         self.failure = None
 
@@ -348,6 +356,8 @@ class SpmdRuntime:
         if self.failure is not None:
             rank, cause = self.failure
             raise RemoteRankError(rank, cause) from cause
+        if self.capture is not None:
+            self.capture.end_run(self)
         return results
 
     def _reset_comm_state(self) -> None:

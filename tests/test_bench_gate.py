@@ -62,6 +62,108 @@ class TestGateLogic:
     def test_compare_ignores_unshared_scenarios(self):
         assert compare({"x": 1.0}, {"y": 50.0}) == []
 
+    def test_extract_covers_projection_section(self):
+        report = {
+            "projection": [
+                {"scenario": "gpt_ddp/p1024", "step_time": 0.25,
+                 "wall_seconds": 3.0},
+            ]
+        }
+        t = extract_throughputs(report)
+        assert t == {"gpt_ddp/p1024/projected": 4.0}
+
+    def test_extract_skips_malformed_entries(self):
+        """One broken entry must not crash the gate or take down the
+        well-formed entries next to it."""
+        report = {
+            "collectives": [
+                {"scenario": "bad/missing_keys"},
+                {"scenario": "bad/zero", "ring_seconds": 0.0,
+                 "auto_seconds": 2.0},
+                {"scenario": "bad/type", "ring_seconds": "fast",
+                 "auto_seconds": 1.0},
+                "not-even-a-dict",
+                {"scenario": "good", "ring_seconds": 2.0, "auto_seconds": 4.0},
+            ],
+            "vit_system_ii_1d": [{"scenario": "v", "ring": {}}],
+            "sanitizer_fig13b": {"scenario": "s", "variants": {"off": {}}},
+            "overlap_fig13b": {"scenario": "o", "overlap_on": None},
+            "projection": [{"scenario": "p", "step_time": 0}],
+        }
+        t = extract_throughputs(report)
+        assert t == {
+            "good/ring": 0.5,
+            "good/auto": 0.25,
+            "bad/zero/auto": 0.5,
+            "bad/type/auto": 1.0,
+        }
+
+    def test_extract_tolerates_missing_and_null_sections(self):
+        assert extract_throughputs({}) == {}
+        assert extract_throughputs(
+            {"collectives": None, "sanitizer_fig13b": None, "projection": None}
+        ) == {}
+
+
+class TestScenarioDrift:
+    """BENCH files along the trajectory measure different scenario sets;
+    the gate must diff what they share and *warn* about what disappeared."""
+
+    @staticmethod
+    def _write(tmp_path, n, report):
+        import json
+
+        (tmp_path / f"BENCH_{n}.json").write_text(json.dumps(report))
+
+    @staticmethod
+    def _collective(scen, seconds):
+        return {"scenario": scen, "ring_seconds": seconds,
+                "auto_seconds": seconds}
+
+    def test_new_scenarios_do_not_crash_or_fail(self, tmp_path):
+        self._write(tmp_path, 1, {"collectives": [self._collective("a", 1.0)]})
+        self._write(tmp_path, 2, {
+            "collectives": [self._collective("a", 1.0)],
+            "projection": [{"scenario": "p1024", "step_time": 0.5}],
+        })
+        warnings = []
+        assert check(tmp_path, warnings=warnings) == []
+        assert warnings == []
+
+    def test_removed_scenarios_warn_instead_of_failing(self, tmp_path):
+        self._write(tmp_path, 1, {"collectives": [
+            self._collective("a", 1.0), self._collective("gone", 1.0),
+        ]})
+        self._write(tmp_path, 2, {"collectives": [self._collective("a", 1.0)]})
+        warnings = []
+        assert check(tmp_path, warnings=warnings) == []
+        assert len(warnings) == 1
+        assert "gone" in warnings[0] and "no longer measured" in warnings[0]
+
+    def test_check_callable_without_warnings_list(self, tmp_path):
+        # the pre-existing call shape stays valid
+        self._write(tmp_path, 1, {"collectives": [
+            self._collective("a", 1.0), self._collective("gone", 1.0),
+        ]})
+        self._write(tmp_path, 2, {"collectives": [self._collective("a", 2.0)]})
+        problems = check(tmp_path)  # ring and auto both halved
+        assert len(problems) == 2
+        assert any("a/ring" in p for p in problems)
+
+    def test_fully_disjoint_reports_still_fail(self, tmp_path):
+        self._write(tmp_path, 1, {"collectives": [self._collective("a", 1.0)]})
+        self._write(tmp_path, 2, {"collectives": [self._collective("b", 1.0)]})
+        problems = check(tmp_path)
+        assert len(problems) == 1 and "no shared scenarios" in problems[0]
+
+    def test_malformed_prior_report_cannot_break_gate(self, tmp_path):
+        self._write(tmp_path, 1, {"collectives": [
+            self._collective("a", 1.0),
+            {"scenario": "broken"},
+        ]})
+        self._write(tmp_path, 2, {"collectives": [self._collective("a", 1.0)]})
+        assert check(tmp_path) == []
+
 
 class TestRepoGate:
     def test_bench_trajectory_has_no_regression(self):

@@ -1,0 +1,598 @@
+"""Differential parity for the projection execution mode (ISSUE 6).
+
+``repro.project`` splits *what ops happen per rank* from *who executes
+them*: a capture records each rank's op stream during a real threaded SPMD
+run, and a single-threaded replay re-executes the stream on fresh clocks.
+The fidelity contract is exactness, not approximation: with recorded
+pricing, the replay's step time, per-rank clock/stream breakdowns and
+per-group wire counters must equal the threaded run's **bit for bit** —
+for every cell of the parallelism grid (DP / ZeRO / 1D-TP / pipeline ×
+overlap off/on × ring/tree/hierarchical) at world sizes 2–16.
+
+Cross-thread float *sums* are the one place IEEE-754 addition order can
+differ: the group counters' exposed/overlapped seconds accumulate in
+rank-arrival order in the real run but program order in the replay, and a
+stream clock's ``overlapped`` mixes ``occupy`` additions (finalizer's
+thread) with ``note_exposed`` subtractions (waiter's thread), so the
+``+``/``-`` interleaving is host-scheduling dependent.  Those fields
+compare under a 1e-12 relative tolerance; everything else — including each
+stream's busy categories and ``exposed``, which accumulate in a
+deterministic per-stream order — is exact.
+
+Also here: model-mode repricing identity (a ``Fabric.from_cluster`` of the
+captured cluster reproduces the captured costs), scale-out behaviour, and
+hypothesis properties — projection determinism, step time monotone in
+fabric bandwidth, and projected all-reduce volume matching the Table-1
+``2(p-1)·S_X`` closed form at every projected scale.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.commvolume import comm_volume_1d
+from repro.autograd import ops
+from repro.cluster import system_ii, uniform_cluster
+from repro.comm import Communicator, SpecArray
+from repro.comm.cost import CostModel
+from repro.config import Config
+from repro.context import ParallelContext, ParallelMode
+from repro.nn import CrossEntropyLoss, Linear, Module
+from repro.parallel.data import DistributedDataParallel
+from repro.parallel.pipeline import (
+    GPipeSchedule,
+    OneFOneBSchedule,
+    partition_uniform,
+)
+from repro.parallel.tensor1d import ParallelMLP1D
+from repro.project import (
+    CaptureRecorder,
+    Fabric,
+    ProjectedCostModel,
+    ReplayStall,
+    ScalePlan,
+    capture_run,
+    project,
+)
+from repro.runtime import SpmdRuntime
+from repro.sanitize.replay import first_divergence, load_golden, save_golden
+from repro.tensor import Tensor
+from repro.zero import ZeroOffloadEngine
+from repro.zero.policies import NoOffloadPolicy
+
+pytestmark = pytest.mark.projection
+
+H, C, B = 16, 4, 8
+REL = 1e-12  # cross-thread float-sum tolerance (see module docstring)
+
+_COUNTER_INT_FIELDS = (
+    "bytes_total", "elements_total", "calls_total",
+    "retries_total", "retry_bytes_total",
+)
+_COUNTER_DICT_FIELDS = (
+    "by_op_bytes", "by_op_elements", "by_op_calls", "by_op_retries",
+    "by_algorithm_bytes", "by_algorithm_calls",
+)
+
+
+def _pc(ctx):
+    return ParallelContext(ctx, Config.from_dict({}))
+
+
+def _assert_seconds(a: float, b: float, what: str) -> None:
+    assert a == pytest.approx(b, rel=REL, abs=1e-18), (what, a, b)
+
+
+def _assert_parity(rt, trace, rep):
+    """The fidelity contract: replayed end-state == threaded end-state."""
+    assert rep.step_time == rt.max_time()
+    assert rep.source_world == rep.target_world == rt.world_size
+    for r in range(rt.world_size):
+        assert rep.per_rank[r].breakdown == rt.clocks[r].breakdown(), r
+        stream, real_stream = rep.per_rank[r].stream, rt.comm_streams[r].breakdown()
+        assert stream.keys() == real_stream.keys(), r
+        for cat, real_val in real_stream.items():
+            if cat == "overlapped":
+                # occupy(+) and note_exposed(-) run on different threads in
+                # the real run; the interleaving order is an ulp-level
+                # cross-thread float sum (see module docstring)
+                _assert_seconds(stream[cat], real_val, (r, cat))
+            else:
+                assert stream[cat] == real_val, (r, cat)
+        assert rep.per_rank[r].peak_memory_bytes == (
+            rt.cluster.device(r).memory.peak
+        ), r
+    for key, group in rt._groups.items():
+        if key not in trace.groups:
+            # group object created but never used in a priced op
+            assert group.counters.calls_total == 0
+            continue
+        gid = trace.groups.index(key)
+        real, proj = group.counters, rep.group_counters[gid]
+        assert rep.group_multiplicity[gid] == 1
+        for f in _COUNTER_INT_FIELDS:
+            assert getattr(proj, f) == getattr(real, f), (key, f)
+        for f in _COUNTER_DICT_FIELDS:
+            assert getattr(proj, f, {}) == getattr(real, f, {}), (key, f)
+        _assert_seconds(
+            proj.exposed_seconds_total, real.exposed_seconds_total,
+            (key, "exposed"),
+        )
+        _assert_seconds(
+            proj.overlapped_seconds_total, real.overlapped_seconds_total,
+            (key, "overlapped"),
+        )
+
+
+def _capture_pair(mk_cluster, world, prog, *, overlap=False, algorithm="ring",
+                  materialize=True, seed=0):
+    """Run ``prog`` twice — captured, then plain threaded — each on a fresh
+    cluster from ``mk_cluster`` (a shared cluster would let the first run's
+    tensor finalizers free into the second run's memory pools).  Returns
+    ``(trace, plain runtime, captured results, plain results)``."""
+    res_cap, trace = capture_run(
+        mk_cluster(), prog, world_size=world, comm_overlap=overlap,
+        comm_algorithm=algorithm, materialize=materialize, seed=seed,
+    )
+    rt = SpmdRuntime(
+        mk_cluster(), world, comm_overlap=overlap, comm_algorithm=algorithm
+    )
+    res_real = rt.run(prog, materialize=materialize, seed=seed)
+    return trace, rt, res_cap, res_real
+
+
+# -- training harnesses (one per parallelism mode) -------------------------
+
+
+class _MLP(Module):
+    def __init__(self):
+        super().__init__()
+        self.l1 = Linear(H, 32, rng=np.random.default_rng(11))
+        self.l2 = Linear(32, 32, rng=np.random.default_rng(12))
+        self.l3 = Linear(32, C, rng=np.random.default_rng(13))
+
+    def forward(self, x):
+        return self.l3(ops.gelu(self.l2(ops.gelu(self.l1(x)))))
+
+
+def _batch(step):
+    rng = np.random.default_rng((7, step))
+    X = rng.standard_normal((2 * B, H)).astype(np.float32)
+    Y = rng.integers(0, C, 2 * B)
+    return X, Y
+
+
+def _ddp_prog(overlap, steps=2):
+    crit = CrossEntropyLoss()
+
+    def prog(ctx):
+        pc = _pc(ctx)
+        model = _MLP()
+        ddp = DistributedDataParallel(model, pc, bucket_mb=0.002,
+                                      overlap=overlap)
+        losses = []
+        for s in range(steps):
+            X, Y = _batch(s)
+            n = X.shape[0] // pc.data_size
+            xl = X[ctx.rank * n : (ctx.rank + 1) * n]
+            yl = Y[ctx.rank * n : (ctx.rank + 1) * n]
+            loss = crit(ddp(Tensor(xl.copy())), yl)
+            loss.backward()
+            ddp.sync()
+            for p in model.parameters():
+                p.payload[...] = p.payload - 0.05 * p.grad.payload
+                p.grad = None
+            losses.append(loss.item())
+        return losses
+
+    return prog
+
+
+def _zero_prog(overlap, world, steps=2):
+    crit = CrossEntropyLoss()
+
+    def prog(ctx):
+        comm = Communicator.world(ctx)
+
+        class Block(Module):
+            def __init__(self, seed, out=H):
+                super().__init__()
+                self.lin = Linear(H, out, rng=np.random.default_rng(seed))
+
+            def forward(self, x):
+                y = self.lin(x)
+                return ops.gelu(y) if self.lin.out_features == H else y
+
+        blocks = [Block(21), Block(22), Block(23, out=C)]
+        pol = NoOffloadPolicy(ctx.device, ctx.cpu, CostModel(ctx.cluster),
+                              ctx.rank)
+        eng = ZeroOffloadEngine(
+            ctx, blocks, comm, pol, criterion=crit,
+            chunk_mb=0.001, lr=1e-2, param_dtype="float32", overlap=overlap,
+        )
+        losses = []
+        for s in range(steps):
+            X, Y = _batch(s)
+            n = X.shape[0] // world
+            losses.append(
+                eng.train_step(X[ctx.rank * n : (ctx.rank + 1) * n],
+                               Y[ctx.rank * n : (ctx.rank + 1) * n])
+            )
+        eng.gather_parameters()
+        return losses
+
+    return prog
+
+
+def _pipeline_prog(sched_cls, stages, microbatches=4):
+    crit = CrossEntropyLoss()
+    X, Y = _batch(0)
+
+    class Stage(Module):
+        def __init__(self, idxs, with_tail):
+            super().__init__()
+            self.layers = [Linear(H, H, rng=np.random.default_rng((31, i)))
+                           for i in idxs]
+            for i, l in enumerate(self.layers):
+                setattr(self, f"lin{i}", l)
+            self.head = (
+                Linear(H, C, rng=np.random.default_rng(35))
+                if with_tail else None
+            )
+
+        def forward(self, x):
+            for l in self.layers:
+                x = ops.gelu(l(x))
+            return self.head(x) if self.head is not None else x
+
+    def prog(ctx):
+        pc = ParallelContext(
+            ctx,
+            Config.from_dict(
+                dict(parallel=dict(pipeline=stages),
+                     num_microbatches=microbatches)
+            ),
+        )
+        s, e = partition_uniform(4, stages)[pc.pp_rank]
+        stage = Stage(range(s, e), with_tail=pc.is_last_pipeline_stage())
+        sched = sched_cls(pc, microbatches)
+        loss = sched.run(
+            stage,
+            X.copy() if pc.is_first_pipeline_stage() else None,
+            Y if pc.is_last_pipeline_stage() else None,
+            crit,
+        )
+        return loss
+
+    return prog
+
+
+def _tp1d_prog(size):
+    x_g = np.random.default_rng(3).standard_normal((B, H)).astype(np.float32)
+
+    def prog(ctx):
+        pc = ParallelContext(
+            ctx,
+            Config.from_dict(
+                dict(parallel=dict(tensor=dict(size=size, mode="1d")))
+            ),
+        )
+        comm = pc.comm(ParallelMode.TENSOR)
+        mlp = ParallelMLP1D(H, comm, mlp_ratio=2,
+                            rng=np.random.default_rng(0))
+        x = Tensor(x_g.copy(), requires_grad=True)
+        mlp(x).sum().backward()
+        return float(x.grad.numpy().sum())
+
+    return prog
+
+
+# -- the exact-parity grid -------------------------------------------------
+
+
+class TestExactParityGrid:
+    @pytest.mark.parametrize("algorithm", ["ring", "tree", "hierarchical"])
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_data_parallel(self, algorithm, overlap):
+        trace, rt, res_cap, res_real = _capture_pair(
+            system_ii, 4, _ddp_prog(overlap),
+            overlap=overlap, algorithm=algorithm,
+        )
+        assert res_cap == res_real  # capture is observation-only
+        _assert_parity(rt, trace, project(trace, mode="recorded"))
+
+    @pytest.mark.parametrize("algorithm", ["ring", "hierarchical"])
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_zero(self, algorithm, overlap):
+        trace, rt, res_cap, res_real = _capture_pair(
+            lambda: uniform_cluster(2), 2, _zero_prog(overlap, world=2),
+            overlap=overlap, algorithm=algorithm,
+        )
+        assert res_cap == res_real
+        _assert_parity(rt, trace, project(trace, mode="recorded"))
+
+    @pytest.mark.parametrize("sched_cls", [GPipeSchedule, OneFOneBSchedule])
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_pipeline(self, sched_cls, overlap):
+        trace, rt, res_cap, res_real = _capture_pair(
+            lambda: uniform_cluster(4), 4, _pipeline_prog(sched_cls, stages=4),
+            overlap=overlap,
+        )
+        assert res_cap == res_real
+        _assert_parity(rt, trace, project(trace, mode="recorded"))
+
+    @pytest.mark.parametrize("algorithm", ["ring", "tree"])
+    def test_tensor_1d(self, algorithm):
+        trace, rt, res_cap, res_real = _capture_pair(
+            lambda: uniform_cluster(4), 4, _tp1d_prog(4), algorithm=algorithm,
+        )
+        assert res_cap == res_real
+        _assert_parity(rt, trace, project(trace, mode="recorded"))
+
+    def test_world_16_data_parallel(self):
+        trace, rt, _, _ = _capture_pair(
+            lambda: uniform_cluster(16), 16, _ddp_prog(overlap=True, steps=1),
+            overlap=True,
+        )
+        _assert_parity(rt, trace, project(trace, mode="recorded"))
+
+
+# -- model-mode repricing --------------------------------------------------
+
+
+class TestModelModeRepricing:
+    def test_from_cluster_fabric_reproduces_captured_costs(self):
+        """Model mode at factor 1 on a ``Fabric.from_cluster`` of the
+        captured (uniform) cluster re-derives every collective price from
+        the closed-form fabric: wire bytes land exactly (integer formulas),
+        seconds to ~1 ulp (the real ``ring_stats`` accumulates latency by
+        iterated addition where the fabric multiplies)."""
+        trace, rt, _, _ = _capture_pair(
+            lambda: uniform_cluster(4), 4, _ddp_prog(overlap=False),
+        )
+        rec = project(trace, mode="recorded")
+        mod = project(trace, mode="model")
+        assert mod.step_time == pytest.approx(rec.step_time, rel=1e-9)
+        assert mod.wire_bytes_total == rec.wire_bytes_total
+        assert mod.by_op_bytes == rec.by_op_bytes
+        assert mod.comm_calls_total == rec.comm_calls_total
+
+    def test_recorded_mode_rejects_scaling(self):
+        trace, _, _, _ = _capture_pair(lambda: uniform_cluster(2), 2, _tp1d_prog(2))
+        with pytest.raises(ValueError, match="recorded"):
+            project(trace, factor=2, mode="recorded")
+
+    def test_scale_out_grows_world_group_traffic(self):
+        """At factor f the world group's all-reduce is re-priced at f·p
+        ranks: ring wire is 2(p-1)·n, so bytes grow and step time cannot
+        shrink (same compute, more expensive gradient sync)."""
+        trace, _, _, _ = _capture_pair(
+            lambda: uniform_cluster(4), 4, _ddp_prog(overlap=False),
+        )
+        fabric = Fabric.uniform()
+        base = project(trace, factor=1, fabric=fabric)
+        big = project(trace, factor=64, fabric=fabric)
+        assert big.target_world == 256
+        assert big.factor == 64
+        ar = "all_reduce"
+        n = base.by_op_bytes[ar] // (2 * 3)  # 2(p-1)·n at p=4
+        assert big.by_op_bytes[ar] == 2 * 255 * n
+        assert big.step_time >= base.step_time
+        assert big.peak_memory_bytes == base.peak_memory_bytes
+
+    def test_unscaled_groups_count_factor_times(self):
+        """Pipeline stage pairs are replicas in the projected world: their
+        p2p traffic is multiplied by the factor, not re-priced wider.
+
+        Captured at world 4 (pipeline 2 x data 2) so the stage pairs are
+        *proper* subgroups of the world — a world-sized group would be the
+        scale target (re-priced at multiplicity 1) rather than a replica.
+        """
+        trace, _, _, _ = _capture_pair(
+            lambda: uniform_cluster(4), 4, _pipeline_prog(GPipeSchedule, stages=2),
+        )
+        world_group = tuple(range(4))
+        assert any(
+            g != world_group and len(g) < 4 for g in trace.groups
+        ), trace.groups
+        fabric = Fabric.uniform()
+        base = project(trace, factor=1, fabric=fabric)
+        big = project(trace, factor=8, fabric=fabric)
+        # p2p only runs on the stage pairs, which stay captured-size
+        # replicas in the projected world: volume scales with replica count
+        assert base.by_op_bytes["p2p"] > 0
+        assert big.by_op_bytes["p2p"] == 8 * base.by_op_bytes["p2p"]
+
+    def test_compute_scale_stretches_compute_only(self):
+        trace, _, _, _ = _capture_pair(lambda: uniform_cluster(2), 2, _tp1d_prog(2))
+        fabric = Fabric.uniform()
+        base = project(trace, fabric=fabric)
+        slow = project(trace, plan=ScalePlan(compute_scale=2.0),
+                       fabric=fabric)
+        assert slow.step_time > base.step_time
+        assert slow.wire_bytes_total == base.wire_bytes_total
+
+    def test_truncated_trace_stalls_loudly(self):
+        trace, _, _, _ = _capture_pair(
+            lambda: uniform_cluster(2), 2, _pipeline_prog(GPipeSchedule, stages=2),
+        )
+        # drop rank 1's tail: rank 0 ends up waiting on a recv forever
+        cut = [ev for ev in trace.streams[1] if ev[0] in ("a",)]
+        trace.streams[1] = cut
+        with pytest.raises(ReplayStall):
+            project(trace, mode="recorded")
+
+    def test_capture_rejects_fault_injection(self):
+        from repro.faults import FaultPlan
+
+        rt = SpmdRuntime(
+            uniform_cluster(2), 2,
+            fault_plan=FaultPlan(seed=1).glitch(op="all_reduce", attempts=2),
+        )
+        with pytest.raises(RuntimeError, match="fault injection"):
+            CaptureRecorder().install(rt)
+
+
+# -- hypothesis properties -------------------------------------------------
+
+fast = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BB, SS, HH = 4, 8, 16  # all-reduce payload dims for the Table-1 property
+
+
+@pytest.fixture(scope="module")
+def allreduce_trace():
+    """One world-group all-reduce of a (b, s, h) float32 spec tensor,
+    captured at 4 ranks — the minimal 1D-TP-shaped op stream."""
+    cluster = uniform_cluster(4)
+
+    def prog(ctx):
+        comm = Communicator.world(ctx)
+        ctx.clock.advance(1e-4, "compute")
+        comm.all_reduce(SpecArray((BB, SS, HH), "float32"))
+
+    _, trace = capture_run(cluster, prog, world_size=4)
+    return trace
+
+
+_factors = st.sampled_from([1, 2, 4, 16, 64, 256])
+
+
+class TestProjectionProperties:
+    @given(factor=_factors)
+    @fast
+    def test_projection_is_deterministic(self, allreduce_trace, factor):
+        fabric = Fabric.uniform()
+        a = project(allreduce_trace, factor=factor, fabric=fabric).to_dict()
+        b = project(allreduce_trace, factor=factor, fabric=fabric).to_dict()
+        assert a == b
+
+    @given(
+        bw=st.floats(1e9, 1e12, allow_nan=False, allow_infinity=False),
+        ratio=st.floats(1.0, 1e3, allow_nan=False, allow_infinity=False),
+        factor=_factors,
+    )
+    @fast
+    def test_step_time_non_increasing_in_bandwidth(
+        self, allreduce_trace, bw, ratio, factor
+    ):
+        slow = project(allreduce_trace, factor=factor,
+                       fabric=Fabric.uniform(bandwidth=bw))
+        fastr = project(allreduce_trace, factor=factor,
+                        fabric=Fabric.uniform(bandwidth=bw * ratio))
+        assert fastr.step_time <= slow.step_time * (1 + 1e-12)
+
+    @given(factor=_factors)
+    @fast
+    def test_projected_volume_matches_table1(self, allreduce_trace, factor):
+        """Projected all-reduce wire elements equal the Table-1 closed form
+        ``2(p'-1)·S_X`` at every projected world size p' (ring and tree
+        all-reduce both move exactly that volume)."""
+        rep = project(allreduce_trace, factor=factor,
+                      fabric=Fabric.uniform())
+        p2 = 4 * factor
+        assert rep.target_world == p2
+        assert rep.by_op_elements["all_reduce"] == comm_volume_1d(
+            p2, BB, SS, HH
+        )
+
+
+# -- golden-file stability -------------------------------------------------
+
+
+class TestGoldenStability:
+    def _vit_ddp_prog(self):
+        """A scaled-down Fig-13b scenario: DDP transformer stack on spec
+        tensors, overlap on, 8 ranks."""
+        from repro.nn import TransformerLayer
+
+        LAYERS, HIDDEN, HEADS, PATCHES = 2, 64, 4, 8
+
+        class Stack(Module):
+            def __init__(self):
+                super().__init__()
+                for i in range(LAYERS):
+                    setattr(self, f"layer{i}",
+                            TransformerLayer(HIDDEN, HEADS))
+                self.layers = [getattr(self, f"layer{i}")
+                               for i in range(LAYERS)]
+
+            def forward(self, x):
+                for l in self.layers:
+                    x = l(x)
+                return x
+
+        def prog(ctx):
+            pc = _pc(ctx)
+            ddp = DistributedDataParallel(Stack(), pc, overlap=True)
+            x = Tensor(SpecArray((B, PATCHES, HIDDEN), "float32"),
+                       requires_grad=True)
+            ddp(x).sum().backward()
+            ddp.sync()
+
+        return prog
+
+    def test_fig13b_capture_replays_stably(self, tmp_path):
+        """Two independent captures of the Fig-13b DDP scenario produce
+        byte-identical op streams, round-trip through the sanitizer golden
+        format, and project to the same report."""
+        prog = self._vit_ddp_prog()
+        _, t1 = capture_run(system_ii(), prog, world_size=8, comm_overlap=True)
+        _, t2 = capture_run(system_ii(), prog, world_size=8, comm_overlap=True)
+
+        g1, g2 = t1.to_golden(), t2.to_golden()
+        assert first_divergence(g1, g2) is None
+
+        path = tmp_path / "fig13b_projection.json"
+        save_golden(str(path), g1["world_size"], g1["streams"])
+        loaded = load_golden(str(path))
+        assert first_divergence(loaded, g2) is None
+
+        r1 = project(t1, factor=128, fabric=Fabric.uniform()).to_dict()
+        r2 = project(t2, factor=128, fabric=Fabric.uniform()).to_dict()
+        assert r1 == r2
+        assert r1["target_world"] == 1024
+
+
+# -- config / launch wiring ------------------------------------------------
+
+
+class TestLaunchWiring:
+    def test_launch_project_mode_returns_report(self):
+        from repro.engine.initialize import launch
+
+        def fn(ctx, pc):
+            comm = Communicator.world(ctx)
+            ctx.clock.advance(1e-4, "compute")
+            comm.all_reduce(np.ones((32, 32), dtype=np.float32))
+
+        rep = launch(
+            {"project": {"target_world": 512}}, uniform_cluster(8), fn,
+            world_size=8,
+        )
+        assert rep.target_world == 512
+        assert rep.factor == 64
+        assert rep.step_time > 0
+
+    def test_launch_project_requires_divisible_target(self):
+        from repro.engine.initialize import launch
+
+        with pytest.raises(ValueError, match="multiple"):
+            launch(
+                {"project": {"target_world": 100}}, uniform_cluster(8),
+                lambda ctx, pc: None, world_size=8,
+            )
+
+    def test_config_validation(self):
+        cfg = Config.from_dict({"project": {"target_world": 64}})
+        assert cfg.project.mode == "project"
+        with pytest.raises(ValueError, match="mode"):
+            Config.from_dict({"project": {"mode": "sideways"}})
+        with pytest.raises(ValueError, match="target_world"):
+            Config.from_dict(
+                {"project": {"mode": "off", "target_world": 4}}
+            )
