@@ -76,6 +76,10 @@ def extract_throughputs(report: Dict[str, Any]) -> Dict[str, float]:
         # projected step time is the simulated metric; wall-clock cost of
         # producing it is machine-dependent and never gated
         put(f"{p['scenario']}/projected", lambda p=p: 1.0 / p["step_time"])
+    for p in report.get("hybrid_projection") or []:
+        if not isinstance(p, dict) or "scenario" not in p:
+            continue
+        put(f"{p['scenario']}/projected", lambda p=p: 1.0 / p["step_time"])
     return out
 
 
@@ -116,10 +120,12 @@ def check(
 
     Scenario sets are allowed to differ between reports: scenarios only the
     newest report measures are simply new coverage, and scenarios a prior
-    report measured that the newest dropped are *warned about* (appended to
-    ``warnings`` when a list is passed) without failing the gate — unless a
-    prior report shares nothing at all, which means the runner stopped
-    covering prior workloads entirely and is a hard problem."""
+    report measured that the newest dropped are *warned about* without
+    failing the gate — appended to ``warnings`` when a list is passed,
+    printed to stderr otherwise, so programmatic callers never get silent
+    scenario-set shrinkage — unless a prior report shares nothing at all,
+    which means the runner stopped covering prior workloads entirely and
+    is a hard problem."""
     files = bench_files(root)
     if len(files) < 2:
         return []
@@ -135,13 +141,16 @@ def check(
                 f"the benchmark runner stopped covering prior workloads"
             )
             continue
-        if warnings is not None:
-            removed = sorted(set(old) - set(new))
-            if removed:
-                warnings.append(
-                    f"{newest.name} vs {prior.name}: {len(removed)} "
-                    f"scenario(s) no longer measured: {', '.join(removed)}"
-                )
+        removed = sorted(set(old) - set(new))
+        if removed:
+            message = (
+                f"{newest.name} vs {prior.name}: {len(removed)} "
+                f"scenario(s) no longer measured: {', '.join(removed)}"
+            )
+            if warnings is not None:
+                warnings.append(message)
+            else:
+                print(f"bench gate warning: {message}", file=sys.stderr)
         for key, o, n, drop in compare(new, old, tolerance):
             problems.append(
                 f"{newest.name} vs {prior.name}: {key} dropped {drop:.1%} "

@@ -318,6 +318,128 @@ def projection_scenarios() -> List[Dict[str, Any]]:
     return out
 
 
+def hybrid_projection_scenarios() -> List[Dict[str, Any]]:
+    """Hybrid-axis projection (ISSUE 7): capture a DP(4) x TP(2) x PP(2)
+    GPT-style training step at 16 threaded ranks, then project it onto the
+    paper's 512-GPU-class grids by widening all three axes at once —
+    ``ScalePlan(axes={"dp": k1, "tp": k2, "pp": k3})``.
+
+    Each scenario records the per-axis traffic breakdown and the projected
+    peak memory under ZeRO-1-style optimizer-state sharding along the dp
+    axis (``repro.analytic.memory_model.zero_partitioned_bytes``), plus
+    ``wall_clock_per_simulated_second`` for the runner-cost trajectory.
+    Simulated metrics are deterministic and gated; wall-clock never is."""
+    from repro.analytic.memory_model import zero_partitioned_bytes
+    from repro.context import ParallelMode
+    from repro.nn import CrossEntropyLoss, Linear, Module, ModuleList
+    from repro.parallel.data import sync_gradients
+    from repro.parallel.pipeline import GPipeSchedule, partition_uniform
+    from repro.parallel.tensor1d import ParallelTransformerLayer1D
+    from repro.project import Fabric, capture_run, hybrid_plan, project
+    from repro.project.axes import derive_axis_groups
+
+    import numpy as np
+
+    WORLD, TPD, PPD = 16, 2, 2            # dp degree 4
+    LAYERS, HIDDEN, HEADS, CLASSES = 4, 128, 8, 16
+    BATCH, SEQ, MICROBATCHES = 8, 4, 2
+    cfg = Config.from_dict(
+        dict(
+            parallel=dict(tensor=dict(size=TPD, mode="1d"), pipeline=PPD),
+            num_microbatches=MICROBATCHES,
+        )
+    )
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((BATCH, SEQ, HIDDEN)).astype(np.float32)
+    Y = rng.integers(0, CLASSES, (BATCH, SEQ))
+    crit = CrossEntropyLoss()
+
+    class Stage(Module):
+        def __init__(self, idxs, tp_comm, with_head):
+            super().__init__()
+            self.layers = ModuleList([
+                ParallelTransformerLayer1D(
+                    HIDDEN, HEADS, tp_comm, 2, causal=True,
+                    rng=np.random.default_rng((5, i)),
+                )
+                for i in idxs
+            ])
+            self.head = (
+                Linear(HIDDEN, CLASSES, rng=np.random.default_rng(9))
+                if with_head else None
+            )
+
+        def forward(self, x):
+            for layer in self.layers:
+                x = layer(x)
+            return self.head(x) if self.head is not None else x
+
+    def prog(ctx):
+        pc = ParallelContext(ctx, cfg)
+        s, e = partition_uniform(LAYERS, pc.pipeline_size)[pc.pp_rank]
+        stage = Stage(
+            range(s, e), pc.comm(ParallelMode.TENSOR),
+            with_head=pc.is_last_pipeline_stage(),
+        )
+        sched = GPipeSchedule(pc, MICROBATCHES)
+        sched.run(
+            stage,
+            X if pc.is_first_pipeline_stage() else None,
+            Y if pc.is_last_pipeline_stage() else None,
+            crit,
+        )
+        sync_gradients(stage.parameters(), pc.comm(ParallelMode.DATA))
+        return sum(int(p.payload.size) for p in stage.parameters())
+
+    t0 = time.perf_counter()
+    params_per_rank, trace = capture_run(
+        uniform_cluster(WORLD), prog, world_size=WORLD, materialize=True
+    )
+    capture_wall = time.perf_counter() - t0
+    trace.axes = derive_axis_groups(WORLD, tensor=TPD, pipeline=PPD)
+    fabric = Fabric.from_cluster(system_iii(n_nodes=2))
+    # modeled: the dp axis shards ZeRO-1 optimizer state (fp32 master+m+v)
+    # of this rank's parameters when it widens
+    zero1 = zero_partitioned_bytes(max(params_per_rank), stage=1)
+    out = []
+    for factors in (
+        {"dp": 4},                       # 64 ranks, pure DP scale-out
+        {"dp": 8, "tp": 2, "pp": 2},     # 512 ranks, paper-grid hybrid
+        {"dp": 16, "tp": 2, "pp": 2},    # 1024 ranks
+    ):
+        plan = hybrid_plan(
+            dict(factors), world=WORLD, tensor=TPD, pipeline=PPD,
+            sharded_bytes={"dp": zero1},
+        )
+        t0 = time.perf_counter()
+        rep = project(trace, plan=plan, fabric=fabric)
+        wall = time.perf_counter() - t0
+        name = "x".join(f"{k}{v}" for k, v in sorted(factors.items()))
+        out.append(
+            {
+                "scenario": f"gpt_hybrid_project/{name}/{rep.target_world}ranks",
+                "captured_world": WORLD,
+                "captured_layout": {"dp": 4, "tp": TPD, "pp": PPD},
+                "axis_factors": dict(factors),
+                "target_world": rep.target_world,
+                "step_time": rep.step_time,
+                "peak_memory_bytes": rep.peak_memory_bytes,
+                "zero1_dp_sharded_bytes": zero1,
+                "wire_bytes_total": rep.wire_bytes_total,
+                "wire_elements_total": rep.wire_elements_total,
+                "comm_calls_total": rep.comm_calls_total,
+                "hidden_comm_fraction": rep.hidden_comm_fraction,
+                "axes": [a.to_dict() for a in rep.axes],
+                "capture_wall_seconds": round(capture_wall, 4),
+                "wall_seconds": round(wall, 4),
+                "wall_clock_per_simulated_second": round(
+                    wall / rep.step_time, 2
+                ),
+            }
+        )
+    return out
+
+
 def headline(collectives: List[Dict[str, Any]]) -> Dict[str, Any]:
     """The ISSUE acceptance numbers, pulled out for quick diffing."""
     big = next(
@@ -351,7 +473,7 @@ def headline(collectives: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_6.json")
+    ap.add_argument("--out", default="BENCH_7.json")
     ap.add_argument(
         "--skip-vit", action="store_true",
         help="collective sweeps only (the ViT sweep takes ~1 min)",
@@ -362,18 +484,22 @@ def main() -> None:
     sanitize = sanitize_scenarios()
     overlap = overlap_scenarios()
     projection = projection_scenarios()
+    hybrid = hybrid_projection_scenarios()
     report: Dict[str, Any] = {
-        "pr": 6,
-        "description": "Projection execution mode: a GPT-style DDP step "
-        "captured at 8 threaded ranks and replayed analytically at "
-        "64/256/1024 ranks (step time, comm volume, hidden-comm fraction, "
-        "wall-clock per simulated second), on top of the PR-5 overlap, "
-        "PR-4 sanitizer and PR-3 algorithm-selection scenarios",
+        "pr": 7,
+        "description": "Hybrid-axis projection: a DP(4) x TP(2) x PP(2) "
+        "GPT step captured at 16 threaded ranks and projected onto "
+        "64/512/1024-rank paper grids by widening all three axes at once "
+        "(per-axis traffic breakdown, ZeRO-1 sharded peak memory, "
+        "wall-clock per simulated second), on top of the PR-6 single-axis "
+        "projection, PR-5 overlap, PR-4 sanitizer and PR-3 "
+        "algorithm-selection scenarios",
         "headline": headline(collectives),
         "collectives": collectives,
         "sanitizer_fig13b": sanitize,
         "overlap_fig13b": overlap,
         "projection": projection,
+        "hybrid_projection": hybrid,
     }
     if not args.skip_vit:
         report["vit_system_ii_1d"] = vit_scenarios()
@@ -406,6 +532,16 @@ def main() -> None:
             f"  GPT projection -> {p['target_world']} ranks: step "
             f"{p['step_time']:.4f}s sim, hidden comm "
             f"{p['hidden_comm_fraction']:.1%}, computed in "
+            f"{p['wall_seconds']:.2f}s wall"
+        )
+    for p in hybrid:
+        factors = "x".join(
+            f"{k}{v}" for k, v in sorted(p["axis_factors"].items())
+        )
+        print(
+            f"  hybrid projection {factors} -> {p['target_world']} ranks: "
+            f"step {p['step_time']:.4f}s sim, peak "
+            f"{p['peak_memory_bytes'] / MB:.1f} MiB, computed in "
             f"{p['wall_seconds']:.2f}s wall"
         )
 

@@ -37,6 +37,69 @@ def adam_model_data_bytes(
     return n_params * (param_bytes + grad_bytes + opt)
 
 
+def zero_partitioned_bytes(
+    n_params: int,
+    stage: int = 1,
+    param_bytes: int = 2,
+    grad_bytes: int = 2,
+    master: bool = True,
+) -> int:
+    """Per-rank bytes of model data a ZeRO ``stage`` *partitions* across
+    the data-parallel group (the remainder is replicated on every rank).
+
+    Stage 1 shards optimizer states, stage 2 adds gradients, stage 3 adds
+    the parameters themselves — the §1 decomposition of the 16 B/param
+    model-data budget."""
+    if stage not in (1, 2, 3):
+        raise ValueError(f"ZeRO stage must be 1, 2 or 3, got {stage}")
+    opt = (4 + 4 + 4) if master else (4 + 4)
+    sharded = opt
+    if stage >= 2:
+        sharded += grad_bytes
+    if stage >= 3:
+        sharded += param_bytes
+    return n_params * sharded
+
+
+def tp_partitioned_bytes(
+    n_params: int,
+    param_bytes: int = 2,
+    grad_bytes: int = 2,
+    master: bool = True,
+    partitioned_fraction: float = 1.0,
+) -> int:
+    """Per-rank bytes of model data tensor parallelism partitions: a TP
+    shard owns ``1/q`` of the partitioned weights *and* their gradients
+    and optimizer states.  ``partitioned_fraction`` carves out the
+    replicated remainder (LayerNorms, biases kept whole)."""
+    opt = (4 + 4 + 4) if master else (4 + 4)
+    full = n_params * (param_bytes + grad_bytes + opt)
+    return int(full * partitioned_fraction)
+
+
+def project_peak_memory(peak_bytes, shards):
+    """Project a captured per-rank peak to scale under re-sharding.
+
+    ``shards`` is a sequence of ``(sharded_bytes, factor)`` pairs — for
+    each scaled axis that partitions state, the captured per-rank bytes it
+    shards and the axis widening factor.  Widening the axis ``k ×``
+    shrinks that slice to ``ceil(sharded / k)``; everything else in the
+    captured peak is replicated unchanged.  The sharded claims are clamped
+    to the captured peak so an over-declared plan can never project
+    negative memory."""
+    peak = int(peak_bytes)
+    projected = peak
+    remaining = peak
+    for sharded_bytes, factor in shards:
+        sharded = min(int(sharded_bytes), remaining)
+        if sharded <= 0 or factor <= 1:
+            continue
+        kept = -(-sharded // int(factor))  # ceil division
+        projected -= sharded - kept
+        remaining -= sharded
+    return projected
+
+
 def transformer_activation_bytes(
     batch: int,
     seq: int,

@@ -169,10 +169,18 @@ class ProjectionConfig:
     replay the op stream at ``target_world`` ranks — returning a
     :class:`~repro.project.ProjectionReport` rather than per-rank results.
     ``target_world`` must be a multiple of the launch world size.
+
+    ``axes`` selects the hybrid plan instead: per-axis widening factors
+    over the captured DP x TP x PP layout, e.g. ``{"dp": 8, "tp": 2,
+    "pp": 2}`` projects a 16-rank capture to 512 ranks while widening
+    tensor groups 2x and deepening pipelines 2x.  When both ``axes`` and
+    ``target_world`` are given they must agree (``target_world == world *
+    product of factors``).
     """
 
     mode: str = "off"  # off | project
     target_world: Optional[int] = None
+    axes: Optional[Dict[str, int]] = None
 
     def validate(self) -> None:
         if self.mode not in ("off", "project"):
@@ -184,8 +192,29 @@ class ProjectionConfig:
                 raise ValueError(
                     f"project.target_world must be >= 1, got {self.target_world}"
                 )
-        elif self.target_world is not None:
-            raise ValueError("project.target_world requires project.mode='project'")
+        else:
+            if self.target_world is not None:
+                raise ValueError(
+                    "project.target_world requires project.mode='project'"
+                )
+            if self.axes is not None:
+                raise ValueError("project.axes requires project.mode='project'")
+        if self.axes is not None:
+            if not isinstance(self.axes, dict) or not self.axes:
+                raise ValueError(
+                    "project.axes must be a non-empty mapping of axis name "
+                    "-> factor"
+                )
+            for name, k in self.axes.items():
+                if name not in ("dp", "tp", "pp"):
+                    raise ValueError(
+                        f"project.axes: unknown axis {name!r}; "
+                        "valid axes: ['dp', 'pp', 'tp']"
+                    )
+                if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                    raise ValueError(
+                        f"project.axes[{name!r}] must be an int >= 1, got {k!r}"
+                    )
 
 
 @dataclass

@@ -26,35 +26,52 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.project.axes import derive_axis_groups, hybrid_plan
 from repro.project.capture import CaptureRecorder, OpTrace
 from repro.project.fabric import Fabric, ProjectedCostModel
 from repro.project.replay import (
     DEFAULT_SCALING,
+    PAYLOAD_RULES,
+    SCALABLE_OPS,
     ModelPricer,
     RecordedPricer,
     ReplayEngine,
     ReplayResult,
     ReplayStall,
+    ResolvedAxis,
+    ScaleAxis,
     ScalePlan,
 )
-from repro.project.report import ProjectionReport, RankProjection, build_report
+from repro.project.report import (
+    AxisProjection,
+    ProjectionReport,
+    RankProjection,
+    build_report,
+)
 
 __all__ = [
     "CaptureRecorder",
     "OpTrace",
     "Fabric",
     "ProjectedCostModel",
+    "ScaleAxis",
     "ScalePlan",
+    "ResolvedAxis",
     "RecordedPricer",
     "ModelPricer",
     "ReplayEngine",
     "ReplayResult",
     "ReplayStall",
     "DEFAULT_SCALING",
+    "PAYLOAD_RULES",
+    "SCALABLE_OPS",
+    "AxisProjection",
     "ProjectionReport",
     "RankProjection",
     "build_report",
     "capture_run",
+    "derive_axis_groups",
+    "hybrid_plan",
     "project",
     "project_launch",
 ]
@@ -100,6 +117,7 @@ def project(
     trace: OpTrace,
     *,
     factor: int = 1,
+    axes: Optional[Any] = None,
     plan: Optional[ScalePlan] = None,
     fabric: Optional[Fabric] = None,
     mode: str = "model",
@@ -110,17 +128,20 @@ def project(
     ``mode="recorded"`` replays the captured costs unchanged (requires
     ``factor == 1``); ``mode="model"`` re-prices through ``fabric``
     (default: :meth:`Fabric.from_cluster` of the captured cluster) with the
-    world group widened ``factor ×``.  Pass ``plan`` for finer control
-    (which group scales, payload-scaling overrides, compute rescaling);
-    ``factor`` is ignored when ``plan`` is given.  ``tracer`` records a
-    projected per-rank timeline."""
+    world group widened ``factor ×``, or — when ``axes`` maps axis names to
+    factors (ints or :class:`ScaleAxis`) — with every named axis widened at
+    once (``ScalePlan(axes=...)``).  Pass ``plan`` for full control (which
+    groups scale, payload-scaling overrides, sharded bytes, compute
+    rescaling); ``factor``/``axes`` are ignored when ``plan`` is given.
+    ``tracer`` records a projected per-rank timeline."""
     if plan is None:
-        plan = ScalePlan(factor=factor)
+        plan = ScalePlan(axes=axes) if axes is not None \
+            else ScalePlan(factor=factor)
     if mode == "recorded":
-        if plan.factor != 1:
+        if plan.total_factor() != 1:
             raise ValueError(
                 "recorded mode replays the captured costs and cannot scale "
-                f"the world (factor={plan.factor}); use mode='model'"
+                f"the world (factor={plan.total_factor()}); use mode='model'"
             )
         pricer: Any = RecordedPricer()
     elif mode == "model":
@@ -148,20 +169,38 @@ def project_launch(
     ``fn`` at the cluster's (or ``world_size``'s) scale, then project to
     ``config.project.target_world``.
 
-    The target world must be a multiple of the captured world — the
-    quotient becomes the :class:`ScalePlan` factor."""
+    Without ``project.axes`` the target world must be a multiple of the
+    captured world — the quotient becomes the :class:`ScalePlan` factor.
+    With ``project.axes`` a hybrid plan is built over the Config's
+    DP x TP x PP layout (the trace's axis groups are derived from the same
+    rank-layout formulas the :class:`ParallelContext` uses) and the target
+    world is ``world * product of factors``; an explicit ``target_world``
+    must agree."""
     from repro.config import Config
     from repro.context.parallel_context import ParallelContext
     from repro.runtime.spmd import RankContext
 
     cfg = config if isinstance(config, Config) else Config.from_dict(config)
     world = world_size if world_size is not None else cluster.world_size
-    target = cfg.project.target_world or world
-    if target % world != 0:
-        raise ValueError(
-            f"project.target_world {target} must be a multiple of the "
-            f"captured world size {world}"
-        )
+    axes_factors = cfg.project.axes
+    if axes_factors is None:
+        target = cfg.project.target_world or world
+        if target % world != 0:
+            raise ValueError(
+                f"project.target_world {target} must be a multiple of the "
+                f"captured world size {world}"
+            )
+    else:
+        total = 1
+        for k in axes_factors.values():
+            total *= k
+        target = world * total
+        if cfg.project.target_world not in (None, target):
+            raise ValueError(
+                f"project.target_world {cfg.project.target_world} "
+                f"disagrees with project.axes {axes_factors}: a "
+                f"{world}-rank capture projects to {target} ranks"
+            )
 
     def wrapper(ctx: RankContext) -> Any:
         pc = ParallelContext(ctx, cfg)
@@ -176,6 +215,18 @@ def project_launch(
         comm_algorithm=cfg.comm.algorithm or "ring",
         comm_overlap=cfg.comm.overlap,
     )
+    trace.axes = derive_axis_groups(
+        world, tensor=cfg.tensor.size, pipeline=cfg.pipeline
+    )
+    if axes_factors is not None:
+        plan = hybrid_plan(
+            dict(axes_factors), world=world,
+            tensor=cfg.tensor.size, pipeline=cfg.pipeline,
+        )
+        if fabric is None:
+            fabric = Fabric.from_cluster(trace.cluster)
+        return project(trace, plan=plan, fabric=fabric, mode="model",
+                       tracer=tracer)
     factor = target // world
     mode = "recorded" if factor == 1 and fabric is None else "model"
     return project(

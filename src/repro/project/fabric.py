@@ -220,6 +220,35 @@ class ProjectedCostModel(CostModel):
             self.alpha + lat + nbytes / self._eff(bw, nbytes), nbytes, "direct"
         )
 
+    def ring_pass(self, ranks: Sequence[int], nbytes: int) -> CollectiveCost:
+        """One simultaneous neighbour shift around the ring: every rank
+        sends ``nbytes`` to its successor, so the round takes as long as
+        the slowest hop and moves ``p * nbytes`` on the wire.  On a
+        two-level fabric all intra-node hops cost the same and all
+        inter-node hops cost the same, so instead of pricing ``p``
+        point-to-point transfers we price one of each kind that occurs —
+        bitwise what the per-hop maximum would compute."""
+        p = len(ranks)
+        if p < 2 or nbytes == 0:
+            return CollectiveCost(0.0, 0)
+        has_intra = has_inter = False
+        for i in range(p):
+            if self._node_of(ranks[i]) == self._node_of(ranks[(i + 1) % p]):
+                has_intra = True
+            else:
+                has_inter = True
+            if has_intra and has_inter:
+                break
+        f = self.fabric
+        seconds = 0.0
+        if has_intra:
+            seconds = max(seconds, self.alpha + f.intra_lat
+                          + nbytes / self._eff(f.intra_bw, nbytes))
+        if has_inter:
+            seconds = max(seconds, self.alpha + f.inter_lat
+                          + nbytes / self._eff(f.inter_bw, nbytes))
+        return CollectiveCost(seconds, p * nbytes, "direct")
+
     def host_transfer(self, rank: int, nbytes: int) -> CollectiveCost:
         if nbytes == 0:
             return CollectiveCost(0.0, 0)

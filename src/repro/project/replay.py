@@ -16,16 +16,20 @@ Costs come from a pluggable pricer:
 * :class:`RecordedPricer` — return the captured costs unchanged (fidelity
   mode, used by the parity tests);
 * :class:`ModelPricer` — re-price every op through a
-  :class:`~repro.project.fabric.ProjectedCostModel`, optionally *scaling*
-  one group (normally the world group) to ``factor ×`` its captured size —
-  this is what projects a 8-rank capture to 1024 ranks.
+  :class:`~repro.project.fabric.ProjectedCostModel`, *scaling* either one
+  group (``factor=k``: the legacy data-parallel widening) or several named
+  axes at once (``axes={"dp": 8, "tp": 2, "pp": 2}``): a captured group is
+  widened by the product of the factors of every axis it lies along and
+  replicated by the product of the factors of every axis it does not —
+  this is what projects a 16-rank hybrid capture to the paper's 512-GPU
+  DP x TP x PP grids.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.comm.counters import CommCounters
 from repro.runtime.clock import SimClock, StreamClock
@@ -36,12 +40,39 @@ from repro.project.fabric import Fabric, ProjectedCostModel
 #: how a round's recorded per-op cost argument responds to growing the
 #: group: "constant" keeps the captured payload (a DP all-reduce moves the
 #: same gradient bytes at any world size), "inverse" shrinks it with the
-#: group (a ZeRO all-gather's local shard is ``total / p``).
+#: group (a ZeRO all-gather's local shard is ``total / p``), "linear"
+#: grows it with the group.
 DEFAULT_SCALING: Dict[str, str] = {
     "all_gather": "inverse",
     "scatter": "inverse",
-    "reduce_scatter_out": "inverse",
 }
+
+#: the valid ``payload_scaling`` rule names
+PAYLOAD_RULES: Tuple[str, ...] = ("constant", "inverse", "linear")
+
+#: every op key a ``payload_scaling`` override may name (the collective
+#: ops the communicator can record plus point-to-point traffic)
+SCALABLE_OPS: frozenset = frozenset({
+    "all_gather", "all_gather_object", "all_reduce", "all_to_all",
+    "barrier", "broadcast", "gather", "p2p", "reduce", "reduce_scatter",
+    "ring_pass", "scatter", "split",
+})
+
+
+def _validate_payload_scaling(rules: Dict[str, str], where: str) -> None:
+    """Reject unknown op keys and unknown rule names loudly: a typo'd rule
+    must never silently fall back to "constant" (ISSUE-7 satellite)."""
+    for op, rule in rules.items():
+        if op not in SCALABLE_OPS:
+            raise ValueError(
+                f"{where}.payload_scaling: unknown op {op!r}; "
+                f"valid ops: {sorted(SCALABLE_OPS)}"
+            )
+        if rule not in PAYLOAD_RULES:
+            raise ValueError(
+                f"{where}.payload_scaling: unknown rule {rule!r} for op "
+                f"{op!r}; valid rules: {list(PAYLOAD_RULES)}"
+            )
 
 
 class ReplayStall(RuntimeError):
@@ -50,36 +81,200 @@ class ReplayStall(RuntimeError):
 
 
 @dataclass
+class ScaleAxis:
+    """One named parallel axis of a hybrid :class:`ScalePlan`.
+
+    ``factor`` widens every captured group that lies along this axis;
+    ``groups`` is the family of captured rank tuples the axis owns (``None``
+    resolves from the trace's ``axes`` metadata by name, falling back to
+    the whole-world group for ``dp``/``data``/``world``).  ``sharded_bytes``
+    is the captured per-rank byte count of state this axis *partitions*
+    (ZeRO chunks across dp, weight shards across tp): at factor ``k`` those
+    bytes shrink to ``ceil(bytes / k)`` in the projected peak-memory model.
+    ``chain=True`` marks a pipeline-style axis whose groups are linear
+    chains: widening deepens the chain, so p2p boundary traffic scales by
+    ``(k*s - 1) / (s - 1)`` for an ``s``-stage captured chain rather than
+    by the plain factor.
+    """
+
+    factor: int = 1
+    groups: Optional[Tuple[Tuple[int, ...], ...]] = None
+    payload_scaling: Dict[str, str] = field(default_factory=dict)
+    sharded_bytes: int = 0
+    chain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(f"axis factor must be >= 1, got {self.factor}")
+        if self.sharded_bytes < 0:
+            raise ValueError(
+                f"axis sharded_bytes must be >= 0, got {self.sharded_bytes}"
+            )
+        if self.groups is not None:
+            self.groups = tuple(tuple(g) for g in self.groups)
+        _validate_payload_scaling(self.payload_scaling, "ScaleAxis")
+
+
+@dataclass
+class ResolvedAxis:
+    """A :class:`ScaleAxis` bound to a trace: groups resolved, ready for
+    the pricer to match against.  The group spanning the whole captured
+    world is treated as lying along *every* axis."""
+
+    name: str
+    factor: int
+    groups: Tuple[Tuple[int, ...], ...]
+    payload_scaling: Dict[str, str]
+    sharded_bytes: int
+    chain: bool
+    #: synthesized from the legacy ``factor``/``scale_group`` fields —
+    #: excluded from the report's per-axis breakdown
+    synthetic: bool = False
+
+    def __post_init__(self) -> None:
+        self.group_set = frozenset(self.groups)
+        self.rank_set = frozenset(r for g in self.groups for r in g)
+
+    @property
+    def captured_degree(self) -> int:
+        return max((len(g) for g in self.groups), default=1)
+
+
+@dataclass
 class ScalePlan:
     """How to stretch a captured trace to a larger world.
 
-    ``factor`` multiplies the world: the ``scale_group`` (default: the
-    group spanning every captured rank) is re-priced at ``factor ×`` its
-    captured size, while every *other* group is assumed replicated
-    ``factor`` times across the projected world (its costs are unchanged
-    and its traffic counts ``factor`` times in the totals).  This models
-    the standard data-parallel scale-out where the captured world is one
-    model replica and the world group carries the gradient traffic.
+    **Single-axis (legacy) form** — ``factor`` multiplies the world: the
+    ``scale_group`` (default: the group spanning every captured rank) is
+    re-priced at ``factor ×`` its captured size, while every *other* group
+    is assumed replicated ``factor`` times across the projected world (its
+    costs are unchanged and its traffic counts ``factor`` times in the
+    totals).  This models the standard data-parallel scale-out where the
+    captured world is one model replica and the world group carries the
+    gradient traffic.  ``sharded_bytes`` declares per-rank state the scaled
+    group partitions (ZeRO chunks): at factor ``k`` the projected peak
+    memory of the scaled ranks drops by ``sharded_bytes * (1 - 1/k)``.
+
+    **Hybrid form** — ``axes`` maps axis names to factors (or full
+    :class:`ScaleAxis` specs): ``ScalePlan(axes={"dp": 8, "tp": 2,
+    "pp": 2})``.  A captured group is widened by the *product* of the
+    factors of the axes it lies along (the whole-world group lies along
+    all of them) and replicated by the product of the factors of the axes
+    it does not, so the projected world always hosts
+    ``world * prod(factors)`` ranks.  ``axes`` is mutually exclusive with
+    ``factor``/``scale_group``; ``ScalePlan(axes={"dp": k})`` is
+    projection-for-projection identical to ``ScalePlan(factor=k)``.
     """
 
     factor: int = 1
     #: ranks (captured global ids) of the group to widen; ``None`` selects
     #: the group spanning the whole captured world
     scale_group: Optional[Tuple[int, ...]] = None
-    #: per-op overrides of :data:`DEFAULT_SCALING`
+    #: per-op overrides of :data:`DEFAULT_SCALING` (axis-level rules win)
     payload_scaling: Dict[str, str] = field(default_factory=dict)
     #: multiplier on every non-comm clock advance (model a faster/slower
     #: accelerator without recapturing)
     compute_scale: float = 1.0
+    #: hybrid form: axis name -> factor int or :class:`ScaleAxis`
+    axes: Optional[Dict[str, Union[int, ScaleAxis]]] = None
+    #: captured per-rank bytes the (legacy) scaled group re-shards
+    sharded_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.factor < 1:
             raise ValueError(f"scale factor must be >= 1, got {self.factor}")
         if self.compute_scale <= 0:
             raise ValueError("compute_scale must be positive")
+        if self.sharded_bytes < 0:
+            raise ValueError(
+                f"sharded_bytes must be >= 0, got {self.sharded_bytes}"
+            )
+        _validate_payload_scaling(self.payload_scaling, "ScalePlan")
+        if self.axes is not None:
+            if self.factor != 1 or self.scale_group is not None:
+                raise ValueError(
+                    "ScalePlan.axes is mutually exclusive with the legacy "
+                    "factor/scale_group fields: put each axis's factor in "
+                    "the axes mapping"
+                )
+            norm: Dict[str, ScaleAxis] = {}
+            for name, ax in self.axes.items():
+                if isinstance(ax, ScaleAxis):
+                    norm[name] = ax
+                elif isinstance(ax, int) and not isinstance(ax, bool):
+                    if ax < 1:
+                        raise ValueError(
+                            f"axis {name!r} factor must be >= 1, got {ax}"
+                        )
+                    norm[name] = ScaleAxis(factor=ax)
+                else:
+                    raise ValueError(
+                        f"axis {name!r} must map to an int factor or a "
+                        f"ScaleAxis, got {type(ax).__name__}"
+                    )
+            self.axes = norm
 
-    def scaling_for(self, op: str) -> str:
+    def total_factor(self) -> int:
+        """World multiplier: ``factor`` (legacy) or the product of every
+        axis factor (hybrid)."""
+        if self.axes is None:
+            return self.factor
+        total = 1
+        for ax in self.axes.values():
+            total *= ax.factor
+        return total
+
+    def scaling_for(self, op: str,
+                    matched: Sequence[ResolvedAxis] = ()) -> str:
+        """Payload rule for ``op`` on a group lying along ``matched`` axes:
+        the first matched axis declaring the op wins, then the plan-level
+        overrides, then :data:`DEFAULT_SCALING`."""
+        for ax in matched:
+            if op in ax.payload_scaling:
+                return ax.payload_scaling[op]
         return self.payload_scaling.get(op, DEFAULT_SCALING.get(op, "constant"))
+
+    def resolve_axes(self, trace: OpTrace) -> List[ResolvedAxis]:
+        """Bind the plan to a trace, resolving each axis's group family.
+
+        Resolution order: explicit :attr:`ScaleAxis.groups`, then the
+        trace's ``axes`` metadata (populated by ``launch`` from the
+        Config's DP x TP x PP layout), then — for ``dp``/``data``/
+        ``world`` — the group spanning the whole captured world.  The
+        legacy single-axis form resolves to one synthetic axis so both
+        forms price through identical code."""
+        world = tuple(range(trace.world_size))
+        if self.axes is None:
+            ranks = (
+                tuple(self.scale_group) if self.scale_group is not None
+                else world
+            )
+            return [ResolvedAxis(
+                name="world", factor=self.factor, groups=(ranks,),
+                payload_scaling={}, sharded_bytes=self.sharded_bytes,
+                chain=False, synthetic=True,
+            )]
+        out: List[ResolvedAxis] = []
+        trace_axes = getattr(trace, "axes", None) or {}
+        for name, ax in self.axes.items():
+            groups = ax.groups
+            if groups is None and name in trace_axes:
+                groups = tuple(tuple(g) for g in trace_axes[name])
+            if groups is None and name in ("dp", "data", "world"):
+                groups = (world,)
+            if groups is None:
+                raise ValueError(
+                    f"axis {name!r} has no captured groups: pass "
+                    f"ScaleAxis(groups=...), or capture through launch() so "
+                    f"the trace records its axis layout "
+                    f"(trace.axes knows {sorted(trace_axes) or 'no axes'})"
+                )
+            out.append(ResolvedAxis(
+                name=name, factor=ax.factor, groups=groups,
+                payload_scaling=ax.payload_scaling,
+                sharded_bytes=ax.sharded_bytes, chain=ax.chain,
+            ))
+        return out
 
 
 @dataclass
@@ -111,8 +306,10 @@ class RecordedPricer:
 
 
 class ModelPricer:
-    """Re-price the captured ops through a fabric cost model, widening the
-    scale group by ``plan.factor``."""
+    """Re-price the captured ops through a fabric cost model, widening
+    every captured group by the product of the factors of the plan axes it
+    lies along (legacy single-``factor`` plans resolve to one synthetic
+    axis, so both forms flow through identical arithmetic)."""
 
     def __init__(self, trace: OpTrace, fabric: Fabric,
                  plan: Optional[ScalePlan] = None) -> None:
@@ -120,32 +317,66 @@ class ModelPricer:
         self.plan = plan or ScalePlan()
         self.model = ProjectedCostModel(fabric)
         self.algorithm = trace.comm_algorithm
-        scale_ranks = self.plan.scale_group
-        if scale_ranks is None:
-            scale_ranks = tuple(range(trace.world_size))
-        else:
-            scale_ranks = tuple(scale_ranks)
+        self.resolved_axes: List[ResolvedAxis] = self.plan.resolve_axes(trace)
+        world = tuple(range(trace.world_size))
+        #: gid -> the axes the group lies along.  A named (non-synthetic)
+        #: axis also claims the whole-world group: the world spans every
+        #: parallel dimension, so widening any axis widens it.
+        self._matched: Dict[int, Tuple[ResolvedAxis, ...]] = {}
+        for gid, ranks in enumerate(trace.groups):
+            key = tuple(ranks)
+            self._matched[gid] = tuple(
+                ax for ax in self.resolved_axes
+                if key in ax.group_set or (not ax.synthetic and key == world)
+            )
         self.scaled_gids = frozenset(
-            gid for gid, ranks in enumerate(trace.groups)
-            if tuple(ranks) == scale_ranks
+            gid for gid, m in self._matched.items() if m
         )
+        #: gid -> (num, den) integer weight for captured p2p counters on
+        #: chain-widened groups: a chain of ``s`` stages deepened to
+        #: ``k*s`` has ``k*s - 1`` stage boundaries in place of ``s - 1``.
+        self.p2p_scale: Dict[int, Tuple[int, int]] = {}
+        for gid, m in self._matched.items():
+            num = den = 1
+            s = len(trace.groups[gid])
+            for ax in m:
+                if ax.chain and ax.factor > 1 and s >= 2:
+                    num *= ax.factor * s - 1
+                    den *= s - 1
+            if (num, den) != (1, 1):
+                self.p2p_scale[gid] = (num, den)
         self._ranks2: Dict[int, Tuple[int, ...]] = {}
         self._cache: Dict[Tuple[int, str, int], PricedOp] = {}
+
+    def widening(self, gid: int) -> int:
+        """Product of the factors of every axis the group lies along."""
+        w = 1
+        for ax in self._matched[gid]:
+            w *= ax.factor
+        return w
 
     def group_ranks(self, gid: int) -> Tuple[int, ...]:
         ranks2 = self._ranks2.get(gid)
         if ranks2 is None:
             ranks = self.trace.groups[gid]
-            if gid in self.scaled_gids and self.plan.factor > 1:
-                ranks2 = tuple(range(len(ranks) * self.plan.factor))
+            w = self.widening(gid)
+            if w > 1:
+                ranks2 = tuple(range(len(ranks) * w))
             else:
                 ranks2 = tuple(ranks)
             self._ranks2[gid] = ranks2
         return ranks2
 
     def multiplicity(self, gid: int) -> int:
-        """How many copies of this group the projected world hosts."""
-        return 1 if gid in self.scaled_gids else self.plan.factor
+        """How many copies of this group the projected world hosts: the
+        product of the factors of every axis the group does *not* lie
+        along."""
+        matched = {ax.name for ax in self._matched[gid]}
+        m = 1
+        for ax in self.resolved_axes:
+            if ax.name not in matched:
+                m *= ax.factor
+        return m
 
     def _recorded_arg(self, op: str, rnd: Dict[str, Any]) -> int:
         """Reconstruct the byte argument the group fed the cost model from
@@ -170,8 +401,12 @@ class ModelPricer:
         ranks = self.trace.groups[gid]
         ranks2 = self.group_ranks(gid)
         p, p2 = len(ranks), len(ranks2)
-        if p2 != p and self.plan.scaling_for(op) == "inverse" and n:
-            n = max(1, (n * p) // p2)
+        if p2 != p and n:
+            rule = self.plan.scaling_for(op, self._matched[gid])
+            if rule == "inverse":
+                n = max(1, (n * p) // p2)
+            elif rule == "linear":
+                n = (n * p2) // p
         cost = self._price(op, ranks2, n)
         priced = PricedOp(
             cost.seconds, cost.wire_bytes,
@@ -207,17 +442,7 @@ class ModelPricer:
             from repro.comm.cost import CollectiveCost
             return CollectiveCost(m.alpha, 0)
         if op == "ring_pass":
-            from repro.comm.cost import CollectiveCost
-            p2 = len(ranks2)
-            if p2 < 2 or n == 0:
-                return CollectiveCost(0.0, 0)
-            seconds = 0.0
-            wire = 0
-            for i in range(p2):
-                c = m.p2p(ranks2[i], ranks2[(i + 1) % p2], n)
-                seconds = max(seconds, c.seconds)
-                wire += c.wire_bytes
-            return CollectiveCost(seconds, wire, "direct")
+            return m.ring_pass(ranks2, n)
         # unknown op: price as an allreduce-shaped fallback
         return m.allreduce(ranks2, n, algo)
 
@@ -236,6 +461,10 @@ class ReplayResult:
     streams: List[StreamClock]
     counters: Dict[int, CommCounters]
     multiplicity: Dict[int, int]
+    #: the plan's axes bound to the trace (empty for recorded replays)
+    axes: Dict[str, "ResolvedAxis"] = field(default_factory=dict)
+    #: gid -> (num, den) chain-deepening weight on captured p2p counters
+    p2p_scale: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def step_time(self) -> float:
@@ -244,7 +473,7 @@ class ReplayResult:
 
     @property
     def target_world(self) -> int:
-        return self.trace.world_size * self.plan.factor
+        return self.trace.world_size * self.plan.total_factor()
 
 
 class _RoundState:
@@ -316,6 +545,7 @@ class ReplayEngine:
                     f"replay stalled with pending events {stuck}: the trace "
                     "is truncated or internally inconsistent"
                 )
+        resolved = getattr(self.pricer, "resolved_axes", None) or ()
         return ReplayResult(
             trace=self.trace, plan=self.plan, clocks=self.clocks,
             streams=self.streams, counters=self.counters,
@@ -323,6 +553,8 @@ class ReplayEngine:
                 gid: self.pricer.multiplicity(gid)
                 for gid in range(len(self.trace.groups))
             },
+            axes={ax.name: ax for ax in resolved},
+            p2p_scale=dict(getattr(self.pricer, "p2p_scale", None) or {}),
         )
 
     # -- event loop --------------------------------------------------------

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from repro.analytic.memory_model import project_peak_memory
 from repro.comm.counters import CommCounters
 
 from repro.project.replay import ReplayResult
@@ -33,6 +34,43 @@ class RankProjection:
     breakdown: Dict[str, float]
     stream: Dict[str, float]
     peak_memory_bytes: int
+
+
+@dataclass
+class AxisProjection:
+    """Traffic attributed to one named plan axis: the multiplicity- and
+    chain-weighted counters of the captured groups the axis owns."""
+
+    name: str
+    factor: int
+    captured_degree: int
+    projected_degree: int
+    num_groups: int
+    #: replica count of each of this axis's groups in the projected world
+    #: (the product of the other axes' factors)
+    multiplicity: int
+    chain: bool = False
+    sharded_bytes: int = 0
+    wire_bytes: int = 0
+    wire_elements: int = 0
+    comm_calls: int = 0
+    by_op_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "factor": self.factor,
+            "captured_degree": self.captured_degree,
+            "projected_degree": self.projected_degree,
+            "num_groups": self.num_groups,
+            "multiplicity": self.multiplicity,
+            "chain": self.chain,
+            "sharded_bytes": self.sharded_bytes,
+            "wire_bytes": self.wire_bytes,
+            "wire_elements": self.wire_elements,
+            "comm_calls": self.comm_calls,
+            "by_op_bytes": dict(self.by_op_bytes),
+        }
 
 
 @dataclass
@@ -59,6 +97,8 @@ class ProjectionReport:
     #: per captured group: multiplicity-1 counters for parity checks
     group_counters: Dict[int, CommCounters] = field(default_factory=dict)
     group_multiplicity: Dict[int, int] = field(default_factory=dict)
+    #: per named plan axis (empty for recorded and legacy-factor plans)
+    axes: List[AxisProjection] = field(default_factory=list)
 
     @property
     def hidden_comm_fraction(self) -> float:
@@ -85,6 +125,7 @@ class ProjectionReport:
             "overlapped_comm_seconds": self.overlapped_comm_seconds,
             "hidden_comm_fraction": self.hidden_comm_fraction,
             "peak_memory_bytes": self.peak_memory_bytes,
+            "axes": [a.to_dict() for a in self.axes],
             "per_rank": [
                 {
                     "rank": r.rank,
@@ -111,40 +152,91 @@ class ProjectionReport:
             lines.append(
                 f"    {op:<18} {self.by_op_bytes[op] / 2**20:12.3f} MiB"
             )
+        for ax in self.axes:
+            lines.append(
+                f"  axis {ax.name:<6} x{ax.factor:<5} "
+                f"degree {ax.captured_degree} -> {ax.projected_degree}, "
+                f"{ax.num_groups} group(s) x{ax.multiplicity} replicas, "
+                f"{ax.wire_bytes / 2**20:10.3f} MiB"
+            )
         return "\n".join(lines)
+
+
+def _gid_weights(result: ReplayResult, gid: int):
+    """(multiplicity, p2p (num, den)) weights for one captured group."""
+    mult = result.multiplicity.get(gid, 1)
+    num, den = result.p2p_scale.get(gid, (1, 1))
+    return mult, num, den
+
+
+def _weighted(op: str, v: int, mult: int, num: int, den: int) -> int:
+    """Replica-weighted counter value; captured p2p on chain-deepened
+    groups additionally scales by the stage-boundary ratio."""
+    if op == "p2p" and (num, den) != (1, 1):
+        return (v * mult * num) // den
+    return v * mult
 
 
 def build_report(result: ReplayResult, mode: str) -> ProjectionReport:
     trace = result.trace
-    per_rank = [
-        RankProjection(
+    axes = list(result.axes.values())
+    per_rank = []
+    for r in range(trace.world_size):
+        captured_peak = int(trace.peak_memory[r])
+        shards = [
+            (ax.sharded_bytes, ax.factor) for ax in axes
+            if ax.sharded_bytes > 0 and ax.factor > 1 and r in ax.rank_set
+        ]
+        peak = (
+            project_peak_memory(captured_peak, shards) if shards
+            else captured_peak
+        )
+        per_rank.append(RankProjection(
             rank=r,
             total_time=max(result.clocks[r].time, result.streams[r].time),
             breakdown=result.clocks[r].breakdown(),
             stream=result.streams[r].breakdown(),
-            peak_memory_bytes=int(trace.peak_memory[r]),
-        )
-        for r in range(trace.world_size)
-    ]
+            peak_memory_bytes=peak,
+        ))
     report = ProjectionReport(
         source_world=trace.world_size,
         target_world=result.target_world,
-        factor=result.plan.factor,
+        factor=result.plan.total_factor(),
         mode=mode,
         step_time=result.step_time,
         per_rank=per_rank,
-        peak_memory_bytes=max(trace.peak_memory) if trace.peak_memory else 0,
+        peak_memory_bytes=(
+            max(r.peak_memory_bytes for r in per_rank) if per_rank else 0
+        ),
         group_counters=dict(result.counters),
         group_multiplicity=dict(result.multiplicity),
     )
     for gid, counters in result.counters.items():
-        mult = result.multiplicity.get(gid, 1)
-        report.wire_bytes_total += counters.bytes_total * mult
-        report.wire_elements_total += counters.elements_total * mult
-        report.comm_calls_total += counters.calls_total * mult
-        _merge_counts(report.by_op_bytes, counters.by_op_bytes, mult)
-        _merge_counts(report.by_op_elements, counters.by_op_elements, mult)
-        _merge_counts(report.by_op_calls, counters.by_op_calls, mult)
+        mult, num, den = _gid_weights(result, gid)
+        if (num, den) == (1, 1):
+            # exact integer path shared with the legacy single-factor plan
+            report.wire_bytes_total += counters.bytes_total * mult
+            report.wire_elements_total += counters.elements_total * mult
+            report.comm_calls_total += counters.calls_total * mult
+            _merge_counts(report.by_op_bytes, counters.by_op_bytes, mult)
+            _merge_counts(report.by_op_elements, counters.by_op_elements, mult)
+            _merge_counts(report.by_op_calls, counters.by_op_calls, mult)
+        else:
+            # chain-deepened group: totals re-derived from the per-op maps
+            # so the p2p slice keeps integer bytes under the (num, den)
+            # boundary ratio
+            for k, v in counters.by_op_bytes.items():
+                w = _weighted(k, v, mult, num, den)
+                report.by_op_bytes[k] = report.by_op_bytes.get(k, 0) + w
+                report.wire_bytes_total += w
+            for k, v in counters.by_op_elements.items():
+                w = _weighted(k, v, mult, num, den)
+                report.by_op_elements[k] = report.by_op_elements.get(k, 0) + w
+                report.wire_elements_total += w
+            for k, v in counters.by_op_calls.items():
+                w = _weighted(k, v, mult, num, den)
+                report.by_op_calls[k] = report.by_op_calls.get(k, 0) + w
+                report.comm_calls_total += w
         _merge_counts(
             report.by_algorithm_bytes, counters.by_algorithm_bytes, mult
         )
@@ -152,4 +244,37 @@ def build_report(result: ReplayResult, mode: str) -> ProjectionReport:
         report.overlapped_comm_seconds += (
             counters.overlapped_seconds_total * mult
         )
+    # per-axis attribution: each named axis owns the groups it resolved
+    world = tuple(range(trace.world_size))
+    for ax in axes:
+        if ax.synthetic:
+            continue
+        other = 1
+        for other_ax in axes:
+            if other_ax.name != ax.name:
+                other *= other_ax.factor
+        proj = AxisProjection(
+            name=ax.name,
+            factor=ax.factor,
+            captured_degree=ax.captured_degree,
+            projected_degree=ax.captured_degree * ax.factor,
+            num_groups=len(ax.groups),
+            multiplicity=other,
+            chain=ax.chain,
+            sharded_bytes=ax.sharded_bytes,
+        )
+        for gid, counters in result.counters.items():
+            key = tuple(trace.groups[gid])
+            if key not in ax.group_set and key != world:
+                continue
+            mult, num, den = _gid_weights(result, gid)
+            for k, v in counters.by_op_bytes.items():
+                w = _weighted(k, v, mult, num, den)
+                proj.by_op_bytes[k] = proj.by_op_bytes.get(k, 0) + w
+                proj.wire_bytes += w
+            for k, v in counters.by_op_elements.items():
+                proj.wire_elements += _weighted(k, v, mult, num, den)
+            for k, v in counters.by_op_calls.items():
+                proj.comm_calls += _weighted(k, v, mult, num, den)
+        report.axes.append(proj)
     return report

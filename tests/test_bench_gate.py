@@ -98,10 +98,23 @@ class TestGateLogic:
             "bad/type/auto": 1.0,
         }
 
+    def test_extract_covers_hybrid_projection_section(self):
+        report = {
+            "hybrid_projection": [
+                {"scenario": "gpt_hybrid_project/dp8xpp2xtp2/512ranks",
+                 "step_time": 0.125, "axes": [{"name": "dp"}]},
+                {"scenario": "bad/zero", "step_time": 0},
+                {"scenario": "bad/missing"},
+            ]
+        }
+        t = extract_throughputs(report)
+        assert t == {"gpt_hybrid_project/dp8xpp2xtp2/512ranks/projected": 8.0}
+
     def test_extract_tolerates_missing_and_null_sections(self):
         assert extract_throughputs({}) == {}
         assert extract_throughputs(
-            {"collectives": None, "sanitizer_fig13b": None, "projection": None}
+            {"collectives": None, "sanitizer_fig13b": None,
+             "projection": None, "hybrid_projection": None}
         ) == {}
 
 
@@ -139,6 +152,21 @@ class TestScenarioDrift:
         assert check(tmp_path, warnings=warnings) == []
         assert len(warnings) == 1
         assert "gone" in warnings[0] and "no longer measured" in warnings[0]
+
+    def test_removed_scenarios_hit_stderr_without_warnings_list(
+        self, tmp_path, capsys
+    ):
+        """Removed-scenario detection is unconditional: callers that do not
+        pass a ``warnings`` list still get the report, on stderr, instead
+        of silent scenario-set shrinkage."""
+        self._write(tmp_path, 1, {"collectives": [
+            self._collective("a", 1.0), self._collective("gone", 1.0),
+        ]})
+        self._write(tmp_path, 2, {"collectives": [self._collective("a", 1.0)]})
+        assert check(tmp_path) == []
+        err = capsys.readouterr().err
+        assert "bench gate warning" in err
+        assert "gone" in err and "no longer measured" in err
 
     def test_check_callable_without_warnings_list(self, tmp_path):
         # the pre-existing call shape stays valid
@@ -195,3 +223,38 @@ class TestRepoGate:
             )
         on = ovl["overlap_on"]
         assert on["overlapped_comm_seconds_total"] > 0.0
+
+    def test_newest_report_records_hybrid_projection(self):
+        """PR-7 acceptance: the newest report projects a 16-rank
+        DP x TP x PP capture onto a paper-grid 512-rank hybrid with a
+        per-axis traffic breakdown and ZeRO-sharded peak memory."""
+        import json
+
+        files = bench_files(ROOT)
+        if not files:
+            pytest.skip("no BENCH_*.json reports")
+        report = json.loads(files[-1].read_text())
+        hybrid = report.get("hybrid_projection")
+        if hybrid is None:
+            pytest.skip("newest report predates hybrid projection")
+        by_world = {p["target_world"]: p for p in hybrid}
+        assert 512 in by_world
+        p512 = by_world[512]
+        assert p512["captured_world"] == 16
+        assert p512["axis_factors"] == {"dp": 8, "tp": 2, "pp": 2}
+        axes = {a["name"]: a for a in p512["axes"]}
+        assert set(axes) == {"dp", "tp", "pp"}
+        for a in axes.values():
+            assert a["projected_degree"] == \
+                a["captured_degree"] * a["factor"]
+            assert a["wire_elements"] > 0
+        assert axes["pp"]["chain"]
+        # the dp axis shards ZeRO-1 optimizer state: projected peak
+        # memory must drop below weaker-sharded projections of the
+        # same capture
+        assert p512["zero1_dp_sharded_bytes"] > 0
+        pure_dp = next(
+            p for p in hybrid if set(p["axis_factors"]) == {"dp"}
+        )
+        assert p512["peak_memory_bytes"] < pure_dp["peak_memory_bytes"]
+        assert p512["wall_clock_per_simulated_second"] > 0

@@ -46,13 +46,17 @@ from repro.parallel.pipeline import (
     partition_uniform,
 )
 from repro.parallel.tensor1d import ParallelMLP1D
+from repro.analytic.memory_model import project_peak_memory
 from repro.project import (
     CaptureRecorder,
     Fabric,
     ProjectedCostModel,
     ReplayStall,
+    ScaleAxis,
     ScalePlan,
     capture_run,
+    derive_axis_groups,
+    hybrid_plan,
     project,
 )
 from repro.runtime import SpmdRuntime
@@ -558,6 +562,337 @@ class TestGoldenStability:
         assert r1["target_world"] == 1024
 
 
+# -- hybrid-axis plans (ISSUE 7) -------------------------------------------
+
+
+def _pop_axes(report):
+    """Report dict minus the per-axis breakdown — the only field allowed to
+    differ between a legacy ``factor=k`` plan and its ``axes={'dp': k}``
+    restatement."""
+    d = report.to_dict()
+    d.pop("axes")
+    return d
+
+
+class TestScalePlanValidation:
+    """Satellite: a typo'd payload-scaling rule or op must fail loudly."""
+
+    def test_unknown_rule_raises_naming_rule_and_valid_set(self):
+        with pytest.raises(ValueError) as exc:
+            ScalePlan(payload_scaling={"all_gather": "inverze"})
+        assert "inverze" in str(exc.value)
+        assert "constant" in str(exc.value)
+        assert "inverse" in str(exc.value)
+        assert "linear" in str(exc.value)
+
+    def test_unknown_op_raises_naming_op_and_valid_set(self):
+        with pytest.raises(ValueError) as exc:
+            ScalePlan(payload_scaling={"allreduce": "inverse"})
+        assert "allreduce" in str(exc.value)
+        assert "all_reduce" in str(exc.value)
+
+    def test_scale_axis_rules_validated_too(self):
+        with pytest.raises(ValueError, match="snake"):
+            ScaleAxis(payload_scaling={"all_gather": "snake"})
+        with pytest.raises(ValueError, match="al_gather"):
+            ScaleAxis(payload_scaling={"al_gather": "inverse"})
+
+    def test_axes_mutually_exclusive_with_factor(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ScalePlan(factor=2, axes={"dp": 2})
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ScalePlan(scale_group=(0, 1), axes={"dp": 2})
+
+    def test_axis_factor_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ScalePlan(axes={"dp": 0})
+        with pytest.raises(ValueError, match="int factor or a ScaleAxis"):
+            ScalePlan(axes={"dp": 2.0})
+        with pytest.raises(ValueError, match=">= 1"):
+            ScaleAxis(factor=0)
+        with pytest.raises(ValueError, match="sharded_bytes"):
+            ScaleAxis(sharded_bytes=-1)
+
+    def test_total_factor_is_product(self):
+        assert ScalePlan(axes={"dp": 8, "tp": 2, "pp": 2}).total_factor() == 32
+        assert ScalePlan(factor=7).total_factor() == 7
+
+    def test_unresolvable_axis_names_captured_layout(self):
+        trace = _capture_pair(
+            lambda: uniform_cluster(2), 2, _tp1d_prog(2)
+        )[0]
+        with pytest.raises(ValueError, match="tp"):
+            project(trace, axes={"tp": 2}, fabric=Fabric.uniform())
+
+
+class TestHybridAxisParity:
+    """``ScalePlan(axes={"dp": k})`` must be bit-for-bit identical to the
+    legacy ``ScalePlan(factor=k)`` path across the parallelism grid."""
+
+    @pytest.mark.parametrize("algorithm", ["ring", "tree", "hierarchical"])
+    def test_ddp_grid(self, algorithm):
+        trace = _capture_pair(
+            lambda: uniform_cluster(4), 4, _ddp_prog(overlap=False),
+            algorithm=algorithm,
+        )[0]
+        fabric = Fabric.uniform()
+        for k in (1, 2, 8, 64):
+            legacy = project(trace, factor=k, fabric=fabric)
+            hybrid = project(trace, axes={"dp": k}, fabric=fabric)
+            assert _pop_axes(legacy) == _pop_axes(hybrid), k
+
+    @pytest.mark.parametrize("algorithm", ["ring", "hierarchical"])
+    def test_zero_grid(self, algorithm):
+        trace = _capture_pair(
+            lambda: uniform_cluster(2), 2, _zero_prog(False, world=2),
+            algorithm=algorithm,
+        )[0]
+        fabric = Fabric.uniform()
+        for k in (2, 16):
+            legacy = project(trace, factor=k, fabric=fabric)
+            hybrid = project(trace, axes={"dp": k}, fabric=fabric)
+            assert _pop_axes(legacy) == _pop_axes(hybrid), k
+
+    @pytest.mark.parametrize("sched_cls", [GPipeSchedule, OneFOneBSchedule])
+    def test_pipeline_grid(self, sched_cls):
+        trace = _capture_pair(
+            lambda: uniform_cluster(4), 4, _pipeline_prog(sched_cls, stages=4),
+        )[0]
+        fabric = Fabric.uniform()
+        for k in (2, 8):
+            legacy = project(trace, factor=k, fabric=fabric)
+            hybrid = project(trace, axes={"dp": k}, fabric=fabric)
+            assert _pop_axes(legacy) == _pop_axes(hybrid), k
+
+    @pytest.mark.parametrize("algorithm", ["ring", "tree"])
+    def test_tensor_1d_grid(self, algorithm):
+        trace = _capture_pair(
+            lambda: uniform_cluster(4), 4, _tp1d_prog(4), algorithm=algorithm,
+        )[0]
+        fabric = Fabric.uniform()
+        for k in (2, 64):
+            legacy = project(trace, factor=k, fabric=fabric)
+            hybrid = project(trace, axes={"dp": k}, fabric=fabric)
+            assert _pop_axes(legacy) == _pop_axes(hybrid), k
+
+    def test_dp_axis_report_breakdown(self, allreduce_trace):
+        rep = project(allreduce_trace, axes={"dp": 8},
+                      fabric=Fabric.uniform())
+        assert len(rep.axes) == 1
+        ax = rep.axes[0]
+        assert ax.name == "dp" and ax.factor == 8
+        assert ax.captured_degree == 4 and ax.projected_degree == 32
+        assert ax.multiplicity == 1
+        assert ax.wire_elements == rep.wire_elements_total
+
+
+# -- sharded-memory projection (ISSUE 7 satellite + tentpole) --------------
+
+
+class TestShardedMemoryProjection:
+    def test_legacy_plan_reshards_state(self):
+        """Regression: widening a group that shards state must shrink the
+        projected peak instead of echoing the captured bytes verbatim."""
+        trace = _capture_pair(
+            lambda: uniform_cluster(2), 2, _zero_prog(False, world=2),
+        )[0]
+        captured = max(trace.peak_memory)
+        assert captured > 0
+        sharded = captured // 2
+        fabric = Fabric.uniform()
+        base = project(trace, factor=8, fabric=fabric)
+        shrunk = project(
+            trace, plan=ScalePlan(factor=8, sharded_bytes=sharded),
+            fabric=fabric,
+        )
+        assert base.peak_memory_bytes == captured  # no shards declared
+        assert shrunk.peak_memory_bytes < captured
+        assert shrunk.peak_memory_bytes == max(
+            project_peak_memory(p, [(sharded, 8)]) for p in trace.peak_memory
+        )
+
+    def test_subgroup_scale_only_reshards_member_ranks(self):
+        """A proper-subgroup scale plan shrinks only the ranks inside the
+        scaled group; bystander ranks keep their captured peak."""
+        trace = _capture_pair(
+            lambda: uniform_cluster(4), 4, _ddp_prog(overlap=False),
+        )[0]
+        trace.peak_memory = [100, 200, 300, 400]
+        rep = project(
+            trace,
+            plan=ScalePlan(factor=4, scale_group=(0, 1), sharded_bytes=80),
+            fabric=Fabric.uniform(),
+        )
+        peaks = [r.peak_memory_bytes for r in rep.per_rank]
+        assert peaks[0] == 100 - 80 + 20  # ceil(80/4) = 20
+        assert peaks[1] == 200 - 80 + 20
+        assert peaks[2:] == [300, 400]
+
+    def test_overdeclared_shards_clamp_to_captured_peak(self):
+        assert project_peak_memory(100, [(1_000_000, 10)]) == 10
+        assert project_peak_memory(0, [(64, 4)]) == 0
+        assert project_peak_memory(100, []) == 100
+        assert project_peak_memory(100, [(50, 1)]) == 100
+
+    def test_composed_shards_stack(self):
+        # dp shards 60 bytes 4x, tp shards 30 bytes 2x, 10 bytes replicated
+        got = project_peak_memory(100, [(60, 4), (30, 2)])
+        assert got == 10 + 15 + 15  # ceil(60/4)=15, ceil(30/2)=15
+
+
+# -- hybrid DP x TP x PP acceptance ----------------------------------------
+
+TPD, PPD = 2, 2          # captured tensor degree / pipeline depth
+HYB_WORLD = 16           # -> dp degree 4
+G_ELEMS = 4096           # gradient all-reduce payload (elements)
+SYN_PEAK = 32 << 20      # synthetic captured per-rank peak (bytes)
+
+
+@pytest.fixture(scope="module")
+def hybrid_trace():
+    """A DP(4) x TP(2) x PP(2) micro-step captured at 16 ranks: two tensor
+    all-reduces (fwd+bwd), one boundary send/recv per pipeline chain, one
+    gradient all-reduce per data group."""
+    cfg = Config.from_dict(
+        dict(parallel=dict(tensor=dict(size=TPD, mode="1d"), pipeline=PPD))
+    )
+
+    def prog(ctx):
+        pc = ParallelContext(ctx, cfg)
+        ctx.clock.advance(1e-4, "compute")
+        tp = pc.comm(ParallelMode.TENSOR)
+        tp.all_reduce(SpecArray((BB, SS, HH), "float32"))
+        tp.all_reduce(SpecArray((BB, SS, HH), "float32"))
+        pipe = pc.comm(ParallelMode.PIPELINE)
+        if not pc.is_last_pipeline_stage():
+            pipe.send(SpecArray((BB, SS, HH), "float32"), pc.pp_rank + 1)
+        if not pc.is_first_pipeline_stage():
+            pipe.recv(pc.pp_rank - 1)
+        dp = pc.comm(ParallelMode.DATA)
+        dp.all_reduce(SpecArray((G_ELEMS,), "float32"))
+
+    _, trace = capture_run(
+        uniform_cluster(HYB_WORLD), prog, world_size=HYB_WORLD,
+        materialize=False,
+    )
+    trace.axes = derive_axis_groups(HYB_WORLD, tensor=TPD, pipeline=PPD)
+    # spec-mode payloads never touch the memory pools; give the memory
+    # model a deterministic captured peak to project
+    trace.peak_memory = [SYN_PEAK] * HYB_WORLD
+    return trace
+
+
+class TestHybridAcceptance:
+    """Paper-style 512-rank DP x TP x PP projection from a 16-rank capture
+    (ISSUE 7 acceptance criterion): per-axis comm volume matches the
+    ``repro.analytic.commvolume`` closed forms and peak memory reflects
+    sharded state."""
+
+    FACTORS = {"dp": 8, "tp": 2, "pp": 2}  # 16 * 32 = 512 ranks
+
+    def _project(self, trace, sharded=None):
+        plan = hybrid_plan(
+            dict(self.FACTORS), world=HYB_WORLD, tensor=TPD, pipeline=PPD,
+            sharded_bytes=sharded,
+        )
+        return project(trace, plan=plan, fabric=Fabric.uniform())
+
+    def test_projects_16_ranks_to_512(self, hybrid_trace):
+        rep = self._project(hybrid_trace)
+        assert rep.source_world == 16
+        assert rep.target_world == 512
+        assert rep.factor == 32
+        assert {a.name for a in rep.axes} == {"dp", "tp", "pp"}
+
+    def test_tp_axis_volume_matches_closed_form(self, hybrid_trace):
+        """8 tensor groups widened 2 -> 4, replicated dp_f*pp_f = 16 times,
+        two all-reduces each: Table-1 gives 2(p-1)·bsh per round."""
+        rep = self._project(hybrid_trace)
+        ax = {a.name: a for a in rep.axes}["tp"]
+        assert ax.captured_degree == TPD and ax.projected_degree == 4
+        assert ax.num_groups == 8 and ax.multiplicity == 16
+        assert ax.wire_elements == 8 * 16 * 2 * comm_volume_1d(4, BB, SS, HH)
+
+    def test_dp_axis_volume_matches_closed_form(self, hybrid_trace):
+        """4 data groups widened 4 -> 32, replicated tp_f*pp_f = 4 times,
+        one gradient all-reduce each."""
+        rep = self._project(hybrid_trace)
+        ax = {a.name: a for a in rep.axes}["dp"]
+        assert ax.captured_degree == 4 and ax.projected_degree == 32
+        assert ax.num_groups == 4 and ax.multiplicity == 4
+        assert ax.wire_elements == 4 * 4 * comm_volume_1d(32, 1, 1, G_ELEMS)
+
+    def test_pp_axis_deepens_chain_boundaries(self, hybrid_trace):
+        """8 pipeline chains deepened 2 -> 4 stages: captured p2p traffic
+        crossed s-1 = 1 boundary, the projected chain crosses k·s-1 = 3,
+        and each chain is replicated dp_f*tp_f = 16 times."""
+        rep = self._project(hybrid_trace)
+        ax = {a.name: a for a in rep.axes}["pp"]
+        assert ax.chain
+        assert ax.captured_degree == PPD and ax.projected_degree == 4
+        nbytes = BB * SS * HH * 4
+        assert ax.by_op_bytes["p2p"] == 8 * 16 * 3 * nbytes
+        # and the whole-report p2p slice agrees (p2p only runs on chains)
+        assert rep.by_op_bytes["p2p"] == 8 * 16 * 3 * nbytes
+
+    def test_sharded_axes_shrink_peak_memory(self, hybrid_trace):
+        zero_bytes = 12 << 20   # dp partitions optimizer state
+        tp_bytes = 8 << 20      # tp partitions weight shards
+        plain = self._project(hybrid_trace)
+        rep = self._project(
+            hybrid_trace, sharded={"dp": zero_bytes, "tp": tp_bytes}
+        )
+        assert plain.peak_memory_bytes == SYN_PEAK
+        expected = project_peak_memory(
+            SYN_PEAK, [(zero_bytes, 8), (tp_bytes, 2)]
+        )
+        assert rep.peak_memory_bytes == expected < SYN_PEAK
+        assert all(r.peak_memory_bytes == expected for r in rep.per_rank)
+
+    def test_hybrid_projection_is_deterministic(self, hybrid_trace):
+        a = self._project(hybrid_trace).to_dict()
+        b = self._project(hybrid_trace).to_dict()
+        assert a == b
+
+
+class TestComposedAxesProperties:
+    @given(
+        f1=st.sampled_from([1, 2, 8, 32]),
+        f2=st.sampled_from([1, 2, 4]),
+    )
+    @fast
+    def test_composed_volume_matches_table1(self, allreduce_trace, f1, f2):
+        """Two axes over the same (world) group compose multiplicatively:
+        projected all-reduce volume is the Table-1 closed form at
+        ``p·f1·f2`` ranks."""
+        plan = ScalePlan(axes={
+            "dp": f1,
+            "tp": ScaleAxis(factor=f2, groups=(tuple(range(4)),)),
+        })
+        rep = project(allreduce_trace, plan=plan, fabric=Fabric.uniform())
+        p2 = 4 * f1 * f2
+        assert rep.target_world == p2
+        assert rep.by_op_elements["all_reduce"] == comm_volume_1d(
+            p2, BB, SS, HH
+        )
+
+    @given(f1=st.sampled_from([2, 8]), f2=st.sampled_from([2, 4]))
+    @fast
+    def test_composed_projection_is_deterministic(
+        self, allreduce_trace, f1, f2
+    ):
+        def run():
+            plan = ScalePlan(axes={
+                "dp": f1,
+                "tp": ScaleAxis(factor=f2, groups=(tuple(range(4)),)),
+            })
+            return project(
+                allreduce_trace, plan=plan, fabric=Fabric.uniform()
+            ).to_dict()
+
+        assert run() == run()
+
+
 # -- config / launch wiring ------------------------------------------------
 
 
@@ -595,4 +930,53 @@ class TestLaunchWiring:
         with pytest.raises(ValueError, match="target_world"):
             Config.from_dict(
                 {"project": {"mode": "off", "target_world": 4}}
+            )
+
+    def test_config_axes_validation(self):
+        cfg = Config.from_dict({"project": {"axes": {"dp": 8, "tp": 2}}})
+        assert cfg.project.mode == "project"
+        assert cfg.project.axes == {"dp": 8, "tp": 2}
+        with pytest.raises(ValueError, match="unknown axis"):
+            Config.from_dict({"project": {"axes": {"zp": 2}}})
+        with pytest.raises(ValueError, match="int >= 1"):
+            Config.from_dict({"project": {"axes": {"dp": 0}}})
+        with pytest.raises(ValueError, match="int >= 1"):
+            Config.from_dict({"project": {"axes": {"dp": 2.5}}})
+        with pytest.raises(ValueError, match="non-empty"):
+            Config.from_dict({"project": {"axes": {}, "mode": "project"}})
+        cfg = Config.from_dict({})
+        cfg.project.axes = {"dp": 2}
+        with pytest.raises(ValueError, match="project.axes requires"):
+            cfg.validate()
+
+    def test_launch_hybrid_axes_returns_per_axis_report(self):
+        from repro.engine.initialize import launch
+
+        def fn(ctx, pc):
+            ctx.clock.advance(1e-4, "compute")
+            tp = pc.comm(ParallelMode.TENSOR)
+            tp.all_reduce(SpecArray((BB, SS, HH), "float32"))
+            dp = pc.comm(ParallelMode.DATA)
+            dp.all_reduce(SpecArray((G_ELEMS,), "float32"))
+
+        rep = launch(
+            {
+                "parallel": {"tensor": {"size": 2, "mode": "1d"}},
+                "project": {"axes": {"dp": 16, "tp": 2}},
+            },
+            uniform_cluster(8), fn, world_size=8,
+        )
+        assert rep.target_world == 8 * 32
+        assert rep.factor == 32
+        assert {a.name for a in rep.axes} == {"dp", "tp"}
+        tp_ax = {a.name: a for a in rep.axes}["tp"]
+        assert tp_ax.captured_degree == 2 and tp_ax.projected_degree == 4
+
+    def test_launch_hybrid_axes_target_world_must_agree(self):
+        from repro.engine.initialize import launch
+
+        with pytest.raises(ValueError, match="disagrees"):
+            launch(
+                {"project": {"axes": {"dp": 4}, "target_world": 100}},
+                uniform_cluster(8), lambda ctx, pc: None, world_size=8,
             )
