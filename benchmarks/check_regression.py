@@ -8,6 +8,11 @@ real change to the cost model, the collective algorithms or a scheduler,
 never measurement noise; the threshold only leaves room for intentional
 model refinements that are documented in the PR.
 
+Host wall-clock (the ``wallclock_threaded`` section) is the one
+machine-dependent family of metrics: :func:`check_wallclocks` diffs it
+too, but only ever emits *warnings* — a slow CI box must never fail the
+gate, while a genuine fast-path regression still leaves a visible trail.
+
 Run standalone (exit 1 on regression)::
 
     python benchmarks/check_regression.py [--root .] [--tolerance 0.10]
@@ -80,7 +85,72 @@ def extract_throughputs(report: Dict[str, Any]) -> Dict[str, float]:
         if not isinstance(p, dict) or "scenario" not in p:
             continue
         put(f"{p['scenario']}/projected", lambda p=p: 1.0 / p["step_time"])
+    wc = report.get("wallclock_threaded")
+    if isinstance(wc, dict):
+        # the *simulated* step time of each threaded wall-clock scenario is
+        # deterministic and gated like any other; the wall fields live in
+        # extract_wallclocks and are only ever advisory
+        for name, s in (wc.get("scenarios") or {}).items():
+            if not isinstance(s, dict) or "scenario" not in s:
+                continue
+            put(f"{s['scenario']}/sim",
+                lambda s=s: 1.0 / s["after"]["sim_step_seconds"])
     return out
+
+
+#: advisory wall-clock growth that triggers a warning (never a failure):
+#: generous because host wall-clock is machine- and load-dependent
+WALL_TOLERANCE = 0.50
+
+
+def extract_wallclocks(report: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten the ``wallclock_threaded`` section into ``scenario-key ->
+    wall seconds`` (lower is better).  Wall-clock is machine-dependent, so
+    these values feed the *advisory* :func:`check_wallclocks` pass only —
+    they are never part of the failing gate."""
+    out: Dict[str, float] = {}
+    wc = report.get("wallclock_threaded")
+    if not isinstance(wc, dict):
+        return out
+    for name, s in (wc.get("scenarios") or {}).items():
+        if not isinstance(s, dict):
+            continue
+        try:
+            wall = s["after"]["wall_seconds"]
+        except (KeyError, TypeError):
+            continue
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+            out[f"{s.get('scenario', name)}/wall"] = float(wall)
+    return out
+
+
+def check_wallclocks(
+    root: Path, tolerance: float = WALL_TOLERANCE
+) -> List[str]:
+    """Advisory wall-clock drift: warning lines for shared scenarios whose
+    host wall-clock grew more than ``tolerance`` vs a prior report.  Always
+    warnings, never gate failures — two reports may have been measured on
+    different machines or under different load."""
+    files = bench_files(root)
+    if len(files) < 2:
+        return []
+    newest = files[-1]
+    new = extract_wallclocks(json.loads(newest.read_text()))
+    warnings: List[str] = []
+    for prior in files[:-1]:
+        old = extract_wallclocks(json.loads(prior.read_text()))
+        for key in sorted(set(new) & set(old)):
+            o, n = old[key], new[key]
+            if o <= 0:
+                continue
+            growth = n / o - 1.0
+            if growth > tolerance:
+                warnings.append(
+                    f"{newest.name} vs {prior.name}: {key} wall-clock grew "
+                    f"{growth:.0%} ({o:.4g}s -> {n:.4g}s) — advisory only, "
+                    f"wall-clock is machine-dependent"
+                )
+    return warnings
 
 
 def compare(
@@ -171,6 +241,7 @@ def main() -> int:
         return 0
     warnings: List[str] = []
     problems = check(root, args.tolerance, warnings=warnings)
+    warnings.extend(check_wallclocks(root))
     for line in warnings:
         print(f"bench gate warning: {line}")
     if problems:

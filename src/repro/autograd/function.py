@@ -39,6 +39,19 @@ class no_grad:
         _state.grad_enabled = self._prev
 
 
+# np.dtype.name builds a fresh string on every access; memoize per dtype
+# (builtin dtypes are singletons, so an id-free dict keyed by dtype is safe)
+_DTYPE_NAMES: dict = {}
+
+
+def _dtype_name(dtype: np.dtype) -> str:
+    try:
+        return _DTYPE_NAMES[dtype]
+    except KeyError:
+        name = _DTYPE_NAMES[dtype] = dtype.name
+        return name
+
+
 def _charge(flops: float, dtype: np.dtype, op_name: Optional[str] = None) -> None:
     """Charge compute time for ``flops`` to the current rank's clock."""
     if flops <= 0 or not in_spmd():
@@ -47,7 +60,9 @@ def _charge(flops: float, dtype: np.dtype, op_name: Optional[str] = None) -> Non
     cap = getattr(ctx.runtime, "capture", None)
     if cap is not None and op_name is not None:
         cap.note_op(ctx.rank, op_name)
-    name = dtype.name if dtype.name in ctx.device.peak_flops else "float32"
+    name = _dtype_name(dtype)
+    if name not in ctx.device.peak_flops:
+        name = "float32"
     ctx.clock.advance(ctx.device.compute_seconds(flops, name), "compute")
 
 
@@ -169,7 +184,8 @@ class Function:
 
 def _out_dtype(out) -> np.dtype:
     p = out[0] if isinstance(out, tuple) else out
-    return np.dtype(p.dtype)
+    dt = p.dtype
+    return dt if type(dt) is np.dtype else np.dtype(dt)
 
 
 def _view_base(cls, tensor_inputs) -> Optional[Tensor]:

@@ -335,8 +335,14 @@ class Transpose(Function):
 
     @staticmethod
     def backward(ctx: FnCtx, g: Payload):
-        inverse = tuple(np.argsort(ctx.axes))
-        return (P.ptranspose(g, inverse),)
+        # inverse permutation in pure Python: np.argsort on a 3-tuple costs
+        # microseconds per call and dominated spec-mode backward wall-clock
+        axes = ctx.axes
+        n = len(axes)
+        inverse = [0] * n
+        for i, a in enumerate(axes):
+            inverse[a % n] = i
+        return (P.ptranspose(g, tuple(inverse)),)
 
 
 class Slice(Function):
@@ -452,7 +458,7 @@ class Mean(Function):
         ctx.keepdims = keepdims
         ctx.flops = a.size
         out = P.pmean(a.payload, axis=axis, keepdims=keepdims)
-        ctx.count = a.size // max(int(np.prod(out.shape)) if out.shape else 1, 1)
+        ctx.count = a.size // max(math.prod(out.shape), 1)
         return out
 
     @staticmethod

@@ -21,6 +21,12 @@ def spec_like(shape: Sequence[int], ref: Payload) -> SpecArray:
 
 
 def result_dtype(*payloads: Payload) -> np.dtype:
+    first = payloads[0].dtype
+    # promotion is the identity when every operand dtype already matches —
+    # skipping np.result_type here keeps spec-mode sweeps off the numpy
+    # dispatch path entirely
+    if all(p.dtype == first for p in payloads[1:]):
+        return first
     return np.result_type(*[p.dtype for p in payloads])
 
 
@@ -29,7 +35,8 @@ def result_dtype(*payloads: Payload) -> np.dtype:
 
 def _binary(a: Payload, b: Payload, fn) -> Payload:
     if is_spec(a) or is_spec(b):
-        shape = np.broadcast_shapes(a.shape, b.shape)
+        sa, sb = a.shape, b.shape
+        shape = sa if sa == sb else np.broadcast_shapes(sa, sb)
         return SpecArray(shape, result_dtype(a, b))
     return fn(a, b)
 
@@ -107,7 +114,9 @@ def pgelu(a: Payload) -> Payload:
 def pgelu_grad(x: Payload, grad: Payload) -> Payload:
     """d gelu(x)/dx * grad using the tanh approximation."""
     if is_spec(x) or is_spec(grad):
-        return SpecArray(np.broadcast_shapes(x.shape, grad.shape), result_dtype(x, grad))
+        sx, sg = x.shape, grad.shape
+        shape = sx if sx == sg else np.broadcast_shapes(sx, sg)
+        return SpecArray(shape, result_dtype(x, grad))
     inner = _GELU_C * (x + 0.044715 * x**3)
     t = np.tanh(inner)
     dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
@@ -123,8 +132,12 @@ def matmul_shape(sa: Tuple[int, ...], sb: Tuple[int, ...]) -> Tuple[int, ...]:
         raise ValueError(f"matmul needs >=2D operands, got {sa} @ {sb}")
     if sa[-1] != sb[-2]:
         raise ValueError(f"matmul inner-dim mismatch: {sa} @ {sb}")
-    batch = np.broadcast_shapes(sa[:-2], sb[:-2])
-    return tuple(batch) + (sa[-2], sb[-1])
+    ba, bb = sa[:-2], sb[:-2]
+    if ba == bb:
+        batch = ba
+    else:
+        batch = tuple(np.broadcast_shapes(ba, bb))
+    return batch + (sa[-2], sb[-1])
 
 
 def matmul_flops(sa: Tuple[int, ...], sb: Tuple[int, ...]) -> float:

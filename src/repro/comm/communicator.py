@@ -52,18 +52,42 @@ def _check_reduce_op(op: ReduceOp, what: str) -> None:
         )
 
 
-def _combine(payloads: Dict[int, Payload], op: ReduceOp) -> Payload:
-    """Reduce payloads in local-rank order (deterministic)."""
+def _combine(payloads: Dict[int, Payload], op: ReduceOp,
+             pool: Any = None) -> Payload:
+    """Reduce payloads in local-rank order (deterministic).
+
+    With a :class:`~repro.runtime.buffer_pool.BufferPool` the accumulator is
+    a pooled scratch buffer filled in place (``fn(acc, arr, out=acc)``) —
+    bitwise identical to the chained ``acc = fn(acc, arr)`` when all operand
+    dtypes match (elementwise ufuncs, no promotion), which is the only case
+    the pooled path takes.  The caller owns the returned buffer and must
+    ``adopt`` it out of the pool (reductions escape as rank results).
+    """
     ordered = [payloads[i] for i in sorted(payloads)]
     first = ordered[0]
     if is_spec(first):
         dtype = np.result_type(*[p.dtype for p in ordered])
         return SpecArray(first.shape, dtype)
     fn = _REDUCERS[op]
+    if pool is not None and all(p.dtype == first.dtype for p in ordered[1:]):
+        acc = pool.loan(first.shape, first.dtype, f"combine:{op}")
+        np.copyto(acc, first)
+        for arr in ordered[1:]:
+            fn(acc, arr, out=acc)
+        pool.adopt(acc)
+        return acc
     acc = ordered[0].copy()
     for arr in ordered[1:]:
         acc = fn(acc, arr)
     return acc
+
+
+def _pooled_copy(arr: np.ndarray, pool: Any, label: str) -> np.ndarray:
+    """A copy of ``arr`` drawn from (and adopted out of) the buffer pool."""
+    out = pool.loan(arr.shape, arr.dtype, label)
+    np.copyto(out, arr)
+    pool.adopt(out)
+    return out
 
 
 def _split_axis(x: Payload, parts: int, axis: int, what: str) -> List[Payload]:
@@ -156,12 +180,21 @@ class Communicator:
 
         def finalize(payloads: Dict[int, Payload]):
             _check_same_shape(payloads, "all_reduce")
-            combined = _combine(payloads, op)
+            pool = self.group.runtime.buffer_pool
+            combined = _combine(payloads, op, pool)
             cost = self.group.cost_model.allreduce(self.group.ranks, int(x.nbytes))
-            results = {
-                i: (combined if i == 0 or is_spec(combined) else combined.copy())
-                for i in payloads
-            }
+            if is_spec(combined) or pool is None:
+                results = {
+                    i: (combined if i == 0 or is_spec(combined)
+                        else combined.copy())
+                    for i in payloads
+                }
+            else:
+                results = {
+                    i: (combined if i == 0
+                        else _pooled_copy(combined, pool, "all_reduce:result"))
+                    for i in payloads
+                }
             return results, cost, "all_reduce", x.dtype.itemsize
 
         san = self.group.runtime.sanitizer
@@ -213,7 +246,9 @@ class Communicator:
 
         def finalize(payloads: Dict[int, Payload]):
             _check_same_shape(payloads, "reduce_scatter")
-            combined = _combine(payloads, op)
+            # combined is adopted out of the pool by _combine: the scattered
+            # chunks are axis-0 *views* of it, so it must never be restocked
+            combined = _combine(payloads, op, self.group.runtime.buffer_pool)
             chunks = _split_axis(combined, self.size, axis, "reduce_scatter")
             cost = self.group.cost_model.reduce_scatter(self.group.ranks, int(x.nbytes))
             return dict(enumerate(chunks)), cost, "reduce_scatter", x.dtype.itemsize
@@ -260,7 +295,7 @@ class Communicator:
 
         def finalize(payloads: Dict[int, Payload]):
             _check_same_shape(payloads, "reduce")
-            combined = _combine(payloads, op)
+            combined = _combine(payloads, op, self.group.runtime.buffer_pool)
             cost = self.group.cost_model.reduce(self.group.ranks, int(x.nbytes))
             results: Dict[int, Optional[Payload]] = {i: None for i in payloads}
             results[root] = combined

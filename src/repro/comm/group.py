@@ -10,20 +10,26 @@ completes when every member has arrived, at which point the last arriver
 3. synchronizes all member clocks to ``max(entry times) + cost``, and
 4. records wire traffic in the group's counters.
 
-The rendezvous polls the runtime abort flag while blocked, so one failing
-rank aborts everyone instead of deadlocking.
+The rendezvous is event-driven: waiters park on the group condition and the
+last arriver (or the abort path via ``SpmdRuntime._wake_all``) notifies them
+— there is no poll tick.  One failing rank therefore aborts everyone
+immediately instead of at the next poll interval.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.comm.cost import CollectiveCost, CostModel
 from repro.comm.counters import CommCounters
 from repro.runtime.errors import CollectiveTimeout
 
-_POLL_INTERVAL = 0.05
+#: With a sanitizer installed, parked waiters still wake on this cadence to
+#: run ``check_stalled`` — it is the sanitizer's desync-diagnosis latency,
+#: not a liveness mechanism (completion and abort are notify-driven).
+_DIAG_WINDOW = 0.05
 
 #: shared empty trace-tag mapping — rounds only swap in a real dict when the
 #: sanitizer contributes tags, so the disabled path allocates nothing extra
@@ -297,36 +303,7 @@ class ProcessGroup:
                 rnd.done = True
                 self._cond.notify_all()
             else:
-                deadline = self.runtime.deadlock_timeout
-                if san is not None:
-                    san.enter_wait(my_global_rank, self, seq, spec, rnd)
-                try:
-                    while not rnd.done:
-                        if self.runtime.aborting():
-                            self.runtime.check_abort()
-                        if san is not None:
-                            err = san.check_stalled(self, seq, rnd)
-                            if err is not None and not rnd.done:
-                                rnd.error = err
-                                rnd.done = True
-                                self._cond.notify_all()
-                                if tracer is not None:
-                                    tracer.instant(
-                                        my_global_rank,
-                                        f"sanitizer:{type(err).__name__}",
-                                        clock.time,
-                                    )
-                                break
-                        if deadline <= 0:
-                            raise CollectiveTimeout(
-                                "collective", self.ranks,
-                                timeout=self.runtime.deadlock_timeout,
-                            )
-                        self._cond.wait(_POLL_INTERVAL)
-                        deadline -= _POLL_INTERVAL
-                finally:
-                    if san is not None:
-                        san.exit_wait(my_global_rank)
+                self._await_round(my_global_rank, seq, rnd, spec, clock)
 
             if rnd.error is not None:
                 rnd.claimed += 1
@@ -361,6 +338,62 @@ class ProcessGroup:
             return result
 
     # ------------------------------------------------------------------
+
+    def _await_round(self, my_global_rank: int, seq: int, rnd: "_Round",
+                     spec: Any, clock: Any) -> None:
+        """Park (group condition held) until ``rnd`` completes.
+
+        Shared by the blocking rendezvous and :meth:`AsyncCollectiveHandle.wait`.
+        Completion and abort are notify-driven (the last arriver and
+        ``SpmdRuntime._wake_all`` call ``notify_all``); with a sanitizer
+        installed the wait is additionally chopped into ``_DIAG_WINDOW``
+        slices so ``check_stalled`` keeps its one-tick desync-diagnosis
+        latency.  The deadline is measured against a monotonic start
+        timestamp — wake-ups before the timeout no longer undercount
+        elapsed time the way the old ``deadline -= poll_interval``
+        accounting did.
+        """
+        runtime = self.runtime
+        san = runtime.sanitizer
+        tracer = runtime.tracer
+        deadline_ts = time.monotonic() + runtime.deadlock_timeout
+        if san is not None:
+            san.enter_wait(my_global_rank, self, seq, spec, rnd)
+        try:
+            while not rnd.done:
+                if runtime.aborting():
+                    runtime.check_abort()
+                if san is not None:
+                    err = san.check_stalled(self, seq, rnd)
+                    if err is not None and not rnd.done:
+                        rnd.error = err
+                        rnd.done = True
+                        self._cond.notify_all()
+                        if tracer is not None:
+                            tracer.instant(
+                                my_global_rank,
+                                f"sanitizer:{type(err).__name__}",
+                                clock.time,
+                            )
+                        break
+                remaining = deadline_ts - time.monotonic()
+                if remaining <= 0:
+                    raise CollectiveTimeout(
+                        "collective", self.ranks,
+                        timeout=runtime.deadlock_timeout,
+                    )
+                self._cond.wait(
+                    remaining if san is None else min(remaining, _DIAG_WINDOW)
+                )
+        finally:
+            if san is not None:
+                san.exit_wait(my_global_rank)
+
+    def wake(self) -> None:
+        """Wake every thread parked in this group's rendezvous so it
+        re-checks abort/done state (called by ``SpmdRuntime._wake_all``)."""
+        with self._cond:
+            self._cond.notify_all()
 
     def _check_mode(self, rnd: _Round, mode: str) -> None:
         """All ranks of a round must agree on blocking vs nonblocking: for a
@@ -544,7 +577,6 @@ class AsyncCollectiveHandle(WorkHandle):
         runtime = group.runtime
         clock = runtime.clocks[self._rank]
         tracer = runtime.tracer
-        san = runtime.sanitizer
         with group._cond:
             rnd = group._rounds.get(self._seq)
             if rnd is None:
@@ -554,36 +586,7 @@ class AsyncCollectiveHandle(WorkHandle):
                     f"the handle was outstanding?)"
                 )
             if not rnd.done:
-                deadline = runtime.deadlock_timeout
-                if san is not None:
-                    san.enter_wait(self._rank, group, self._seq, self._spec, rnd)
-                try:
-                    while not rnd.done:
-                        if runtime.aborting():
-                            runtime.check_abort()
-                        if san is not None:
-                            err = san.check_stalled(group, self._seq, rnd)
-                            if err is not None and not rnd.done:
-                                rnd.error = err
-                                rnd.done = True
-                                group._cond.notify_all()
-                                if tracer is not None:
-                                    tracer.instant(
-                                        self._rank,
-                                        f"sanitizer:{type(err).__name__}",
-                                        clock.time,
-                                    )
-                                break
-                        if deadline <= 0:
-                            raise CollectiveTimeout(
-                                "collective", group.ranks,
-                                timeout=runtime.deadlock_timeout,
-                            )
-                        group._cond.wait(_POLL_INTERVAL)
-                        deadline -= _POLL_INTERVAL
-                finally:
-                    if san is not None:
-                        san.exit_wait(self._rank)
+                group._await_round(self._rank, self._seq, rnd, self._spec, clock)
             if rnd.error is not None:
                 rnd.claimed += 1
                 if rnd.claimed == group.size:

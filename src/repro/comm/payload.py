@@ -14,6 +14,26 @@ from typing import Tuple, Union
 import numpy as np
 
 
+# np.dtype(...) construction is measurable at SpecArray churn rates; cache
+# the canonical instance per spelling (np.dtype objects are interned-like
+# singletons for builtin types, so identity reuse is safe)
+_DTYPE_CACHE: dict = {}
+
+
+def _as_dtype(dtype) -> np.dtype:
+    if type(dtype) is np.dtype:
+        return dtype
+    try:
+        return _DTYPE_CACHE[dtype]
+    except (KeyError, TypeError):
+        dt = np.dtype(dtype)
+        try:
+            _DTYPE_CACHE[dtype] = dt
+        except TypeError:
+            pass
+        return dt
+
+
 class SpecArray:
     """A shape+dtype stand-in for an ndarray (no storage).
 
@@ -25,8 +45,17 @@ class SpecArray:
     __slots__ = ("shape", "dtype")
 
     def __init__(self, shape: Tuple[int, ...], dtype: Union[str, np.dtype] = "float32") -> None:
-        self.shape = tuple(int(s) for s in shape)
-        self.dtype = np.dtype(dtype)
+        # plain-int tuples (the common case) pass through untouched; only
+        # np.intp/list shapes pay for normalization
+        if type(shape) is tuple:
+            for s in shape:
+                if type(s) is not int:
+                    shape = tuple(int(x) for x in shape)
+                    break
+        else:
+            shape = tuple(int(s) for s in shape)
+        self.shape = shape
+        self.dtype = _as_dtype(dtype)
 
     @property
     def size(self) -> int:

@@ -68,6 +68,7 @@ def sync_gradients(
     """
     if comm.size == 1:
         return
+    pool = comm.group.runtime.buffer_pool
     with_grads = [p for p in params if p.grad is not None]
     for bucket in _bucketize(with_grads, int(bucket_mb * MB)):
         if any(not p.grad.materialized for p in bucket):
@@ -75,15 +76,35 @@ def sync_gradients(
             flat: object = SpecArray((nbytes // 4,), "float32")
             comm.all_reduce(flat)
             continue
-        flat = np.concatenate([p.grad.numpy().reshape(-1) for p in bucket])
+        flat = _flat_bucket(bucket, pool)
         reduced = comm.all_reduce(flat)
-        if average:
-            reduced = reduced / comm.size
+        if pool is not None:
+            pool.restock(flat)  # round done; the flat staging copy is dead
+        averaged = reduced / comm.size if average else reduced
         offset = 0
         for p in bucket:
             n = p.grad.size
-            p.grad.payload[...] = reduced[offset : offset + n].reshape(p.grad.shape)
+            p.grad.payload[...] = averaged[offset : offset + n].reshape(p.grad.shape)
             offset += n
+        if pool is not None:
+            # both transients are dead after the unpack above; donate them
+            pool.restock(reduced)
+            if averaged is not reduced:
+                pool.restock(averaged)
+
+
+def _flat_bucket(bucket: Sequence[Parameter], pool: Optional[Any]) -> np.ndarray:
+    """Flatten a bucket's gradients into one staging buffer, pooled when the
+    dtypes are uniform (``np.concatenate(..., out=)`` is bitwise identical
+    to the allocating form; mixed dtypes fall back so promotion semantics
+    are untouched)."""
+    grads = [p.grad.numpy().reshape(-1) for p in bucket]
+    first_dtype = grads[0].dtype
+    if pool is not None and all(g.dtype == first_dtype for g in grads[1:]):
+        flat = pool.loan((sum(g.size for g in grads),), first_dtype, "ddp.flat")
+        np.concatenate(grads, out=flat)
+        return flat
+    return np.concatenate(grads)
 
 
 class DistributedDataParallel(Module):
@@ -167,8 +188,8 @@ class DistributedDataParallel(Module):
             nbytes = sum(p.grad.nbytes for p in bucket)
             flat: Any = SpecArray((nbytes // 4,), "float32")
         else:
-            flat = np.concatenate([p.grad.numpy().reshape(-1) for p in bucket])
-        self._pending.append((bi, self.comm.iallreduce(flat)))
+            flat = _flat_bucket(bucket, self.comm.group.runtime.buffer_pool)
+        self._pending.append((bi, self.comm.iallreduce(flat), flat))
 
     def sync(self) -> None:
         if not self.overlap:
@@ -182,8 +203,11 @@ class DistributedDataParallel(Module):
         for bi in range(len(self._buckets)):
             if not self._flushed[bi]:
                 self._flush_bucket(bi)
-        for bi, handle in self._pending:
+        pool = self.comm.group.runtime.buffer_pool
+        for bi, handle, flat in self._pending:
             reduced = handle.wait()
+            if pool is not None:
+                pool.restock(flat)
             if is_spec(reduced):
                 continue
             bucket = [p for p in self._buckets[bi] if p.grad is not None]
@@ -195,6 +219,9 @@ class DistributedDataParallel(Module):
                     p.grad.shape
                 )
                 offset += n
+            if pool is not None:
+                pool.restock(reduced)
+                pool.restock(averaged)
         self._pending.clear()
         for ready in self._ready:
             ready.clear()

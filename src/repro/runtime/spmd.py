@@ -15,6 +15,7 @@ re-raised on the launcher thread wrapped in :class:`RemoteRankError`.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,8 +27,6 @@ from repro.utils.backoff import RetryPolicy
 
 _thread_local = threading.local()
 
-#: Seconds between abort-flag polls while blocked in a rendezvous.
-_POLL_INTERVAL = 0.05
 #: Default host-time limit for any single blocking communication call.
 #: Generous — it exists to turn accidental deadlocks into diagnosable
 #: errors.  Override per runtime via ``SpmdRuntime(deadlock_timeout=...)``.
@@ -94,7 +93,9 @@ class _Mailboxes:
             self._cond.notify_all()
 
     def get(self, key: Tuple[int, int, Any], should_abort: Callable[[], bool]) -> Any:
-        deadline = self._timeout
+        # event-driven: put() notifies, abort wakes via wake(); the deadline
+        # is real monotonic elapsed time, not accumulated poll intervals
+        deadline_ts = time.monotonic() + self._timeout
         with self._cond:
             while True:
                 box = self._boxes.get(key)
@@ -105,12 +106,17 @@ class _Mailboxes:
                     return item
                 if should_abort():
                     raise _make_abort_error()
-                if deadline <= 0:
+                remaining = deadline_ts - time.monotonic()
+                if remaining <= 0:
                     raise CollectiveTimeout(
                         "recv", key[:2], timeout=self._timeout
                     )
-                self._cond.wait(_POLL_INTERVAL)
-                deadline -= _POLL_INTERVAL
+                self._cond.wait(remaining)
+
+    def wake(self) -> None:
+        """Wake blocked receivers so they re-check the abort flag."""
+        with self._cond:
+            self._cond.notify_all()
 
     def clear(self) -> None:
         """Drop all undelivered messages (stale state after an abort)."""
@@ -165,6 +171,7 @@ class SpmdRuntime:
         sanitize: Optional[Any] = None,
         comm_overlap: bool = False,
         capture: Optional[Any] = None,
+        buffer_pool: bool = True,
     ) -> None:
         if world_size is None:
             world_size = cluster.world_size
@@ -200,6 +207,14 @@ class SpmdRuntime:
         self.comm_streams = [StreamClock() for _ in range(world_size)]
         self.deadlock_timeout = float(deadlock_timeout)
         self.mailboxes = _Mailboxes(self.deadlock_timeout)
+        #: shared scratch-buffer pool for materialized collectives, or None
+        #: (``buffer_pool=False`` — the unpooled reference for parity runs);
+        #: pooled and unpooled results are bitwise identical by contract.
+        from repro.runtime.buffer_pool import BufferPool
+
+        self.buffer_pool: Optional[BufferPool] = (
+            BufferPool() if buffer_pool else None
+        )
         self.retry_policy = retry if retry is not None else RetryPolicy()
         if fault_plan is not None:
             from repro.faults.injector import FaultInjector
@@ -233,6 +248,24 @@ class SpmdRuntime:
         if self.failure is None:
             self.failure = (rank, exc)
         self._abort.set()
+        # rendezvous waits are notify-driven, so blocked peers must be woken
+        # explicitly or they would sleep through the abort until their
+        # deadlock timeout
+        self._wake_all()
+
+    def _wake_all(self) -> None:
+        """Notify every group rendezvous condition and the mailboxes.
+
+        Group conditions are notified *after* releasing ``_group_lock``:
+        ``wake()`` takes the group's own condition lock, and a rank thread
+        holding that lock may be about to call ``runtime.group()`` (which
+        takes ``_group_lock``) — acquiring both here would deadlock.
+        """
+        with self._group_lock:
+            groups = list(self._groups.values())
+        for grp in groups:
+            grp.wake()
+        self.mailboxes.wake()
 
     def aborting(self) -> bool:
         return self._abort.is_set()
@@ -338,6 +371,9 @@ class SpmdRuntime:
             finally:
                 if self.sanitizer is not None:
                     self.sanitizer.on_rank_done(rank)
+                    # wake parked peers so check_stalled sees the exit now,
+                    # not at the next diagnosis tick
+                    self._wake_all()
                 _thread_local.ctx = None
 
         threads = [
@@ -356,6 +392,10 @@ class SpmdRuntime:
         if self.failure is not None:
             rank, cause = self.failure
             raise RemoteRankError(rank, cause) from cause
+        if self.buffer_pool is not None:
+            # clean runs must have returned or adopted every loan; an
+            # unreturned scratch buffer is a runtime bug, named here
+            self.buffer_pool.check_leaks()
         if self.capture is not None:
             self.capture.end_run(self)
         return results
@@ -364,6 +404,8 @@ class SpmdRuntime:
         """Drop stale rendezvous rounds and undelivered messages so the
         runtime is reusable after an aborted program (recovery path)."""
         self.mailboxes.clear()
+        if self.buffer_pool is not None:
+            self.buffer_pool.reset()
         with self._group_lock:
             for grp in self._groups.values():
                 grp.reset_rounds()

@@ -72,7 +72,7 @@ class Chunk:
         # all-gather handle and the (handle, average) of an async
         # reduce-scatter of this chunk's gradients
         self._pending_gather: Optional[Any] = None
-        self._pending_rs: Optional[Tuple[Any, bool]] = None
+        self._pending_rs: Optional[Tuple[Any, bool, Payload]] = None
         self.last_used_step = -1
 
     # -- packing ----------------------------------------------------------------
@@ -190,10 +190,17 @@ class Chunk:
         stream and returns immediately; :meth:`finish_grad_reduce` completes
         it (the overlap scheduler calls that right before the chunk's
         optimizer update)."""
+        pool = self.comm.group.runtime.buffer_pool
         if self.values is not None and all(
             r.param.grad is not None and r.param.grad.materialized for r in self.records
         ):
-            flat: Payload = np.zeros(self.capacity, dtype=np.float32)
+            if pool is not None:
+                flat: Payload = pool.loan(
+                    (self.capacity,), np.float32, "zero.chunk_flat"
+                )
+                flat.fill(0.0)  # padding past the packed records must be zero
+            else:
+                flat = np.zeros(self.capacity, dtype=np.float32)
             for r in self.records:
                 flat[r.offset : r.offset + r.numel] = (
                     r.param.grad.numpy().astype(np.float32).reshape(-1)
@@ -201,9 +208,13 @@ class Chunk:
         else:
             flat = SpecArray((self.capacity,), self.dtype)
         if async_op:
-            self._pending_rs = (self.comm.ireduce_scatter(flat, axis=0), average)
+            self._pending_rs = (
+                self.comm.ireduce_scatter(flat, axis=0), average, flat,
+            )
         else:
             shard = self.comm.reduce_scatter(flat, axis=0)
+            if pool is not None:
+                pool.restock(flat)
             if is_spec(shard):
                 self._grad_shard = None
             else:
@@ -229,9 +240,12 @@ class Chunk:
         the handle and keep this rank's averaged grad shard."""
         if self._pending_rs is None:
             return
-        handle, average = self._pending_rs
+        handle, average, flat = self._pending_rs
         self._pending_rs = None
         shard = handle.wait()
+        pool = self.comm.group.runtime.buffer_pool
+        if pool is not None:
+            pool.restock(flat)
         if is_spec(shard):
             self._grad_shard = None
         else:

@@ -18,8 +18,10 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 from check_regression import (  # noqa: E402
     bench_files,
     check,
+    check_wallclocks,
     compare,
     extract_throughputs,
+    extract_wallclocks,
 )
 
 pytestmark = pytest.mark.bench_gate
@@ -114,8 +116,33 @@ class TestGateLogic:
         assert extract_throughputs({}) == {}
         assert extract_throughputs(
             {"collectives": None, "sanitizer_fig13b": None,
-             "projection": None, "hybrid_projection": None}
+             "projection": None, "hybrid_projection": None,
+             "wallclock_threaded": None}
         ) == {}
+
+    def test_extract_gates_threaded_sim_but_not_wall(self):
+        """The wallclock_threaded section splits in two: simulated step
+        time joins the hard gate, wall seconds go to the advisory pass."""
+        report = {
+            "wallclock_threaded": {
+                "scenarios": {
+                    "ddp_vit": {
+                        "scenario": "s/ddp_vit/threaded_wall",
+                        "after": {"sim_step_seconds": 0.5,
+                                  "wall_seconds": 0.25},
+                    },
+                    "broken": {"scenario": "s/broken", "after": {}},
+                }
+            }
+        }
+        assert extract_throughputs(report) == {
+            "s/ddp_vit/threaded_wall/sim": 2.0
+        }
+        assert extract_wallclocks(report) == {
+            "s/ddp_vit/threaded_wall/wall": 0.25
+        }
+        assert extract_wallclocks({}) == {}
+        assert extract_wallclocks({"wallclock_threaded": None}) == {}
 
 
 class TestScenarioDrift:
@@ -192,6 +219,33 @@ class TestScenarioDrift:
         self._write(tmp_path, 2, {"collectives": [self._collective("a", 1.0)]})
         assert check(tmp_path) == []
 
+    @staticmethod
+    def _wallclock(scen, wall):
+        return {"wallclock_threaded": {"scenarios": {
+            "s": {"scenario": scen, "after": {"sim_step_seconds": 1.0,
+                                              "wall_seconds": wall}},
+        }}}
+
+    def test_wallclock_growth_warns_but_never_fails(self, tmp_path):
+        """2x slower wall-clock on the same scenario: the advisory pass
+        reports it, the hard gate stays green (sim throughput unchanged)."""
+        self._write(tmp_path, 1, self._wallclock("w", 0.5))
+        self._write(tmp_path, 2, self._wallclock("w", 1.0))
+        assert check(tmp_path) == []
+        warnings = check_wallclocks(tmp_path)
+        assert len(warnings) == 1
+        assert "w/wall" in warnings[0] and "advisory" in warnings[0]
+
+    def test_wallclock_within_tolerance_stays_silent(self, tmp_path):
+        self._write(tmp_path, 1, self._wallclock("w", 0.5))
+        self._write(tmp_path, 2, self._wallclock("w", 0.6))  # +20% < 50%
+        assert check_wallclocks(tmp_path) == []
+
+    def test_wallclock_improvement_stays_silent(self, tmp_path):
+        self._write(tmp_path, 1, self._wallclock("w", 1.0))
+        self._write(tmp_path, 2, self._wallclock("w", 0.3))
+        assert check_wallclocks(tmp_path) == []
+
 
 class TestRepoGate:
     def test_bench_trajectory_has_no_regression(self):
@@ -258,3 +312,39 @@ class TestRepoGate:
         )
         assert p512["peak_memory_bytes"] < pure_dp["peak_memory_bytes"]
         assert p512["wall_clock_per_simulated_second"] > 0
+
+    def test_newest_report_records_wallclock_fastpath(self):
+        """PR-8 acceptance: the threaded DDP ViT Fig-13b scenario runs at
+        >= 2x lower host wall-clock than the frozen pre-fast-path baseline
+        with every simulated metric bitwise unchanged.  The speedup is a
+        recorded measurement (taken at report time on a calm host), not
+        re-measured here — re-timing inside a loaded pytest run would make
+        the gate flaky, which is exactly what the advisory split avoids."""
+        import json
+
+        files = bench_files(ROOT)
+        if not files:
+            pytest.skip("no BENCH_*.json reports")
+        report = json.loads(files[-1].read_text())
+        wc = report.get("wallclock_threaded")
+        if wc is None:
+            pytest.skip("newest report predates the wall-clock fast path")
+        scenarios = wc["scenarios"]
+        assert set(scenarios) >= {"ddp_vit", "zero", "pipeline"}
+        for name, s in scenarios.items():
+            # the hard invariant: the fast path moved no simulated number
+            assert s["sim_metrics_identical"], name
+            for k in ("sim_step_seconds", "wire_bytes", "collective_calls"):
+                assert s["after"][k] == s["before"][k], (name, k)
+        assert scenarios["ddp_vit"]["wall_speedup"] >= 2.0
+
+    def test_repo_wallclock_drift_is_advisory(self):
+        """The advisory pass must run clean over the real trajectory; if it
+        ever reports drift, surface it as a pytest warning, never a
+        failure."""
+        import warnings as _warnings
+
+        if len(bench_files(ROOT)) < 2:
+            pytest.skip("fewer than two BENCH_*.json reports to diff")
+        for line in check_wallclocks(ROOT):
+            _warnings.warn(f"bench gate (advisory): {line}")

@@ -1,0 +1,383 @@
+"""Wall-clock fast-path guard (ISSUE 8, ``pytest -m perf``).
+
+The fast path attacks *host* wall-clock only: pooled comm buffers,
+event-driven rendezvous and spec-mode shortcuts must leave every simulated
+result bitwise identical.  The tests here enforce that contract:
+
+1. pooled vs unpooled runs are bitwise identical — losses, parameters,
+   wire bytes, collective calls and simulated makespan — across
+   DDP / ZeRO / pipeline x overlap x sanitize;
+2. the event-driven rendezvous still diagnoses a :class:`CollectiveDesync`
+   within one diagnosis window (waiters wake on the ``_DIAG_WINDOW``
+   cadence while a sanitizer is installed, and immediately on rank exit);
+3. an unreturned pool loan is detected at end of run and *named*;
+4. deadline accounting is real monotonic elapsed time — condition-variable
+   wake-ups (which the old ``deadline -= poll_interval`` scheme counted as
+   a full poll tick each) no longer shorten the timeout.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops
+from repro.cluster import uniform_cluster
+from repro.comm import Communicator
+from repro.comm.cost import CostModel
+from repro.config import Config
+from repro.context import ParallelContext
+from repro.nn import CrossEntropyLoss, Linear, Module
+from repro.parallel.data import DistributedDataParallel
+from repro.parallel.pipeline import GPipeSchedule, partition_uniform
+from repro.runtime import RemoteRankError, SpmdRuntime
+from repro.runtime.buffer_pool import BufferPool, BufferPoolLeak
+from repro.runtime.errors import CollectiveTimeout
+from repro.sanitize.errors import CollectiveDesync
+from repro.tensor import Tensor
+
+pytestmark = pytest.mark.perf
+
+H, C, B = 16, 4, 8
+LR = 0.05
+LONG_TIMEOUT = 300.0
+
+
+def _pc(ctx):
+    return ParallelContext(ctx, Config.from_dict({}))
+
+
+class _MLP(Module):
+    def __init__(self):
+        super().__init__()
+        self.l1 = Linear(H, 32, rng=np.random.default_rng(11))
+        self.l2 = Linear(32, 32, rng=np.random.default_rng(12))
+        self.l3 = Linear(32, C, rng=np.random.default_rng(13))
+
+    def forward(self, x):
+        return self.l3(ops.gelu(self.l2(ops.gelu(self.l1(x)))))
+
+
+def _batch(step):
+    rng = np.random.default_rng((7, step))
+    X = rng.standard_normal((2 * B, H)).astype(np.float32)
+    Y = rng.integers(0, C, 2 * B)
+    return X, Y
+
+
+def _fingerprint(rt, world):
+    counters = rt.group(tuple(range(world))).counters
+    return {
+        "bytes": counters.bytes_total,
+        "by_op": dict(counters.by_op_bytes),
+        "calls": counters.calls_total,
+        "makespan": rt.max_time(),
+    }
+
+
+# -- pooled vs unpooled bitwise parity --------------------------------------
+
+
+def _train_ddp(pool, overlap, sanitize, world=4, steps=2):
+    rt = SpmdRuntime(
+        uniform_cluster(world), comm_overlap=overlap,
+        sanitize=True if sanitize else None, buffer_pool=pool,
+    )
+    crit = CrossEntropyLoss()
+
+    def prog(ctx):
+        ddp = DistributedDataParallel(
+            _MLP(), ctx_pc := _pc(ctx), bucket_mb=0.002, overlap=overlap
+        )
+        model = ddp.module
+        losses = []
+        for s in range(steps):
+            X, Y = _batch(s)
+            n = X.shape[0] // ctx_pc.data_size
+            loss = crit(
+                ddp(Tensor(X[ctx.rank * n:(ctx.rank + 1) * n].copy())),
+                Y[ctx.rank * n:(ctx.rank + 1) * n],
+            )
+            loss.backward()
+            ddp.sync()
+            for p in model.parameters():
+                p.payload[...] = p.payload - LR * p.grad.payload
+                p.grad = None
+            losses.append(loss.item())
+        return losses, [p.numpy().copy() for p in model.parameters()]
+
+    results = rt.run(prog)
+    return results, _fingerprint(rt, world), rt
+
+
+def _train_zero(pool, overlap, sanitize, world=2, steps=2):
+    from repro.zero import ZeroOffloadEngine
+    from repro.zero.policies import NoOffloadPolicy
+
+    class Block(Module):
+        def __init__(self, seed, out=H):
+            super().__init__()
+            self.lin = Linear(H, out, rng=np.random.default_rng(seed))
+
+        def forward(self, x):
+            y = self.lin(x)
+            return ops.gelu(y) if self.lin.out_features == H else y
+
+    rt = SpmdRuntime(
+        uniform_cluster(world), comm_overlap=overlap,
+        sanitize=True if sanitize else None, buffer_pool=pool,
+    )
+    crit = CrossEntropyLoss()
+
+    def prog(ctx):
+        comm = Communicator.world(ctx)
+        blocks = [Block(21), Block(22), Block(23, out=C)]
+        pol = NoOffloadPolicy(ctx.device, ctx.cpu, CostModel(ctx.cluster), ctx.rank)
+        eng = ZeroOffloadEngine(
+            ctx, blocks, comm, pol, criterion=crit,
+            chunk_mb=0.001, lr=1e-2, param_dtype="float32", overlap=overlap,
+        )
+        losses = []
+        for s in range(steps):
+            X, Y = _batch(s)
+            n = X.shape[0] // world
+            losses.append(
+                eng.train_step(X[ctx.rank * n:(ctx.rank + 1) * n],
+                               Y[ctx.rank * n:(ctx.rank + 1) * n])
+            )
+        eng.gather_parameters()
+        return losses, [b.lin.weight.numpy().copy() for b in blocks]
+
+    results = rt.run(prog)
+    return results, _fingerprint(rt, world), rt
+
+
+def _run_pipeline(pool, overlap, sanitize, stages=2, microbatches=4):
+    rt = SpmdRuntime(
+        uniform_cluster(stages), comm_overlap=overlap,
+        sanitize=True if sanitize else None, buffer_pool=pool,
+    )
+    crit = CrossEntropyLoss()
+    X, Y = _batch(0)
+
+    class Stage(Module):
+        def __init__(self, idxs, with_tail):
+            super().__init__()
+            self.layers = [Linear(H, H, rng=np.random.default_rng((31, i)))
+                           for i in idxs]
+            for i, l in enumerate(self.layers):
+                setattr(self, f"lin{i}", l)
+            self.head = (
+                Linear(H, C, rng=np.random.default_rng(35)) if with_tail else None
+            )
+
+        def forward(self, x):
+            for l in self.layers:
+                x = ops.gelu(l(x))
+            return self.head(x) if self.head is not None else x
+
+    def prog(ctx):
+        pc = ParallelContext(
+            ctx,
+            Config.from_dict(
+                dict(parallel=dict(pipeline=stages), num_microbatches=microbatches)
+            ),
+        )
+        s, e = partition_uniform(4, stages)[pc.pp_rank]
+        stage = Stage(range(s, e), with_tail=pc.is_last_pipeline_stage())
+        sched = GPipeSchedule(pc, microbatches)
+        loss = sched.run(
+            stage,
+            X.copy() if pc.is_first_pipeline_stage() else None,
+            Y if pc.is_last_pipeline_stage() else None,
+            crit,
+        )
+        return loss, stage.layers[0].weight.grad.numpy().copy()
+
+    results = rt.run(prog)
+    return results, _fingerprint(rt, stages), rt
+
+
+def _assert_identical(res_pooled, res_plain, fp_pooled, fp_plain):
+    for (loss_p, arrs_p), (loss_u, arrs_u) in zip(res_pooled, res_plain):
+        assert loss_p == loss_u  # floats compared exact: bitwise
+        arrs_p = arrs_p if isinstance(arrs_p, list) else [arrs_p]
+        arrs_u = arrs_u if isinstance(arrs_u, list) else [arrs_u]
+        for a, b in zip(arrs_p, arrs_u):
+            np.testing.assert_array_equal(a, b)
+    assert fp_pooled == fp_plain
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+@pytest.mark.parametrize("sanitize", [False, True])
+class TestPooledParity:
+    def test_ddp(self, overlap, sanitize):
+        res_pool, fp_pool, rt = _train_ddp(True, overlap, sanitize)
+        res_plain, fp_plain, _ = _train_ddp(False, overlap, sanitize)
+        _assert_identical(res_pool, res_plain, fp_pool, fp_plain)
+        # the pooled run must actually exercise the pool, and the flat
+        # buckets restocked after step 1 must be reused in step 2
+        assert rt.buffer_pool.loans > 0
+        assert rt.buffer_pool.reuses > 0
+
+    def test_zero(self, overlap, sanitize):
+        res_pool, fp_pool, rt = _train_zero(True, overlap, sanitize)
+        res_plain, fp_plain, _ = _train_zero(False, overlap, sanitize)
+        _assert_identical(res_pool, res_plain, fp_pool, fp_plain)
+        assert rt.buffer_pool.loans > 0
+
+    def test_pipeline(self, overlap, sanitize):
+        res_pool, fp_pool, _ = _run_pipeline(True, overlap, sanitize)
+        res_plain, fp_plain, _ = _run_pipeline(False, overlap, sanitize)
+        _assert_identical(res_pool, res_plain, fp_pool, fp_plain)
+
+
+# -- event-driven rendezvous semantics --------------------------------------
+
+
+class TestEventDrivenRendezvous:
+    def test_desync_diagnosed_within_one_window(self):
+        """A rank exiting without joining a collective must convict the
+        round in ~one diagnosis window, not a deadlock timeout — the
+        waiter's sanitizer tick survived the event-driven rewrite (and the
+        exiting rank's ``_wake_all`` makes the diagnosis immediate)."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                c = Communicator.world(ctx)
+                return c.all_reduce(np.ones(4, dtype=np.float32))
+            return None  # rank 1 exits without joining
+
+        rt = SpmdRuntime(
+            uniform_cluster(2), deadlock_timeout=LONG_TIMEOUT, sanitize=True
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RemoteRankError) as ei:
+            rt.run(prog)
+        elapsed = time.monotonic() - t0
+        assert isinstance(ei.value.__cause__, CollectiveDesync)
+        assert elapsed < LONG_TIMEOUT / 10
+
+    def test_async_handle_desync_diagnosed_fast(self):
+        """Same guarantee for a waiter parked in an async collective
+        handle (the second of the two deduplicated wait loops)."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                c = Communicator.world(ctx)
+                return c.iallreduce(np.ones(4, dtype=np.float32)).wait()
+            return None
+
+        rt = SpmdRuntime(
+            uniform_cluster(2), deadlock_timeout=LONG_TIMEOUT,
+            sanitize=True, comm_overlap=True,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RemoteRankError) as ei:
+            rt.run(prog)
+        elapsed = time.monotonic() - t0
+        assert isinstance(ei.value.__cause__, CollectiveDesync)
+        assert elapsed < LONG_TIMEOUT / 10
+
+    def test_failure_wakes_parked_rendezvous_immediately(self):
+        """With no sanitizer there are no diagnosis ticks at all; a peer
+        failure must still interrupt a parked waiter right away via the
+        runtime's wake broadcast (not after the deadlock timeout)."""
+
+        def prog(ctx):
+            c = Communicator.world(ctx)
+            if ctx.rank == 1:
+                raise ValueError("boom")
+            return c.all_reduce(np.ones(4, dtype=np.float32))
+
+        rt = SpmdRuntime(uniform_cluster(2), deadlock_timeout=LONG_TIMEOUT)
+        t0 = time.monotonic()
+        with pytest.raises(RemoteRankError, match="boom"):
+            rt.run(prog)
+        assert time.monotonic() - t0 < LONG_TIMEOUT / 10
+
+    def test_timeout_measures_real_elapsed_time(self):
+        """Frequent condition wake-ups (here: mailbox puts for an unrelated
+        tag) must not shorten the recv deadline.  The old accounting
+        subtracted a full poll interval per wake-up, so 50 early notifies
+        burned 2.5 s of a 0.6 s budget instantly; real monotonic elapsed
+        time is immune."""
+        TIMEOUT = 0.6
+
+        def prog(ctx):
+            c = Communicator.world(ctx)
+            if ctx.rank == 1:
+                for _ in range(50):  # each put notifies the mailbox cond
+                    c.send(np.ones(1, dtype=np.float32), dst=0, tag="spam")
+                return None
+            t0 = time.monotonic()
+            try:
+                c.recv(src=1, tag="never")
+            except CollectiveTimeout:
+                return time.monotonic() - t0
+            return None
+
+        rt = SpmdRuntime(uniform_cluster(2), deadlock_timeout=TIMEOUT)
+        elapsed = rt.run(prog)[0]
+        assert elapsed is not None, "recv did not time out"
+        assert elapsed >= TIMEOUT * 0.9
+
+
+# -- pool lifecycle ----------------------------------------------------------
+
+
+class TestBufferPool:
+    def test_leak_detected_and_named(self):
+        """A loan that is neither restocked nor adopted must fail the run
+        with the loan's label in the error."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.runtime.buffer_pool.loan((8,), np.float32, "test.leaky")
+
+        rt = SpmdRuntime(uniform_cluster(2))
+        with pytest.raises(BufferPoolLeak, match="test.leaky"):
+            rt.run(prog)
+        # the leak report drains outstanding state: the runtime is reusable
+        rt.run(lambda ctx: None)
+
+    def test_loan_restock_reuses_buffer(self):
+        pool = BufferPool()
+        a = pool.loan((16,), np.float32, "x")
+        pool.restock(a)
+        b = pool.loan((16,), np.float32, "x")
+        assert b is a
+        assert pool.reuses == 1
+        pool.restock(b)
+        # different shape or dtype never shares storage
+        c = pool.loan((17,), np.float32, "x")
+        d = pool.loan((16,), np.float64, "x")
+        assert c is not a and d is not a
+        pool.restock(c)
+        pool.restock(d)
+        pool.check_leaks()
+
+    def test_adopt_removes_from_tracking(self):
+        pool = BufferPool()
+        a = pool.loan((4,), np.float32, "escapes")
+        pool.adopt(a)
+        pool.check_leaks()  # no leak
+        pool.restock(a)  # donation of an adopted buffer is also legal
+        assert pool.loan((4,), np.float32, "y") is a
+
+    def test_restock_drops_frozen_views_and_noncontiguous(self):
+        """Race-detector loans stay frozen until final_release; the pool
+        must refuse to recirculate them (and any view/non-contiguous
+        array) rather than hand out a read-only or aliased buffer."""
+        pool = BufferPool()
+        frozen = pool.loan((4,), np.float32, "frozen")
+        frozen.flags.writeable = False
+        pool.restock(frozen)
+        z = pool.loan((4,), np.float32, "z")
+        assert z is not frozen
+        pool.restock(z)
+
+        base = np.zeros((4, 4), dtype=np.float32)
+        pool.restock(base[1])  # view
+        pool.restock(np.asfortranarray(np.zeros((3, 3))).T[::2])
+        pool.check_leaks()
