@@ -8,10 +8,17 @@ real change to the cost model, the collective algorithms or a scheduler,
 never measurement noise; the threshold only leaves room for intentional
 model refinements that are documented in the PR.
 
-Host wall-clock (the ``wallclock_threaded`` section) is the one
-machine-dependent family of metrics: :func:`check_wallclocks` diffs it
-too, but only ever emits *warnings* — a slow CI box must never fail the
-gate, while a genuine fast-path regression still leaves a visible trail.
+Host wall-clock (the ``wallclock_threaded`` section and the strategy
+compiler's ``compile_wall_seconds``) is the one machine-dependent family
+of metrics: :func:`check_wallclocks` diffs it too, but only ever emits
+*warnings* — a slow CI box must never fail the gate, while a genuine
+fast-path regression still leaves a visible trail.
+
+The ``autopar_strategy`` section additionally carries an *intra-report*
+invariant (:func:`check_mode_switch`): the pinned Fig-11 System II
+scenario must choose the TP mode whose refined step time is the minimum
+of ``mode_times`` — i.e. the compiler never regresses to picking the
+slower-scoring mode on the hardware the paper's figure turns on.
 
 Run standalone (exit 1 on regression)::
 
@@ -95,6 +102,21 @@ def extract_throughputs(report: Dict[str, Any]) -> Dict[str, float]:
                 continue
             put(f"{s['scenario']}/sim",
                 lambda s=s: 1.0 / s["after"]["sim_step_seconds"])
+    ap = report.get("autopar_strategy")
+    if isinstance(ap, dict):
+        # the compiled plan's refined step time is simulated seconds and
+        # gated; compile_wall_seconds is host time (extract_wallclocks)
+        for c in ap.get("compiles") or []:
+            if not isinstance(c, dict) or "scenario" not in c:
+                continue
+            put(f"{c['scenario']}/refined",
+                lambda c=c: 1.0 / c["refined_step_seconds"])
+        for name, f11 in (ap.get("fig11_mode_switch") or {}).items():
+            if not isinstance(f11, dict) or "scenario" not in f11:
+                continue
+            for mode, seconds in (f11.get("mode_times") or {}).items():
+                put(f"{f11['scenario']}/{mode}",
+                    lambda seconds=seconds: 1.0 / seconds)
     return out
 
 
@@ -104,23 +126,31 @@ WALL_TOLERANCE = 0.50
 
 
 def extract_wallclocks(report: Dict[str, Any]) -> Dict[str, float]:
-    """Flatten the ``wallclock_threaded`` section into ``scenario-key ->
-    wall seconds`` (lower is better).  Wall-clock is machine-dependent, so
-    these values feed the *advisory* :func:`check_wallclocks` pass only —
-    they are never part of the failing gate."""
+    """Flatten the host-time metrics (``wallclock_threaded`` scenarios and
+    the strategy compiler's ``compile_wall_seconds``) into ``scenario-key
+    -> wall seconds`` (lower is better).  Wall-clock is machine-dependent,
+    so these values feed the *advisory* :func:`check_wallclocks` pass only
+    — they are never part of the failing gate."""
     out: Dict[str, float] = {}
     wc = report.get("wallclock_threaded")
-    if not isinstance(wc, dict):
-        return out
-    for name, s in (wc.get("scenarios") or {}).items():
-        if not isinstance(s, dict):
-            continue
-        try:
-            wall = s["after"]["wall_seconds"]
-        except (KeyError, TypeError):
-            continue
-        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
-            out[f"{s.get('scenario', name)}/wall"] = float(wall)
+    if isinstance(wc, dict):
+        for name, s in (wc.get("scenarios") or {}).items():
+            if not isinstance(s, dict):
+                continue
+            try:
+                wall = s["after"]["wall_seconds"]
+            except (KeyError, TypeError):
+                continue
+            if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+                out[f"{s.get('scenario', name)}/wall"] = float(wall)
+    ap = report.get("autopar_strategy")
+    if isinstance(ap, dict):
+        for c in ap.get("compiles") or []:
+            if not isinstance(c, dict) or "scenario" not in c:
+                continue
+            wall = c.get("compile_wall_seconds")
+            if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+                out[f"{c['scenario']}/compile_wall"] = float(wall)
     return out
 
 
@@ -151,6 +181,44 @@ def check_wallclocks(
                     f"wall-clock is machine-dependent"
                 )
     return warnings
+
+
+def check_mode_switch(report: Dict[str, Any]) -> List[str]:
+    """Intra-report invariant over the pinned Fig-11 scenarios: each
+    system's ``chosen_mode`` must be the argmin of its ``mode_times``, and
+    System II — the NVLink-pair topology the paper's figure turns on —
+    must keep preferring 2D over 1D at t=4.  A violation means the
+    compiler would now emit the slower-scoring mode, which is a hard
+    failure, not drift: the inputs are pinned and the times simulated.
+    Reports that predate the section (or carry a malformed one) are simply
+    not checked — the gate never fails on *absent* coverage here, the
+    removed-scenario warning in :func:`check` covers that."""
+    ap = report.get("autopar_strategy")
+    if not isinstance(ap, dict):
+        return []
+    problems: List[str] = []
+    for system, f11 in (ap.get("fig11_mode_switch") or {}).items():
+        if not isinstance(f11, dict):
+            continue
+        times = f11.get("mode_times")
+        chosen = f11.get("chosen_mode")
+        if not isinstance(times, dict) or chosen not in times:
+            continue
+        best = min(times, key=times.get)
+        if times[chosen] > times[best]:
+            problems.append(
+                f"{f11.get('scenario', system)}: chose {chosen} "
+                f"({times[chosen]:.4g}s) over faster {best} "
+                f"({times[best]:.4g}s)"
+            )
+        if system == "system_ii" and "2d" in times and "1d" in times \
+                and times["2d"] >= times["1d"]:
+            problems.append(
+                f"{f11.get('scenario', system)}: 2D no longer beats 1D on "
+                f"System II (2d={times['2d']:.4g}s vs "
+                f"1d={times['1d']:.4g}s) — the Fig-11 mode switch regressed"
+            )
+    return problems
 
 
 def compare(
@@ -186,7 +254,9 @@ def check(
     warnings: Optional[List[str]] = None,
 ) -> List[str]:
     """Diff the newest report against every prior one; returns human-readable
-    regression lines (empty = gate passes).
+    regression lines (empty = gate passes).  The newest report's own
+    intra-report invariants (:func:`check_mode_switch`) are checked first
+    — those fail even when there is no prior report to diff against.
 
     Scenario sets are allowed to differ between reports: scenarios only the
     newest report measures are simply new coverage, and scenarios a prior
@@ -197,11 +267,16 @@ def check(
     which means the runner stopped covering prior workloads entirely and
     is a hard problem."""
     files = bench_files(root)
-    if len(files) < 2:
+    if not files:
         return []
     newest = files[-1]
-    new = extract_throughputs(json.loads(newest.read_text()))
-    problems: List[str] = []
+    newest_report = json.loads(newest.read_text())
+    problems: List[str] = [
+        f"{newest.name}: {line}" for line in check_mode_switch(newest_report)
+    ]
+    if len(files) < 2:
+        return problems
+    new = extract_throughputs(newest_report)
     for prior in files[:-1]:
         old = extract_throughputs(json.loads(prior.read_text()))
         shared = len(set(new) & set(old))
@@ -236,8 +311,8 @@ def main() -> int:
     args = ap.parse_args()
     root = Path(args.root)
     files = bench_files(root)
-    if len(files) < 2:
-        print(f"bench gate: {len(files)} report(s) under {root} — nothing to diff")
+    if not files:
+        print(f"bench gate: no reports under {root} — nothing to check")
         return 0
     warnings: List[str] = []
     problems = check(root, args.tolerance, warnings=warnings)
@@ -250,10 +325,16 @@ def main() -> int:
             print(f"  {line}")
         return 1
     names = ", ".join(p.name for p in files[:-1])
-    print(
-        f"bench gate OK: {files[-1].name} holds throughput within "
-        f"{args.tolerance:.0%} of {names}"
-    )
+    if names:
+        print(
+            f"bench gate OK: {files[-1].name} holds throughput within "
+            f"{args.tolerance:.0%} of {names}"
+        )
+    else:
+        print(
+            f"bench gate OK: {files[-1].name} intra-report invariants hold "
+            f"(no prior report to diff)"
+        )
     return 0
 
 

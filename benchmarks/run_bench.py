@@ -13,7 +13,7 @@ section measures what the *threaded* simulator costs in host seconds and
 diffs it against the frozen pre-fast-path baseline
 (``wallclock_baseline.json``).  Run from the repo root::
 
-    PYTHONPATH=src:benchmarks python benchmarks/run_bench.py [--out BENCH_8.json]
+    PYTHONPATH=src:benchmarks python benchmarks/run_bench.py [--out BENCH_9.json]
 
 ``--jobs N`` farms the independent report sections to worker processes
 (the sections share nothing; every scenario builds its own runtime) and
@@ -32,7 +32,13 @@ import os
 import time
 from typing import Any, Dict, List
 
-from repro.cluster import system_i, system_ii, system_iii, uniform_cluster
+from repro.cluster import (
+    system_i,
+    system_ii,
+    system_iii,
+    system_iv,
+    uniform_cluster,
+)
 from repro.comm import CostModel, SpecArray
 from repro.config import Config
 from repro.context import ParallelContext
@@ -492,6 +498,84 @@ def wallclock_scenarios() -> Dict[str, Any]:
     return out
 
 
+#: (system label, cluster factory, world, global batch) for the strategy
+#: compiler end-to-end runs.  System IV exercises the model-mode path: the
+#: probe runs at <= 16 ranks and the projector prices the DP widening.
+AUTOPAR_SYSTEMS = [
+    ("system_i", system_i, 8, 256),
+    ("system_ii", system_ii, 8, 256),
+    ("system_iv", system_iv, 64, 512),
+]
+
+
+def autopar_scenarios() -> Dict[str, Any]:
+    """End-to-end strategy compiles plus the pinned Fig-11 mode-switch
+    scenario.
+
+    ``compiles`` records, per system, the plan the compiler chose with its
+    analytic and refined step times (simulated seconds — deterministic and
+    gated) and the host wall-clock of the compile itself (advisory).
+
+    ``fig11_mode_switch`` is the hardware-dependent TP mode flip of Fig 11
+    pinned as data: the *same* tensor-parallel degree (t=4, dp=2) priced as
+    1D vs 2D on System I (uniform intra-node links: 1D wins) and System II
+    (NVLink pairs + PCIe cross-pairs: 2D wins).  ``chosen_mode`` must equal
+    the argmin of ``mode_times`` — check_regression gates that the System
+    II scenario never regresses to the slower mode."""
+    from repro.autopar import (
+        StrategyCandidate,
+        Workload,
+        compile_strategy,
+        refine_candidate,
+        score_candidate,
+    )
+
+    work = Workload(n_layers=16, hidden=3072, n_heads=48, seq_len=196)
+    out: Dict[str, Any] = {"compiles": [], "fig11_mode_switch": {}}
+    for sys_name, mk, world, batch in AUTOPAR_SYSTEMS:
+        cluster = mk()
+        t0 = time.perf_counter()
+        compiled = compile_strategy(
+            cluster, work, batch, world_size=world, max_probe_world=16)
+        wall = time.perf_counter() - t0
+        refined = compiled.refined
+        out["compiles"].append({
+            "scenario": f"autopar/{sys_name}/w{world}",
+            "system": sys_name,
+            "world": world,
+            "global_batch": batch,
+            "plan": compiled.candidate.describe(),
+            "analytic_step_seconds": compiled.score.step_seconds,
+            "refined_step_seconds":
+                refined.step_seconds if refined else None,
+            "refined_mode": refined.mode if refined else None,
+            "probe_world": refined.probe_world if refined else None,
+            "candidates_scored": len(compiled.report.scored),
+            "candidates_rejected":
+                sum(compiled.report.rejection_counts().values()),
+            # host seconds for the whole search (enumerate + score +
+            # shortlist probes); advisory like every wall field
+            "compile_wall_seconds": round(wall, 4),
+        })
+    for sys_name, mk in (("system_i", system_i), ("system_ii", system_ii)):
+        cluster = mk()
+        mode_times: Dict[str, float] = {}
+        for mode in ("1d", "2d"):
+            cand = StrategyCandidate(
+                data=2, tensor=4, mode=mode, pipeline=1, algorithm="auto")
+            score = score_candidate(cluster, work, cand, 256)
+            refined = refine_candidate(cluster, work, cand, 256, score)
+            mode_times[mode] = refined.step_seconds
+        out["fig11_mode_switch"][sys_name] = {
+            "scenario": f"autopar/fig11_{sys_name}_t4",
+            "world": 8,
+            "tensor": 4,
+            "mode_times": mode_times,
+            "chosen_mode": min(mode_times, key=mode_times.get),
+        }
+    return out
+
+
 #: section key -> producer; execution order (report key order is fixed in
 #: ``main`` regardless).  ``wallclock_threaded`` deliberately runs first:
 #: its host-second readings are the one machine-sensitive output, so they
@@ -505,6 +589,7 @@ SECTIONS = [
     ("overlap_fig13b", overlap_scenarios),
     ("projection", projection_scenarios),
     ("hybrid_projection", hybrid_projection_scenarios),
+    ("autopar_strategy", autopar_scenarios),
     ("vit_system_ii_1d", vit_scenarios),
 ]
 
@@ -557,7 +642,7 @@ def headline(collectives: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_8.json")
+    ap.add_argument("--out", default="BENCH_9.json")
     ap.add_argument(
         "--skip-vit", action="store_true",
         help="collective sweeps only (the ViT sweep takes ~1 min)",
@@ -579,15 +664,17 @@ def main() -> None:
     projection = sections["projection"]
     hybrid = sections["hybrid_projection"]
     wallclock_threaded = sections["wallclock_threaded"]
+    autopar = sections["autopar_strategy"]
     report: Dict[str, Any] = {
-        "pr": 8,
-        "description": "Wall-clock fast path: event-driven rendezvous, "
-        "pooled comm buffers and spec-mode shortcuts measured as "
-        "before/after host wall-clock on the threaded DDP ViT, ZeRO and "
-        "SP-pipeline scenarios with bitwise-identical simulated metrics "
-        "(wallclock_threaded section), on top of the PR-7 hybrid "
-        "projection, PR-6 projection, PR-5 overlap, PR-4 sanitizer and "
-        "PR-3 algorithm-selection scenarios",
+        "pr": 9,
+        "description": "Auto-parallel strategy compiler: cost-driven "
+        "search over DP x TP mode x PP schedule x ZeRO x overlap x "
+        "collective algorithm with projector-refined shortlists, compiled "
+        "end-to-end on Systems I/II/IV plus the pinned Fig-11 "
+        "hardware-dependent TP mode switch (autopar_strategy section), on "
+        "top of the PR-8 wall-clock fast path, PR-7 hybrid projection, "
+        "PR-6 projection, PR-5 overlap, PR-4 sanitizer and PR-3 "
+        "algorithm-selection scenarios",
         "headline": headline(collectives),
         "collectives": collectives,
         "sanitizer_fig13b": sanitize,
@@ -595,6 +682,7 @@ def main() -> None:
         "projection": projection,
         "hybrid_projection": hybrid,
         "wallclock_threaded": wallclock_threaded,
+        "autopar_strategy": autopar,
     }
     if not args.skip_vit:
         report["vit_system_ii_1d"] = sections["vit_system_ii_1d"]
@@ -645,6 +733,18 @@ def main() -> None:
             f"-> {w['after']['wall_seconds']}s ({w['wall_speedup']:.2f}x), "
             f"sim metrics identical={w['sim_metrics_identical']}"
         )
+    for c in autopar["compiles"]:
+        print(
+            f"  autopar {c['system']} w{c['world']}: {c['plan']} — "
+            f"{c['refined_step_seconds']:.4f}s/step sim "
+            f"({c['candidates_scored']} candidates, compiled in "
+            f"{c['compile_wall_seconds']:.2f}s wall)"
+        )
+    for name, f11 in autopar["fig11_mode_switch"].items():
+        times = ", ".join(
+            f"{m}={t:.3f}s" for m, t in f11["mode_times"].items())
+        print(f"  autopar Fig-11 {name} t=4: {times} -> "
+              f"{f11['chosen_mode']}")
 
 
 if __name__ == "__main__":

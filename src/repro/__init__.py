@@ -21,6 +21,7 @@ Quickstart (Listing 1 of the paper)::
     repro.launch(config, system_i(), train, world_size=4)
 """
 
+from repro.autopar.compiler import compile_strategy
 from repro.config import Config
 from repro.context import ParallelContext, ParallelMode, global_context
 from repro.engine import Engine, initialize, launch
@@ -32,6 +33,7 @@ from repro.trace import Tracer, TraceReport
 __version__ = "1.0.0"
 
 __all__ = [
+    "compile_strategy",
     "Config",
     "ParallelContext",
     "ParallelMode",

@@ -15,13 +15,17 @@ from repro.analytic.commvolume import (
 )
 from repro.analytic.memory_model import (
     adam_model_data_bytes,
+    model_data_bytes_per_rank,
     transformer_activation_bytes,
     transformer_param_count,
+    zero_partitioned_bytes,
 )
 from repro.analytic.perf_model import (
     data_parallel_step_comm_time,
+    overlap_exposed_seconds,
     transformer_layer_flops,
     training_flops_per_token,
+    zero_step_comm_time,
 )
 
 __all__ = [
@@ -36,4 +40,8 @@ __all__ = [
     "transformer_layer_flops",
     "training_flops_per_token",
     "data_parallel_step_comm_time",
+    "model_data_bytes_per_rank",
+    "overlap_exposed_seconds",
+    "zero_partitioned_bytes",
+    "zero_step_comm_time",
 ]

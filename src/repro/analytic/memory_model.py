@@ -61,6 +61,34 @@ def zero_partitioned_bytes(
     return n_params * sharded
 
 
+def model_data_bytes_per_rank(
+    n_params: int,
+    data: int = 1,
+    zero_stage: int = 0,
+    param_bytes: int = 2,
+    grad_bytes: int = 2,
+    master: bool = True,
+) -> int:
+    """Per-rank model-data bytes for ``n_params`` local parameters when a
+    ZeRO ``zero_stage`` partitions part of the budget across a ``data``-wide
+    data-parallel group.
+
+    The partitionable slice (:func:`zero_partitioned_bytes`) shrinks to
+    ``ceil(slice / data)`` per rank; the remainder is replicated on every
+    rank.  ``zero_stage=0`` (or ``data=1``) returns the plain
+    :func:`adam_model_data_bytes` budget."""
+    full = adam_model_data_bytes(
+        n_params, param_bytes=param_bytes, grad_bytes=grad_bytes, master=master
+    )
+    if zero_stage == 0 or data <= 1:
+        return full
+    sharded = zero_partitioned_bytes(
+        n_params, stage=zero_stage, param_bytes=param_bytes,
+        grad_bytes=grad_bytes, master=master,
+    )
+    return full - sharded + -(-sharded // data)  # ceil division
+
+
 def tp_partitioned_bytes(
     n_params: int,
     param_bytes: int = 2,

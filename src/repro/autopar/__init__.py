@@ -1,6 +1,6 @@
 """Automatic parallelization (§3.3 + §6 future work of the paper).
 
-Two pieces:
+Three pieces:
 
 * :mod:`repro.autopar.conversion` — sharded-layout conversion search.  The
   paper improves on Alpa's hardcoded conversion table with "a greedy
@@ -16,6 +16,15 @@ Two pieces:
   pipeline) decompositions for a Transformer workload, predict the step
   time from the analytic compute/communication models over the *actual*
   topology, reject plans that do not fit device memory, and rank the rest.
+
+* :mod:`repro.autopar.compiler` — the full strategy compiler built on the
+  advisor's models: cost-driven search over DP x TP mode x PP
+  schedule x ZeRO stage x overlap x collective algorithm
+  (:mod:`~repro.autopar.search`), analytic pruning with per-candidate
+  rejection reasons (:mod:`~repro.autopar.scoring`), projector-based
+  refinement of the shortlist via simulated skeleton probes
+  (:mod:`~repro.autopar.probe`), emitting a ready-to-run
+  :class:`repro.config.Config`.
 """
 
 from repro.autopar.conversion import (
@@ -25,7 +34,26 @@ from repro.autopar.conversion import (
     convert_payload,
     plan_conversion,
 )
-from repro.autopar.advisor import ParallelPlan, PlanEstimate, suggest_plans
+from repro.autopar.advisor import (
+    ParallelPlan,
+    PlanEstimate,
+    Workload,
+    suggest_plans,
+)
+from repro.autopar.compiler import (
+    CompiledStrategy,
+    RefinedEstimate,
+    StrategyReport,
+    compile_strategy,
+    refine_candidate,
+    simulate_candidate,
+)
+from repro.autopar.scoring import CandidateScore, score_candidate
+from repro.autopar.search import (
+    SearchSpace,
+    StrategyCandidate,
+    enumerate_candidates,
+)
 
 __all__ = [
     "Layout",
@@ -35,5 +63,17 @@ __all__ = [
     "convert_payload",
     "ParallelPlan",
     "PlanEstimate",
+    "Workload",
     "suggest_plans",
+    "StrategyCandidate",
+    "SearchSpace",
+    "enumerate_candidates",
+    "CandidateScore",
+    "score_candidate",
+    "CompiledStrategy",
+    "RefinedEstimate",
+    "StrategyReport",
+    "compile_strategy",
+    "refine_candidate",
+    "simulate_candidate",
 ]

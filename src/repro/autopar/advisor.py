@@ -36,7 +36,7 @@ from repro.analytic.commvolume import (
     comm_volume_3d,
 )
 from repro.analytic.memory_model import (
-    adam_model_data_bytes,
+    model_data_bytes_per_rank,
     transformer_activation_bytes,
     transformer_param_count,
 )
@@ -197,14 +197,22 @@ def estimate_plan(
     work: Workload,
     plan: ParallelPlan,
     global_batch: int,
+    zero_stage: int = 0,
 ) -> PlanEstimate:
     dev = cluster.gpus[0]
     p_total = plan.data * plan.tensor * plan.pipeline
     params = transformer_param_count(work.n_layers, work.hidden, mlp_ratio=work.mlp_ratio)
     tokens = global_batch * work.seq_len
 
-    # ---- memory (per rank): sharded model data + one microbatch's activations
-    model_bytes = adam_model_data_bytes(params) // (plan.tensor * plan.pipeline)
+    # ---- memory (per rank): sharded model data + one microbatch's
+    # activations.  A ZeRO stage additionally partitions the partitionable
+    # slice of the local model data across the data-parallel group — without
+    # this the advisor priced every plan ZeRO-free and rejected
+    # configurations the paper runs (e.g. ZeRO-3 10B-param fine-tuning).
+    params_local = params // (plan.tensor * plan.pipeline)
+    model_bytes = model_data_bytes_per_rank(
+        params_local, data=plan.data, zero_stage=zero_stage
+    )
     micro_batch = max(global_batch // (plan.data * work.microbatches), 1)
     layers_local = math.ceil(work.n_layers / plan.pipeline)
     act_plain = transformer_activation_bytes(
@@ -263,6 +271,11 @@ def estimate_plan(
         else 0.0
     )
     step = (compute_s + tp_s) / (1 - bubble) + dp_s
+    notes = []
+    if use_ckpt:
+        notes.append("checkpointing")
+    if zero_stage and plan.data > 1:
+        notes.append(f"zero{zero_stage}")
     return PlanEstimate(
         plan=plan,
         step_seconds=step,
@@ -272,7 +285,7 @@ def estimate_plan(
         bubble_fraction=bubble,
         memory_bytes=int(mem),
         fits=fits,
-        notes="checkpointing" if use_ckpt else "",
+        notes="+".join(notes),
     )
 
 
@@ -282,9 +295,11 @@ def suggest_plans(
     global_batch: int,
     world_size: Optional[int] = None,
     top_k: int = 5,
+    zero_stage: int = 0,
 ) -> List[PlanEstimate]:
     """Enumerate, estimate and rank parallel plans; infeasible (OOM) plans
-    are dropped.  Returns the ``top_k`` fastest."""
+    are dropped.  Returns the ``top_k`` fastest.  ``zero_stage`` prices the
+    memory feasibility check with the ZeRO partitioning applied."""
     world = world_size or cluster.world_size
     results: List[PlanEstimate] = []
     for tensor in [d for d in range(1, world + 1) if world % d == 0]:
@@ -299,7 +314,9 @@ def suggest_plans(
                 if mode in ("1d",) and work.n_heads % tensor:
                     continue
                 plan = ParallelPlan(data, tensor, mode, pipeline, depth)
-                est = estimate_plan(cluster, work, plan, global_batch)
+                est = estimate_plan(
+                    cluster, work, plan, global_batch, zero_stage=zero_stage
+                )
                 if est.fits:
                     results.append(est)
     results.sort(key=lambda e: e.step_seconds)

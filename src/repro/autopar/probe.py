@@ -1,0 +1,156 @@
+"""Skeleton probes: runnable SPMD stand-ins for a strategy candidate.
+
+The refinement stage of the compiler does not simulate the full model —
+it runs a *skeleton* of the candidate: per-rank clock advances for the
+compute and the candidate's exact communication pattern as real
+collectives on the real subgroups (tensor rows/columns, pipeline chains,
+data-parallel/ZeRO sync), built from the same :class:`TpOp`/:class:`DpOp`
+records the analytic stage prices (:mod:`repro.autopar.scoring`).
+
+Because the probe runs on the ordinary threaded runtime, it can be
+captured (:func:`repro.project.capture_run`) and replayed in recorded mode
+bit-for-bit — so the compiler's refined step time *is* the simulator's
+step time for the skeleton, exactly.  GPipe and 1F1B produce the same
+skeleton op stream (same per-microbatch work, same boundary traffic, same
+bubble); they differ in *live activation memory*, which the compiler
+accounts analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from repro.autopar.advisor import Workload
+from repro.autopar.scoring import (
+    dp_step_ops,
+    local_layers,
+    micro_batch_size,
+    tp_layer_ops,
+)
+from repro.autopar.search import StrategyCandidate
+from repro.comm.payload import SpecArray
+from repro.config import Config
+from repro.context.parallel_context import ParallelContext, ParallelMode
+
+#: TpOp ``group`` family -> the ParallelContext mode realizing it, per
+#: tensor mode (the context's row/col groups match the advisor's — rows on
+#: consecutive ranks, columns strided)
+_FAMILY_MODES: Dict[Tuple[str, str], ParallelMode] = {
+    ("1d", "tp"): ParallelMode.TENSOR,
+    ("sequence", "tp"): ParallelMode.TENSOR,
+    ("2d", "row"): ParallelMode.PARALLEL_2D_ROW,
+    ("2d", "col"): ParallelMode.PARALLEL_2D_COL,
+    ("2.5d", "row"): ParallelMode.PARALLEL_2P5D_ROW,
+    ("2.5d", "col"): ParallelMode.PARALLEL_2P5D_COL,
+    ("3d", "row"): ParallelMode.PARALLEL_3D_INPUT,
+    ("3d", "col"): ParallelMode.PARALLEL_3D_WEIGHT,
+}
+
+
+def _payload(nbytes: int, parts: int = 1) -> SpecArray:
+    """A spec-mode float32 payload of ~``nbytes``, padded so axis 0 splits
+    evenly over ``parts`` ranks (reduce-scatter/all-gather contract)."""
+    elems = max(-(-int(nbytes) // 4), 1)
+    elems = -(-elems // parts) * parts
+    return SpecArray((elems,), "float32")
+
+
+def build_probe(
+    work: Workload,
+    cand: StrategyCandidate,
+    global_batch: int,
+    compute_seconds: float,
+) -> Tuple[Config, Callable]:
+    """Build ``(config, fn)`` for one candidate: ``fn(ctx)`` executes one
+    training-step skeleton when run SPMD at ``cand.world`` ranks.
+
+    ``compute_seconds`` is the per-rank step compute the clock advances
+    (split 1/3 forward, 2/3 backward, evenly over microbatches — the same
+    total the analytic stage uses, so the two stages differ only in how
+    they price communication)."""
+    cfg = Config.from_dict(cand.to_config_dict(work))
+    m = cand.microbatches
+    fwd_micro = compute_seconds / 3.0 / m
+    bwd_micro = 2.0 * compute_seconds / 3.0 / m
+    layers = local_layers(work, cand)
+    mb = micro_batch_size(cand, global_batch)
+    boundary = mb * work.seq_len * work.hidden * work.bytes_per_elem
+    ops = tp_layer_ops(work, cand, mb)
+    fwd_ops = [op for op in ops if op.phase == "fwd"]
+    bwd_ops = [op for op in ops if op.phase == "bwd"]
+    dp_ops = dp_step_ops(work, cand)
+    itemsize = work.bytes_per_elem
+
+    def fn(ctx):
+        pc = ParallelContext(ctx, cfg)
+        fams = {
+            group: pc.comm(pmode)
+            for (mode, group), pmode in _FAMILY_MODES.items()
+            if mode == cand.mode and cand.tensor > 1
+        }
+        pipe = pc.comm(ParallelMode.PIPELINE) if cand.pipeline > 1 else None
+        dp = pc.comm(ParallelMode.DATA) if cand.data > 1 else None
+        d = cand.data
+
+        def run_tp(phase_ops):
+            for _ in range(layers):
+                for op in phase_ops:
+                    fams[op.group].broadcast(_payload(op.nbytes))
+
+        def dp_blocking(op):
+            if op.op == "all_reduce":
+                dp.all_reduce(_payload(op.elements * itemsize, d))
+            elif op.op == "reduce_scatter":
+                dp.reduce_scatter(_payload(op.elements * itemsize, d))
+            else:
+                dp.all_gather(_payload(op.elements * itemsize))
+
+        # ZeRO-3 re-gathers the partitioned parameters before each pass;
+        # dp_step_ops lists those as the trailing all_gathers
+        pre_fwd = dp_ops[3:4]
+        pre_bwd = dp_ops[2:3] if len(dp_ops) > 3 else []
+        sync_ops = dp_ops[: 2 if cand.zero_stage else 1] if dp_ops else []
+
+        for op in pre_fwd:
+            dp_blocking(op)
+        # forward pass over microbatches
+        for mi in range(m):
+            if pipe is not None and not pc.is_first_pipeline_stage():
+                pipe.recv(pc.pp_rank - 1, tag=("act", mi))
+            ctx.clock.advance(fwd_micro, "compute")
+            run_tp(fwd_ops)
+            if pipe is not None and not pc.is_last_pipeline_stage():
+                pipe.send(_payload(boundary), pc.pp_rank + 1, tag=("act", mi))
+        for op in pre_bwd:
+            dp_blocking(op)
+        # backward pass; with overlap, gradient sync is bucketed per
+        # microbatch and issued nonblocking as each bucket's grads are
+        # ready (the PR-5 hook-driven DDP idiom), hiding behind the
+        # remaining backward compute
+        handles = []
+        for mi in range(m):
+            if pipe is not None and not pc.is_last_pipeline_stage():
+                pipe.recv(pc.pp_rank + 1, tag=("grad", mi))
+            ctx.clock.advance(bwd_micro, "compute")
+            run_tp(bwd_ops)
+            if pipe is not None and not pc.is_first_pipeline_stage():
+                pipe.send(_payload(boundary), pc.pp_rank - 1,
+                          tag=("grad", mi))
+            if dp is not None and cand.overlap and sync_ops:
+                bucket = _payload(sync_ops[0].elements * itemsize // m, d)
+                if sync_ops[0].op == "all_reduce":
+                    handles.append(dp.iallreduce(bucket))
+                else:
+                    handles.append(dp.ireduce_scatter(bucket))
+        if dp is not None:
+            if cand.overlap and sync_ops:
+                for h in handles:
+                    h.wait()
+                for op in sync_ops[1:]:
+                    dp_blocking(op)
+            else:
+                for op in sync_ops:
+                    dp_blocking(op)
+
+    return cfg, fn

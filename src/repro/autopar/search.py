@@ -1,0 +1,206 @@
+"""Candidate space of the auto-parallel strategy compiler.
+
+A :class:`StrategyCandidate` is one fully-specified point in the
+configuration space the paper's follow-up work targets:
+
+    DP degree x TP mode (1D/2D/2.5D/3D/sequence) x PP stages/schedule
+    (GPipe/1F1B) x microbatch count x ZeRO stage x comm/compute overlap
+    x collective algorithm (ring/tree/hierarchical/auto)
+
+:func:`enumerate_candidates` walks every structurally valid decomposition
+``world = data x tensor x pipeline`` (each tensor mode's topology
+constraint enforced: 2D square, 2.5D ``d*q^2``, 3D cubic), crossed with
+the :class:`SearchSpace` knobs.  Structural validity is cheap and checked
+here; *feasibility* (memory) and *quality* (step time) are the scoring
+stage's job (:mod:`repro.autopar.scoring`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.autopar.advisor import Workload, _tensor_modes
+
+PIPELINE_SCHEDULES = ("gpipe", "1f1b")
+
+
+@dataclass(frozen=True)
+class StrategyCandidate:
+    """One point of the compiler's search space.
+
+    ``data * tensor * pipeline`` must equal the target world size; the
+    remaining fields pick the execution strategy on that decomposition.
+    """
+
+    data: int
+    tensor: int
+    mode: str  # "1d" | "2d" | "2.5d" | "3d" | "sequence" ("none" iff tensor == 1)
+    pipeline: int
+    depth: int = 1  # 2.5d only
+    schedule: str = "gpipe"  # "gpipe" | "1f1b"
+    microbatches: int = 1
+    zero_stage: int = 0
+    overlap: bool = False
+    algorithm: str = "ring"  # "ring" | "tree" | "hierarchical" | "auto"
+
+    @property
+    def world(self) -> int:
+        return self.data * self.tensor * self.pipeline
+
+    def describe(self) -> str:
+        t = f"{self.mode}x{self.tensor}" if self.tensor > 1 else "tp1"
+        if self.mode == "2.5d":
+            t += f"(d={self.depth})"
+        parts = [f"dp{self.data}", t, f"pp{self.pipeline}"]
+        if self.pipeline > 1:
+            parts.append(f"{self.schedule}/m{self.microbatches}")
+        elif self.microbatches > 1:
+            parts.append(f"m{self.microbatches}")
+        if self.zero_stage:
+            parts.append(f"zero{self.zero_stage}")
+        if self.overlap:
+            parts.append("overlap")
+        parts.append(self.algorithm)
+        return " * ".join(parts[:3]) + " [" + ", ".join(parts[3:]) + "]"
+
+    def sort_key(self) -> Tuple:
+        """Total deterministic order over candidates (ties in scores are
+        broken by this key, so search results never depend on enumeration
+        or hash order)."""
+        return (
+            self.data, self.tensor, self.mode, self.depth, self.pipeline,
+            self.schedule, self.microbatches, self.zero_stage,
+            self.overlap, self.algorithm,
+        )
+
+    def to_config_dict(self, work: Workload) -> Dict[str, Any]:
+        """The ready-to-run ``repro.launch`` config this candidate denotes
+        (the ``colossalai.initialize`` idiom: declarative ``parallel`` /
+        ``zero`` / ``fp16`` / ``comm`` sections)."""
+        d: Dict[str, Any] = {
+            "parallel": {
+                "tensor": {
+                    "size": self.tensor,
+                    "mode": self.mode if self.tensor > 1 else "none",
+                    **({"depth": self.depth} if self.mode == "2.5d" else {}),
+                },
+                "pipeline": self.pipeline,
+                "data": self.data,
+            },
+            "num_microbatches": self.microbatches,
+            "comm": {"algorithm": self.algorithm, "overlap": self.overlap},
+        }
+        if self.pipeline > 1:
+            d["pipeline_schedule"] = self.schedule
+        if self.zero_stage:
+            d["zero"] = {"stage": self.zero_stage}
+        if work.bytes_per_elem == 2:
+            d["fp16"] = {"enabled": True}
+        return d
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Which strategy dimensions the compiler sweeps.
+
+    Defaults cover the full paper grid; shrink them to speed up a compile
+    (e.g. ``algorithms=("auto",)`` — the PR-3 selector is never worse than
+    ring, so "auto" dominates the per-family picks)."""
+
+    tensor_modes: Tuple[str, ...] = ("1d", "2d", "2.5d", "3d", "sequence")
+    schedules: Tuple[str, ...] = PIPELINE_SCHEDULES
+    microbatch_options: Tuple[int, ...] = (1, 2, 4, 8)
+    zero_stages: Tuple[int, ...] = (0, 1, 2, 3)
+    overlap_options: Tuple[bool, ...] = (False, True)
+    algorithms: Tuple[str, ...] = ("ring", "auto")
+
+    def validate(self) -> None:
+        bad = set(self.schedules) - set(PIPELINE_SCHEDULES)
+        if bad:
+            raise ValueError(
+                f"unknown pipeline schedule(s) {sorted(bad)}; "
+                f"valid: {PIPELINE_SCHEDULES}"
+            )
+        bad = set(self.zero_stages) - {0, 1, 2, 3}
+        if bad:
+            raise ValueError(f"invalid ZeRO stage(s) {sorted(bad)}")
+        from repro.config import COMM_ALGORITHMS
+
+        bad = set(self.algorithms) - set(COMM_ALGORITHMS)
+        if bad:
+            raise ValueError(
+                f"unknown comm algorithm(s) {sorted(bad)}; "
+                f"valid: {COMM_ALGORITHMS}"
+            )
+
+
+def _divisors(n: int) -> List[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def enumerate_candidates(
+    work: Workload,
+    global_batch: int,
+    world: int,
+    space: SearchSpace = SearchSpace(),
+) -> Iterator[StrategyCandidate]:
+    """Every structurally valid candidate for ``world`` ranks, in a fixed
+    deterministic order.
+
+    Structural constraints applied here (cheap, no cost model):
+
+    * ``data * tensor * pipeline == world`` with each tensor mode's rank
+      count constraint (:func:`repro.autopar.advisor._tensor_modes`);
+    * 1D/sequence modes need ``n_heads % tensor == 0``;
+    * ``pipeline <= n_layers`` (a stage must own at least one layer);
+    * ``global_batch`` divisible by ``data * microbatches`` (equal
+      microbatches on every replica);
+    * microbatching/1F1B only meaningful with ``pipeline > 1``; ZeRO and
+      overlap only with ``data > 1``.
+    """
+    space.validate()
+    for tensor in _divisors(world):
+        modes = [
+            (m, d) for m, d in _tensor_modes(tensor) if m in space.tensor_modes
+        ]
+        if tensor > 1 and "sequence" in space.tensor_modes:
+            modes.append(("sequence", 1))
+        if not modes:
+            continue
+        for pipeline in _divisors(world // tensor):
+            data = world // (tensor * pipeline)
+            if pipeline > work.n_layers:
+                continue
+            schedules = space.schedules if pipeline > 1 else ("gpipe",)
+            micro_opts = (
+                [m for m in space.microbatch_options if m >= 1]
+                if pipeline > 1 else [1]
+            )
+            zero_opts = space.zero_stages if data > 1 else (0,)
+            overlap_opts = space.overlap_options if data > 1 else (False,)
+            for mode, depth in modes:
+                if mode in ("1d", "sequence") and work.n_heads % tensor:
+                    continue
+                if mode == "sequence" and work.seq_len % tensor:
+                    continue
+                for schedule in schedules:
+                    for micro in micro_opts:
+                        if global_batch % (data * micro):
+                            continue
+                        for zero in zero_opts:
+                            for overlap in overlap_opts:
+                                for algo in space.algorithms:
+                                    yield StrategyCandidate(
+                                        data=data,
+                                        tensor=tensor,
+                                        mode=mode if tensor > 1 else "1d",
+                                        pipeline=pipeline,
+                                        depth=depth,
+                                        schedule=schedule,
+                                        microbatches=micro,
+                                        zero_stage=zero,
+                                        overlap=overlap,
+                                        algorithm=algo,
+                                    )

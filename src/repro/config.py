@@ -21,6 +21,8 @@ TENSOR_MODES = ("none", "1d", "2d", "2.5d", "3d", "sequence")
 
 COMM_ALGORITHMS = ("ring", "tree", "hierarchical", "auto")
 
+PIPELINE_SCHEDULES = ("gpipe", "1f1b")
+
 
 @dataclass
 class TensorParallelConfig:
@@ -218,6 +220,59 @@ class ProjectionConfig:
 
 
 @dataclass
+class AutoParConfig:
+    """Auto-parallel strategy compilation (``repro.autopar.compiler``).
+
+    With ``enabled``, :func:`repro.launch` first *compiles* a parallel
+    strategy for ``workload`` (a Transformer description: ``n_layers``,
+    ``hidden``, ``n_heads``, ``seq_len``, optional ``mlp_ratio`` /
+    ``bytes_per_elem``) and merges the winning plan's ``parallel`` /
+    ``zero`` / ``comm`` / ``num_microbatches`` / ``pipeline_schedule``
+    settings into the config before launching — the user declares the
+    model, the system picks the parallelization.
+
+    ``global_batch`` defaults to 8 samples per rank; ``top_k`` candidates
+    survive the analytic prune into projector refinement (``refine=False``
+    trusts the analytic ranking); probes are capped at
+    ``max_probe_world`` simulated ranks.
+    """
+
+    enabled: bool = False
+    workload: Optional[Dict[str, Any]] = None
+    global_batch: Optional[int] = None
+    top_k: int = 4
+    refine: bool = True
+    max_probe_world: int = 16
+
+    def validate(self) -> None:
+        if not self.enabled:
+            return
+        if not isinstance(self.workload, dict):
+            raise ValueError(
+                "autopar.workload must be a mapping describing the model "
+                "(n_layers, hidden, n_heads, seq_len, ...)"
+            )
+        missing = {"n_layers", "hidden", "n_heads", "seq_len"} - set(
+            self.workload
+        )
+        if missing:
+            raise ValueError(
+                f"autopar.workload missing required key(s) {sorted(missing)}"
+            )
+        if self.global_batch is not None and self.global_batch < 1:
+            raise ValueError(
+                f"autopar.global_batch must be >= 1, got {self.global_batch}"
+            )
+        if self.top_k < 1:
+            raise ValueError(f"autopar.top_k must be >= 1, got {self.top_k}")
+        if self.max_probe_world < 1:
+            raise ValueError(
+                f"autopar.max_probe_world must be >= 1, "
+                f"got {self.max_probe_world}"
+            )
+
+
+@dataclass
 class Config:
     """Validated top-level configuration."""
 
@@ -229,8 +284,10 @@ class Config:
     comm: CommConfig = field(default_factory=CommConfig)
     sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
     project: ProjectionConfig = field(default_factory=ProjectionConfig)
+    autopar: AutoParConfig = field(default_factory=AutoParConfig)
     gradient_clipping: float = 0.0
     num_microbatches: int = 1
+    pipeline_schedule: str = "gpipe"
     seed: int = 0
 
     @staticmethod
@@ -249,6 +306,7 @@ class Config:
             data=parallel.pop("data", None),
             gradient_clipping=float(d.pop("gradient_clipping", 0.0)),
             num_microbatches=int(d.pop("num_microbatches", 1)),
+            pipeline_schedule=str(d.pop("pipeline_schedule", "gpipe")),
             seed=int(d.pop("seed", 0)),
         )
         if tensor_d:
@@ -274,6 +332,11 @@ class Config:
             # any project key implies the mode is wanted
             project_d.setdefault("mode", "project")
             cfg.project = ProjectionConfig(**project_d)
+        autopar_d = dict(d.pop("autopar", {}) or {})
+        if autopar_d:
+            # any autopar key implies the section is wanted
+            autopar_d.setdefault("enabled", True)
+            cfg.autopar = AutoParConfig(**autopar_d)
         if d:
             raise ValueError(f"unknown top-level config keys: {sorted(d)}")
         cfg.validate()
@@ -285,10 +348,16 @@ class Config:
         self.comm.validate()
         self.sanitize.validate()
         self.project.validate()
+        self.autopar.validate()
         if self.pipeline < 1:
             raise ValueError(f"pipeline size must be >= 1, got {self.pipeline}")
         if self.num_microbatches < 1:
             raise ValueError("num_microbatches must be >= 1")
+        if self.pipeline_schedule not in PIPELINE_SCHEDULES:
+            raise ValueError(
+                f"unknown pipeline schedule {self.pipeline_schedule!r}; "
+                f"choose from {PIPELINE_SCHEDULES}"
+            )
         if self.data is not None and self.data < 1:
             raise ValueError("data parallel size must be >= 1")
 

@@ -44,6 +44,22 @@ def launch(
     :class:`~repro.project.ProjectionReport` (see ``repro.project``)."""
     cfg = config if isinstance(config, Config) else Config.from_dict(config)
 
+    if cfg.autopar.enabled:
+        # let the compiler pick the parallelization for the declared
+        # workload, then launch with its decisions merged in
+        from repro.autopar.compiler import compile_strategy
+
+        compiled = compile_strategy(
+            cluster,
+            cfg.autopar.workload,
+            cfg.autopar.global_batch,
+            world_size=world_size or cluster.world_size,
+            top_k=cfg.autopar.top_k,
+            refine=cfg.autopar.refine,
+            max_probe_world=cfg.autopar.max_probe_world,
+        )
+        cfg = compiled.apply_to(cfg)
+
     if cfg.project.mode == "project":
         from repro.project import project_launch
 
@@ -126,5 +142,10 @@ def initialize(
         if not isinstance(model, DistributedDataParallel):
             model = DistributedDataParallel(model, pc, overlap=True)
     if schedule is None and pc.pipeline_size > 1:
-        schedule = GPipeSchedule(pc, cfg.num_microbatches)
+        if cfg.pipeline_schedule == "1f1b":
+            from repro.parallel.pipeline.schedule import OneFOneBSchedule
+
+            schedule = OneFOneBSchedule(pc, cfg.num_microbatches)
+        else:
+            schedule = GPipeSchedule(pc, cfg.num_microbatches)
     return Engine(model, optimizer, criterion, pc, cfg, schedule=schedule)

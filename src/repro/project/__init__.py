@@ -72,6 +72,7 @@ __all__ = [
     "capture_run",
     "derive_axis_groups",
     "hybrid_plan",
+    "price_plan",
     "project",
     "project_launch",
 ]
@@ -153,6 +154,46 @@ def project(
                          "choose 'recorded' or 'model'")
     result = ReplayEngine(trace, pricer, plan, tracer=tracer).run()
     return build_report(result, mode)
+
+
+def price_plan(
+    trace: OpTrace,
+    *,
+    axes: Optional[Any] = None,
+    tensor: int = 1,
+    pipeline: int = 1,
+    sharded_bytes: Optional[Any] = None,
+    compute_scale: float = 1.0,
+    fabric: Optional[Fabric] = None,
+    tracer: Optional[Any] = None,
+) -> ProjectionReport:
+    """Price a captured op trace at a hybrid target scale — the strategy
+    compiler's refinement entry point (:mod:`repro.autopar.compiler`).
+
+    With no ``axes`` (or all factors 1) the trace is replayed in
+    **recorded** mode: the report's step time reproduces the captured
+    threaded run bit-for-bit.  Otherwise a hybrid
+    :class:`~repro.project.replay.ScalePlan` is built over the trace's
+    DP x TP x PP layout (``tensor``/``pipeline`` describe the captured
+    decomposition) and replayed in **model** mode against ``fabric``
+    (default: the captured cluster's).  ``sharded_bytes`` (per-axis
+    captured bytes the axis partitions) and ``compute_scale`` pass through
+    to :func:`hybrid_plan`."""
+    factors = dict(axes or {})
+    if not trace.axes:
+        trace.axes = derive_axis_groups(
+            trace.world_size, tensor=tensor, pipeline=pipeline
+        )
+    if not factors or all(k == 1 for k in factors.values()):
+        return project(trace, mode="recorded", tracer=tracer)
+    plan = hybrid_plan(
+        factors, world=trace.world_size, tensor=tensor, pipeline=pipeline,
+        sharded_bytes=sharded_bytes, compute_scale=compute_scale,
+    )
+    if fabric is None:
+        fabric = Fabric.from_cluster(trace.cluster)
+    return project(trace, plan=plan, fabric=fabric, mode="model",
+                   tracer=tracer)
 
 
 def project_launch(

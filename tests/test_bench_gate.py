@@ -18,6 +18,7 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 from check_regression import (  # noqa: E402
     bench_files,
     check,
+    check_mode_switch,
     check_wallclocks,
     compare,
     extract_throughputs,
@@ -143,6 +144,86 @@ class TestGateLogic:
         }
         assert extract_wallclocks({}) == {}
         assert extract_wallclocks({"wallclock_threaded": None}) == {}
+
+
+def _autopar_section(mode_times_ii=None, chosen_ii=None):
+    mode_times_ii = mode_times_ii or {"1d": 0.9, "2d": 0.7}
+    chosen_ii = chosen_ii or min(mode_times_ii, key=mode_times_ii.get)
+    return {
+        "compiles": [
+            {"scenario": "autopar/system_i/w8",
+             "refined_step_seconds": 0.5, "compile_wall_seconds": 0.06},
+            {"scenario": "bad/missing"},
+        ],
+        "fig11_mode_switch": {
+            "system_i": {
+                "scenario": "autopar/fig11_system_i_t4",
+                "mode_times": {"1d": 0.53, "2d": 0.57},
+                "chosen_mode": "1d",
+            },
+            "system_ii": {
+                "scenario": "autopar/fig11_system_ii_t4",
+                "mode_times": mode_times_ii,
+                "chosen_mode": chosen_ii,
+            },
+        },
+    }
+
+
+class TestAutoparGate:
+    """The strategy-compiler section splits three ways: refined step times
+    and the per-mode Fig-11 times join the hard throughput gate, compile
+    wall-clock goes to the advisory pass, and the pinned System II mode
+    switch is an intra-report invariant that fails the gate by itself."""
+
+    def test_extract_covers_autopar_section(self):
+        report = {"autopar_strategy": _autopar_section()}
+        t = extract_throughputs(report)
+        assert t["autopar/system_i/w8/refined"] == 2.0
+        assert t["autopar/fig11_system_ii_t4/2d"] == pytest.approx(1 / 0.7)
+        assert t["autopar/fig11_system_i_t4/1d"] == pytest.approx(1 / 0.53)
+        assert "autopar/system_i/w8/compile_wall" not in t
+        assert extract_wallclocks(report) == {
+            "autopar/system_i/w8/compile_wall": 0.06
+        }
+
+    def test_extract_tolerates_malformed_autopar(self):
+        assert extract_throughputs({"autopar_strategy": None}) == {}
+        assert extract_throughputs({"autopar_strategy": {}}) == {}
+        assert extract_wallclocks({"autopar_strategy": {}}) == {}
+
+    def test_mode_switch_ok(self):
+        assert check_mode_switch(
+            {"autopar_strategy": _autopar_section()}) == []
+        assert check_mode_switch({}) == []
+        assert check_mode_switch({"autopar_strategy": {}}) == []
+
+    def test_mode_switch_flags_non_argmin_choice(self):
+        report = {"autopar_strategy": _autopar_section(
+            mode_times_ii={"1d": 0.7, "2d": 0.6}, chosen_ii="1d")}
+        problems = check_mode_switch(report)
+        assert any("chose 1d" in p and "faster 2d" in p for p in problems)
+
+    def test_mode_switch_flags_system_ii_flip_regression(self):
+        """Even a self-consistent argmin fails if System II stopped
+        preferring 2D — that is the hardware-dependent switch Fig 11
+        pins."""
+        report = {"autopar_strategy": _autopar_section(
+            mode_times_ii={"1d": 0.6, "2d": 0.9}, chosen_ii="1d")}
+        problems = check_mode_switch(report)
+        assert any("Fig-11 mode switch regressed" in p for p in problems)
+
+    def test_mode_switch_fails_check_without_prior_report(self, tmp_path):
+        import json
+
+        bad = {"autopar_strategy": _autopar_section(
+            mode_times_ii={"1d": 0.6, "2d": 0.9}, chosen_ii="1d")}
+        (tmp_path / "BENCH_9.json").write_text(json.dumps(bad))
+        problems = check(tmp_path)
+        assert any("mode switch regressed" in p for p in problems)
+        good = {"autopar_strategy": _autopar_section()}
+        (tmp_path / "BENCH_9.json").write_text(json.dumps(good))
+        assert check(tmp_path) == []
 
 
 class TestScenarioDrift:
