@@ -19,6 +19,11 @@ invariant (:func:`check_mode_switch`): the pinned Fig-11 System II
 scenario must choose the TP mode whose refined step time is the minimum
 of ``mode_times`` — i.e. the compiler never regresses to picking the
 slower-scoring mode on the hardware the paper's figure turns on.
+Likewise the ``serving`` section (:func:`check_serving`): the load sweep
+must saturate with p99 TTFT rising past the knee, and every rank-loss
+scenario must price a measurable SLO hit vs its fault-free baseline.
+Finally :func:`check_empty_sections` turns a present-but-empty section
+into a clear failure instead of a silent nothing-to-extract pass.
 
 Run standalone (exit 1 on regression)::
 
@@ -117,6 +122,16 @@ def extract_throughputs(report: Dict[str, Any]) -> Dict[str, float]:
             for mode, seconds in (f11.get("mode_times") or {}).items():
                 put(f"{f11['scenario']}/{mode}",
                     lambda seconds=seconds: 1.0 / seconds)
+    sv = report.get("serving")
+    if isinstance(sv, dict):
+        # serving goodput (simulated tokens/s) is the hard-gated metric;
+        # latency percentiles feed check_serving's intra-report invariants
+        for entry in list(sv.get("load_sweep") or []) + list(
+                sv.get("mtbf_sweep") or []):
+            if not isinstance(entry, dict) or "scenario" not in entry:
+                continue
+            put(f"{entry['scenario']}/goodput",
+                lambda e=entry: e["goodput_tokens_per_sec"])
     return out
 
 
@@ -221,6 +236,103 @@ def check_mode_switch(report: Dict[str, Any]) -> List[str]:
     return problems
 
 
+def check_serving(report: Dict[str, Any]) -> List[str]:
+    """Intra-report invariants over the ``serving`` section: the latency-
+    vs-load sweep must show queueing physics (goodput saturating while
+    offered load keeps growing, p99 TTFT rising past the knee), and every
+    rank-loss scenario in the MTBF sweep must price a *measurable* SLO
+    hit against its fault-free baseline — lower goodput, higher p99.
+    Reports that predate the section are not checked; malformed entries
+    are skipped like everywhere else in the gate."""
+    sv = report.get("serving")
+    if not isinstance(sv, dict):
+        return []
+    problems: List[str] = []
+
+    sweep = [s for s in sv.get("load_sweep") or []
+             if isinstance(s, dict) and "scenario" in s]
+    sweep = [s for s in sweep
+             if isinstance(s.get("offered_req_per_sec"), (int, float))
+             and isinstance(s.get("goodput_tokens_per_sec"), (int, float))
+             and isinstance(s.get("p99_ttft"), (int, float))]
+    sweep.sort(key=lambda s: s["offered_req_per_sec"])
+    if len(sweep) >= 3:
+        lo, mid, hi = sweep[0], sweep[-2], sweep[-1]
+        offered_growth = hi["offered_req_per_sec"] / mid["offered_req_per_sec"]
+        goodput_growth = (hi["goodput_tokens_per_sec"]
+                          / mid["goodput_tokens_per_sec"]
+                          if mid["goodput_tokens_per_sec"] > 0 else 0.0)
+        if goodput_growth >= offered_growth:
+            problems.append(
+                f"{hi['scenario']}: goodput grew {goodput_growth:.2f}x while "
+                f"offered load grew {offered_growth:.2f}x — the load sweep "
+                f"never saturates, so the rates are not probing the knee"
+            )
+        if hi["p99_ttft"] <= lo["p99_ttft"]:
+            problems.append(
+                f"{hi['scenario']}: p99 TTFT past the knee "
+                f"({hi['p99_ttft']:.4g}s) is not above the underload p99 "
+                f"({lo['p99_ttft']:.4g}s) — queueing delay is not priced"
+            )
+
+    for entry in sv.get("mtbf_sweep") or []:
+        if not isinstance(entry, dict) or "scenario" not in entry:
+            continue
+        if not entry.get("failures"):
+            continue  # fault-free baseline row
+        good = entry.get("goodput_tokens_per_sec")
+        base = entry.get("baseline_goodput_tokens_per_sec")
+        p99 = entry.get("p99_ttft")
+        base_p99 = entry.get("baseline_p99_ttft")
+        if isinstance(good, (int, float)) and isinstance(base, (int, float)) \
+                and good >= base:
+            problems.append(
+                f"{entry['scenario']}: goodput under rank loss ({good:.4g} "
+                f"tok/s) is not below the fault-free baseline ({base:.4g}) — "
+                f"the failure costs nothing"
+            )
+        if isinstance(p99, (int, float)) \
+                and isinstance(base_p99, (int, float)) and p99 <= base_p99:
+            problems.append(
+                f"{entry['scenario']}: p99 TTFT under rank loss "
+                f"({p99:.4g}s) is not above the fault-free baseline "
+                f"({base_p99:.4g}s) — the SLO hit is invisible"
+            )
+    return problems
+
+
+#: every section the gate knows how to extract metrics from; a report that
+#: carries one of these keys with nothing extractable inside is a broken
+#: runner (crashed mid-section, emitted [], or wrote malformed entries),
+#: not merely thinner coverage
+GATED_SECTIONS = (
+    "collectives", "vit_system_ii_1d", "sanitizer_fig13b", "overlap_fig13b",
+    "projection", "hybrid_projection", "wallclock_threaded",
+    "autopar_strategy", "serving",
+)
+
+
+def check_empty_sections(report: Dict[str, Any]) -> List[str]:
+    """A known section that is *present but empty* fails with a clear
+    message instead of silently extracting nothing (or crashing a naive
+    reader with a ``KeyError``).  Absent sections stay legal — older
+    reports simply cover less, and the removed-scenario warning in
+    :func:`check` handles shrinkage between reports."""
+    problems: List[str] = []
+    for key in GATED_SECTIONS:
+        if key not in report:
+            continue
+        alone = {key: report[key]}
+        if extract_throughputs(alone) or extract_wallclocks(alone):
+            continue
+        problems.append(
+            f"section '{key}' is present but empty — the runner produced "
+            f"no measurable scenarios (empty list/dict or malformed "
+            f"entries); rerun benchmarks/run_bench.py or drop the section"
+        )
+    return problems
+
+
 def compare(
     new: Dict[str, float], old: Dict[str, float], tolerance: float = TOLERANCE
 ) -> List[Tuple[str, float, float, float]]:
@@ -255,8 +367,9 @@ def check(
 ) -> List[str]:
     """Diff the newest report against every prior one; returns human-readable
     regression lines (empty = gate passes).  The newest report's own
-    intra-report invariants (:func:`check_mode_switch`) are checked first
-    — those fail even when there is no prior report to diff against.
+    intra-report invariants (:func:`check_empty_sections`,
+    :func:`check_mode_switch`, :func:`check_serving`) are checked first —
+    those fail even when there is no prior report to diff against.
 
     Scenario sets are allowed to differ between reports: scenarios only the
     newest report measures are simply new coverage, and scenarios a prior
@@ -272,7 +385,10 @@ def check(
     newest = files[-1]
     newest_report = json.loads(newest.read_text())
     problems: List[str] = [
-        f"{newest.name}: {line}" for line in check_mode_switch(newest_report)
+        f"{newest.name}: {line}"
+        for line in (check_empty_sections(newest_report)
+                     + check_mode_switch(newest_report)
+                     + check_serving(newest_report))
     ]
     if len(files) < 2:
         return problems

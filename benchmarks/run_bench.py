@@ -13,7 +13,7 @@ section measures what the *threaded* simulator costs in host seconds and
 diffs it against the frozen pre-fast-path baseline
 (``wallclock_baseline.json``).  Run from the repo root::
 
-    PYTHONPATH=src:benchmarks python benchmarks/run_bench.py [--out BENCH_9.json]
+    PYTHONPATH=src:benchmarks python benchmarks/run_bench.py [--out BENCH_10.json]
 
 ``--jobs N`` farms the independent report sections to worker processes
 (the sections share nothing; every scenario builds its own runtime) and
@@ -576,6 +576,124 @@ def autopar_scenarios() -> Dict[str, Any]:
     return out
 
 
+def serving_scenarios() -> Dict[str, Any]:
+    """Serving under traffic (ISSUE 10): latency vs offered load and
+    goodput under rank loss, on a 2-rank TP replica of a GPT-style
+    decoder over the uniform cluster.
+
+    The closed-loop *capacity probe* saturates the replica first (16
+    clients, zero think time) and its completed-requests/s becomes the
+    unit the open-loop rates are expressed in — so the sweep brackets the
+    knee by construction: 0.4x capacity is underload, 0.8x approaches
+    the knee, 1.6x is past it and queues grow without bound.  Goodput
+    (simulated tokens/s) is deterministic and hard-gated per scenario;
+    the latency percentiles feed ``check_regression.check_serving``'s
+    intra-report invariants (goodput must saturate while offered load
+    doubles, p99 TTFT must rise past the knee).
+
+    The *MTBF sweep* reruns the near-knee workload with rank 1 crashing
+    at fractions of the fault-free makespan.  Each faulted entry embeds
+    the fault-free baseline goodput/p99 so the gate can price the SLO
+    hit inside one report: recovery downtime plus KV-cache replay must
+    cost measurable goodput and TTFT."""
+    from repro.faults import FaultPlan
+    from repro.serve import (
+        ClosedLoopTraffic,
+        ModelSpec,
+        OpenLoopTraffic,
+        serve_traffic,
+    )
+
+    WORLD = 2
+    model = ModelSpec(n_layers=4, hidden=1024, n_heads=16)
+    LENGTHS = dict(prompt_tokens=(16, 64), max_new_tokens=(8, 32))
+    KNOBS = dict(world_size=WORLD, max_batch_tokens=256, kv_blocks=256,
+                 block_size=16)
+
+    def entry(scen: str, rep: Any, offered: Any = None,
+              **extra: Any) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "scenario": scen,
+            "offered_req_per_sec": offered,
+            "goodput_tokens_per_sec": rep.goodput_tokens_per_sec,
+            "completed_req_per_sec": rep.completed_per_sec,
+            "issued": rep.n_issued,
+            "completed": rep.n_completed,
+            "failed": rep.n_failed,
+            "preemptions": rep.preemptions,
+            "restarts": rep.restarts,
+            "failures": len(rep.failures),
+            "p50_ttft": rep.p50_ttft,
+            "p99_ttft": rep.p99_ttft,
+            "mean_token_latency": rep.mean_token_latency,
+            "p99_token_latency": rep.p99_token_latency,
+            "p50_e2e": rep.p50_e2e,
+            "p99_e2e": rep.p99_e2e,
+            "makespan": rep.makespan,
+        }
+        out.update(extra)
+        return out
+
+    # 64 zero-think clients keep the decode batch deep enough that the
+    # weight read is fully amortized — completed-req/s at this depth is
+    # the service capacity the open-loop rates are multiples of
+    probe_rep = serve_traffic(
+        model, ClosedLoopTraffic(clients=64, n_requests=256, seed=7,
+                                 **LENGTHS),
+        **KNOBS)
+    capacity_rps = probe_rep.completed_per_sec
+
+    load_sweep = []
+    for mult in (0.4, 0.8, 1.6):
+        rate = capacity_rps * mult
+        rep = serve_traffic(
+            model, OpenLoopTraffic(rate=rate, n_requests=128, seed=11,
+                                   **LENGTHS),
+            **KNOBS)
+        load_sweep.append(entry(
+            f"serving/open_load_{mult:g}x", rep, offered=rate,
+            capacity_multiple=mult))
+
+    # MTBF sweep just past the knee (1.2x capacity): the run is
+    # service-bound there, so recovery downtime and KV replay extend the
+    # makespan directly instead of hiding in arrival-side idle headroom
+    mtbf_traffic = dict(rate=capacity_rps * 1.2, n_requests=96, seed=13)
+    base_rep = serve_traffic(
+        model, OpenLoopTraffic(**mtbf_traffic, **LENGTHS), **KNOBS)
+    recovery = base_rep.makespan * 0.15  # simulated seconds, deterministic
+    mtbf_sweep = [entry("serving/mtbf_baseline", base_rep,
+                        offered=mtbf_traffic["rate"])]
+    for frac in (0.3, 0.6):
+        plan = FaultPlan(seed=17).crash(
+            1, at_time=base_rep.makespan * frac)
+        rep = serve_traffic(
+            model, OpenLoopTraffic(**mtbf_traffic, **LENGTHS),
+            fault_plan=plan, recovery_seconds=recovery, **KNOBS)
+        mtbf_sweep.append(entry(
+            f"serving/mtbf_crash_at_{frac:g}", rep,
+            offered=mtbf_traffic["rate"],
+            crash_fraction=frac,
+            recovery_seconds=recovery,
+            failure_events=[f.to_dict() for f in rep.failures],
+            baseline_goodput_tokens_per_sec=base_rep.goodput_tokens_per_sec,
+            baseline_p99_ttft=base_rep.p99_ttft,
+            goodput_retained=rep.goodput_tokens_per_sec
+            / base_rep.goodput_tokens_per_sec,
+        ))
+
+    return {
+        "scenario": f"serving/uniform{WORLD}gpu/tp{WORLD}",
+        "model": model.describe(),
+        "world": WORLD,
+        "engine": dict(KNOBS),
+        "capacity_probe": entry(
+            "serving/capacity_probe_closed16", probe_rep,
+            clients=16),
+        "load_sweep": load_sweep,
+        "mtbf_sweep": mtbf_sweep,
+    }
+
+
 #: section key -> producer; execution order (report key order is fixed in
 #: ``main`` regardless).  ``wallclock_threaded`` deliberately runs first:
 #: its host-second readings are the one machine-sensitive output, so they
@@ -590,6 +708,7 @@ SECTIONS = [
     ("projection", projection_scenarios),
     ("hybrid_projection", hybrid_projection_scenarios),
     ("autopar_strategy", autopar_scenarios),
+    ("serving", serving_scenarios),
     ("vit_system_ii_1d", vit_scenarios),
 ]
 
@@ -642,7 +761,7 @@ def headline(collectives: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_9.json")
+    ap.add_argument("--out", default="BENCH_10.json")
     ap.add_argument(
         "--skip-vit", action="store_true",
         help="collective sweeps only (the ViT sweep takes ~1 min)",
@@ -665,16 +784,17 @@ def main() -> None:
     hybrid = sections["hybrid_projection"]
     wallclock_threaded = sections["wallclock_threaded"]
     autopar = sections["autopar_strategy"]
+    serving = sections["serving"]
     report: Dict[str, Any] = {
-        "pr": 9,
-        "description": "Auto-parallel strategy compiler: cost-driven "
-        "search over DP x TP mode x PP schedule x ZeRO x overlap x "
-        "collective algorithm with projector-refined shortlists, compiled "
-        "end-to-end on Systems I/II/IV plus the pinned Fig-11 "
-        "hardware-dependent TP mode switch (autopar_strategy section), on "
-        "top of the PR-8 wall-clock fast path, PR-7 hybrid projection, "
-        "PR-6 projection, PR-5 overlap, PR-4 sanitizer and PR-3 "
-        "algorithm-selection scenarios",
+        "pr": 10,
+        "description": "Serving engine under traffic: continuous batching "
+        "+ paged KV cache on a 2-rank TP replica — closed-loop capacity "
+        "probe, open-loop latency-vs-load sweep bracketing the knee, and "
+        "an MTBF sweep pricing rank loss against the fault-free baseline "
+        "(serving section), on top of the PR-9 strategy compiler, PR-8 "
+        "wall-clock fast path, PR-7 hybrid projection, PR-6 projection, "
+        "PR-5 overlap, PR-4 sanitizer and PR-3 algorithm-selection "
+        "scenarios",
         "headline": headline(collectives),
         "collectives": collectives,
         "sanitizer_fig13b": sanitize,
@@ -683,6 +803,7 @@ def main() -> None:
         "hybrid_projection": hybrid,
         "wallclock_threaded": wallclock_threaded,
         "autopar_strategy": autopar,
+        "serving": serving,
     }
     if not args.skip_vit:
         report["vit_system_ii_1d"] = sections["vit_system_ii_1d"]
@@ -745,6 +866,26 @@ def main() -> None:
             f"{m}={t:.3f}s" for m, t in f11["mode_times"].items())
         print(f"  autopar Fig-11 {name} t=4: {times} -> "
               f"{f11['chosen_mode']}")
+    probe = serving["capacity_probe"]
+    print(
+        f"  serving capacity probe: {probe['goodput_tokens_per_sec']:.0f} "
+        f"tok/s ({probe['completed_req_per_sec']:.1f} req/s) closed-loop"
+    )
+    for s in serving["load_sweep"]:
+        print(
+            f"  serving {s['capacity_multiple']:g}x capacity: goodput "
+            f"{s['goodput_tokens_per_sec']:.0f} tok/s, p99 ttft "
+            f"{s['p99_ttft'] * 1e3:.2f}ms, {s['preemptions']} preemptions"
+        )
+    for s in serving["mtbf_sweep"]:
+        if not s["failures"]:
+            continue
+        print(
+            f"  serving rank loss at {s['crash_fraction']:g} of makespan: "
+            f"goodput retained {s['goodput_retained']:.1%}, p99 ttft "
+            f"{s['baseline_p99_ttft'] * 1e3:.2f}ms -> "
+            f"{s['p99_ttft'] * 1e3:.2f}ms"
+        )
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.engine import Engine, initialize, launch
 from repro.faults import FaultPlan
 from repro.runtime import SpmdRuntime, spmd_launch
 from repro.sanitize import CommSanitizer
+from repro.serve import ModelSpec, TrafficReport, serve_traffic
 from repro.trace import Tracer, TraceReport
 
 __version__ = "1.0.0"
@@ -43,9 +44,12 @@ __all__ = [
     "FaultPlan",
     "initialize",
     "launch",
+    "ModelSpec",
     "SpmdRuntime",
     "spmd_launch",
     "Tracer",
     "TraceReport",
+    "TrafficReport",
+    "serve_traffic",
     "__version__",
 ]

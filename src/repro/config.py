@@ -272,6 +272,85 @@ class AutoParConfig:
             )
 
 
+TRAFFIC_KINDS = ("open", "closed")
+
+
+@dataclass
+class ServeConfig:
+    """Inference serving mode (``repro.serve``).
+
+    With ``enabled``, :func:`repro.launch` runs the serving engine
+    instead of a training program: every rank of the world becomes one
+    member of a single tensor-parallel decode replica, driven by the
+    declared traffic, and the launch returns a
+    :class:`~repro.serve.TrafficReport` rather than per-rank results.
+
+    ``model`` describes the decoder (``n_layers``, ``hidden``,
+    ``n_heads``, optional ``vocab`` / ``bytes_per_elem`` /
+    ``hbm_bandwidth``); ``traffic`` declares the workload — ``kind:
+    "open"`` (Poisson arrivals at ``rate`` req/s) or ``kind: "closed"``
+    (``clients`` callers with ``think_time``), plus ``n_requests``,
+    ``prompt_tokens`` / ``max_new_tokens`` ranges and ``seed``.  The
+    remaining knobs shape the KV cache (``block_size`` tokens per block,
+    ``kv_blocks`` fixed or ``kv_fraction`` of free device memory) and
+    the continuous-batching scheduler (``max_batch_tokens``,
+    ``prefill_chunk``); ``recovery_seconds`` is the replica downtime
+    charged per recovered rank loss.
+    """
+
+    enabled: bool = False
+    model: Optional[Dict[str, Any]] = None
+    traffic: Optional[Dict[str, Any]] = None
+    block_size: int = 16
+    kv_blocks: Optional[int] = None
+    kv_fraction: float = 0.3
+    max_batch_tokens: int = 256
+    prefill_chunk: int = 64
+    recovery_seconds: float = 0.5
+    max_recoveries: int = 16
+
+    def validate(self) -> None:
+        if not self.enabled:
+            return
+        if not isinstance(self.model, dict):
+            raise ValueError(
+                "serve.model must be a mapping describing the decoder "
+                "(n_layers, hidden, n_heads, ...)")
+        if not isinstance(self.traffic, dict):
+            raise ValueError(
+                "serve.traffic must be a mapping with kind 'open' or "
+                "'closed' (rate/clients, n_requests, seed, ...)")
+        kind = self.traffic.get("kind")
+        if kind not in TRAFFIC_KINDS:
+            raise ValueError(
+                f"serve.traffic.kind must be one of {TRAFFIC_KINDS}, "
+                f"got {kind!r}")
+        if self.block_size < 1:
+            raise ValueError(
+                f"serve.block_size must be >= 1, got {self.block_size}")
+        if self.kv_blocks is not None and self.kv_blocks < 1:
+            raise ValueError(
+                f"serve.kv_blocks must be >= 1, got {self.kv_blocks}")
+        if not 0.0 < self.kv_fraction <= 1.0:
+            raise ValueError(
+                f"serve.kv_fraction must be in (0, 1], got {self.kv_fraction}")
+        if self.max_batch_tokens < 1:
+            raise ValueError(
+                f"serve.max_batch_tokens must be >= 1, "
+                f"got {self.max_batch_tokens}")
+        if self.prefill_chunk < 1:
+            raise ValueError(
+                f"serve.prefill_chunk must be >= 1, got {self.prefill_chunk}")
+        if self.recovery_seconds < 0:
+            raise ValueError(
+                f"serve.recovery_seconds must be >= 0, "
+                f"got {self.recovery_seconds}")
+        if self.max_recoveries < 0:
+            raise ValueError(
+                f"serve.max_recoveries must be >= 0, "
+                f"got {self.max_recoveries}")
+
+
 @dataclass
 class Config:
     """Validated top-level configuration."""
@@ -285,6 +364,7 @@ class Config:
     sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
     project: ProjectionConfig = field(default_factory=ProjectionConfig)
     autopar: AutoParConfig = field(default_factory=AutoParConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
     gradient_clipping: float = 0.0
     num_microbatches: int = 1
     pipeline_schedule: str = "gpipe"
@@ -337,6 +417,11 @@ class Config:
             # any autopar key implies the section is wanted
             autopar_d.setdefault("enabled", True)
             cfg.autopar = AutoParConfig(**autopar_d)
+        serve_d = dict(d.pop("serve", {}) or {})
+        if serve_d:
+            # any serve key implies the mode is wanted
+            serve_d.setdefault("enabled", True)
+            cfg.serve = ServeConfig(**serve_d)
         if d:
             raise ValueError(f"unknown top-level config keys: {sorted(d)}")
         cfg.validate()
@@ -349,6 +434,7 @@ class Config:
         self.sanitize.validate()
         self.project.validate()
         self.autopar.validate()
+        self.serve.validate()
         if self.pipeline < 1:
             raise ValueError(f"pipeline size must be >= 1, got {self.pipeline}")
         if self.num_microbatches < 1:

@@ -26,7 +26,7 @@ from repro.runtime.spmd import RankContext, SpmdRuntime
 def launch(
     config: Union[Dict[str, Any], Config, None],
     cluster: ClusterSpec,
-    fn: Callable[[RankContext, ParallelContext], Any],
+    fn: Optional[Callable[[RankContext, ParallelContext], Any]] = None,
     world_size: Optional[int] = None,
     materialize: bool = True,
     runtime: Optional[SpmdRuntime] = None,
@@ -41,7 +41,10 @@ def launch(
     set, each rank's op stream is saved to that golden file after a clean
     run.  With ``project.mode="project"`` the run is captured and replayed
     analytically at ``project.target_world`` ranks instead, returning a
-    :class:`~repro.project.ProjectionReport` (see ``repro.project``)."""
+    :class:`~repro.project.ProjectionReport` (see ``repro.project``).
+    With a ``serve`` section the run is an inference-serving session
+    instead: ``fn`` may be omitted and the launch returns a
+    :class:`~repro.serve.TrafficReport` (see ``repro.serve``)."""
     cfg = config if isinstance(config, Config) else Config.from_dict(config)
 
     if cfg.autopar.enabled:
@@ -59,6 +62,21 @@ def launch(
             max_probe_world=cfg.autopar.max_probe_world,
         )
         cfg = compiled.apply_to(cfg)
+
+    if cfg.serve.enabled:
+        # serving mode: the world is one tensor-parallel decode replica
+        # driven by the declared traffic; returns a TrafficReport
+        from repro.serve import serve_launch
+
+        return serve_launch(
+            cfg, cluster, world_size=world_size, runtime=runtime,
+            tracer=tracer,
+        )
+
+    if fn is None:
+        raise TypeError(
+            "launch() needs a per-rank fn unless a serve.* section makes "
+            "the run a serving session")
 
     if cfg.project.mode == "project":
         from repro.project import project_launch

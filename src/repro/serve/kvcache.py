@@ -1,0 +1,191 @@
+"""Paged KV-cache: fixed-size token blocks over a cluster memory pool.
+
+The serving engine never allocates per-token KV storage; it reserves one
+arena of ``num_blocks * bytes_per_block`` from the rank's
+:class:`~repro.cluster.device.MemoryPool` (tag ``"kv_cache"``) up front —
+the vLLM discipline — and pages sequences into fixed-size *blocks* of
+``block_size`` token slots each.  Every sequence owns a *block table*
+(ordered block ids); appending a token only touches the pool when the
+sequence crosses a block boundary, and blocks are exclusively owned, so
+append is copy-on-write-free by construction.
+
+Exhaustion is a typed signal, not an OOM crash: :meth:`BlockPool.appended`
+is all-or-nothing and raises :class:`CacheExhausted` when the free list
+cannot cover the growth, which the continuous-batching scheduler turns
+into preempt-and-requeue.  A request whose full footprint
+(``prompt + max_new`` tokens) exceeds the whole pool can never be served
+and is failed up front with :class:`RequestTooLarge`.
+
+Invariants (property-tested in ``tests/test_serve.py``): the free list
+and the union of all block tables partition ``range(num_blocks)`` at all
+times — no block is double-owned, none leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class KVCacheError(RuntimeError):
+    """Base class for paged KV-cache errors."""
+
+
+class CacheExhausted(KVCacheError):
+    """Not enough free blocks — scheduler should preempt and retry."""
+
+    def __init__(self, seq_id: int, need: int, free: int) -> None:
+        self.seq_id = seq_id
+        self.need = need
+        self.free = free
+        super().__init__(
+            f"seq {seq_id} needs {need} KV block(s) but only {free} free"
+        )
+
+
+class RequestTooLarge(KVCacheError):
+    """A request's full footprint exceeds the entire pool — unservable."""
+
+    def __init__(self, seq_id: int, need: int, num_blocks: int) -> None:
+        self.seq_id = seq_id
+        self.need = need
+        self.num_blocks = num_blocks
+        super().__init__(
+            f"seq {seq_id} needs {need} KV block(s) but the pool only has "
+            f"{num_blocks} in total"
+        )
+
+
+class BlockPool:
+    """Fixed-size KV block allocator with per-sequence block tables.
+
+    ``memory`` (a :class:`~repro.cluster.device.MemoryPool`) is optional:
+    when given, the arena is charged against it at construction (a
+    ``DeviceOutOfMemoryError`` there means the configuration is wrong,
+    not that traffic got unlucky) and returned by :meth:`release`.
+    Standalone pools (``memory=None``) back the property-test lane.
+    """
+
+    def __init__(self, block_size: int, num_blocks: int,
+                 memory: Optional[object] = None,
+                 bytes_per_block: int = 0,
+                 tag: str = "kv_cache") -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        self.block_size = int(block_size)
+        self.num_blocks = int(num_blocks)
+        self.bytes_per_block = int(bytes_per_block)
+        self._memory = memory
+        self._tag = tag
+        self._arena_bytes = 0
+        if memory is not None:
+            if bytes_per_block < 1:
+                raise ValueError(
+                    "bytes_per_block must be >= 1 when memory-backed")
+            self._arena_bytes = self.num_blocks * self.bytes_per_block
+            memory.alloc(self._arena_bytes, tag=tag)
+        # LIFO free stack: deterministic reuse order
+        self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
+        self._tables: Dict[int, List[int]] = {}
+        self._owner: Dict[int, int] = {}
+        self.peak_used = 0
+
+    # -- capacity --------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - len(self._free)
+
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` KV slots."""
+        return -(-int(tokens) // self.block_size) if tokens > 0 else 0
+
+    def fits_ever(self, tokens: int) -> bool:
+        """Whether a sequence of ``tokens`` total slots can ever be held."""
+        return self.blocks_for(tokens) <= self.num_blocks
+
+    # -- allocation ------------------------------------------------------
+
+    def appended(self, seq_id: int, total_tokens: int) -> int:
+        """Grow ``seq_id``'s table to cover ``total_tokens`` slots.
+
+        All-or-nothing: either every block needed is allocated and the
+        number of new blocks is returned, or :class:`CacheExhausted` /
+        :class:`RequestTooLarge` is raised with the table untouched.
+        """
+        need_total = self.blocks_for(total_tokens)
+        if need_total > self.num_blocks:
+            raise RequestTooLarge(seq_id, need_total, self.num_blocks)
+        table = self._tables.get(seq_id)
+        have = len(table) if table is not None else 0
+        grow = need_total - have
+        if grow <= 0:
+            return 0
+        if grow > len(self._free):
+            raise CacheExhausted(seq_id, grow, len(self._free))
+        if table is None:
+            table = self._tables[seq_id] = []
+        for _ in range(grow):
+            block = self._free.pop()
+            self._owner[block] = seq_id
+            table.append(block)
+        if self.used_blocks > self.peak_used:
+            self.peak_used = self.used_blocks
+        return grow
+
+    def free_sequence(self, seq_id: int) -> int:
+        """Return every block ``seq_id`` owns; number freed."""
+        table = self._tables.pop(seq_id, None)
+        if not table:
+            return 0
+        for block in table:
+            del self._owner[block]
+            self._free.append(block)
+        return len(table)
+
+    def release(self) -> None:
+        """Hand the arena back to the cluster memory pool (idempotent)."""
+        if self._memory is not None and self._arena_bytes:
+            self._memory.free_bytes(self._arena_bytes, tag=self._tag)
+            self._arena_bytes = 0
+
+    # -- introspection (the property-test surface) -----------------------
+
+    def table(self, seq_id: int) -> Tuple[int, ...]:
+        return tuple(self._tables.get(seq_id, ()))
+
+    def sequences(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._tables))
+
+    def owner_of(self, block: int) -> Optional[int]:
+        return self._owner.get(block)
+
+    def check_consistent(self) -> None:
+        """Free list + block tables must partition ``range(num_blocks)``."""
+        owned: Dict[int, int] = {}
+        for seq_id, table in self._tables.items():
+            for block in table:
+                if block in owned:
+                    raise KVCacheError(
+                        f"block {block} double-owned by seq {owned[block]} "
+                        f"and seq {seq_id}")
+                owned[block] = seq_id
+        if owned != self._owner:
+            raise KVCacheError(
+                "owner index out of sync with block tables: "
+                f"{sorted(set(owned.items()) ^ set(self._owner.items()))}")
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise KVCacheError("duplicate block on the free list")
+        if free & set(owned):
+            raise KVCacheError(
+                f"blocks both free and owned: {sorted(free & set(owned))}")
+        if free | set(owned) != set(range(self.num_blocks)):
+            leaked = set(range(self.num_blocks)) - free - set(owned)
+            raise KVCacheError(f"leaked blocks (neither free nor owned): "
+                               f"{sorted(leaked)}")

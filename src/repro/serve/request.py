@@ -1,0 +1,187 @@
+"""Inference requests and their lifecycle state machine.
+
+A :class:`Request` is one user call: a prompt of ``prompt_tokens`` tokens
+arriving at ``arrival`` simulated seconds, asking for ``max_new_tokens``
+output tokens.  The serving engine moves it through::
+
+    QUEUED -> PREFILL -> DECODE -> FINISHED
+       ^         |          |
+       +---- PREEMPTED <----+          (cache pressure: recompute-style)
+       |
+       +---- FAILED                    (typed: request can never fit)
+
+Preemption is *recompute-style and total*: the victim's KV blocks are
+freed and all generated progress is discarded, so a re-admitted request
+replays prefill and decode from scratch.  Output tokens come from a
+deterministic LCG chain seeded by ``(gen_seed, req_id, prompt_tokens)``
+— any bookkeeping bug across a preempt/requeue (wrong resume position,
+stale progress, lost reset) diverges the replayed chain and is caught by
+the ``serving`` property lane's bitwise output comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+QUEUED = "queued"
+PREFILL = "prefill"
+DECODE = "decode"
+PREEMPTED = "preempted"
+FINISHED = "finished"
+FAILED = "failed"
+
+REQUEST_STATES = (QUEUED, PREFILL, DECODE, PREEMPTED, FINISHED, FAILED)
+
+#: 64-bit LCG (Knuth MMIX) driving the simulated token stream
+_GEN_MUL = 6364136223846793005
+_GEN_ADD = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+
+class Request:
+    """One inference request plus its runtime progress."""
+
+    __slots__ = (
+        "req_id", "client", "prompt_tokens", "max_new_tokens", "arrival",
+        "state", "prefill_done", "tokens_generated", "output",
+        "preemptions", "fail_reason",
+        "t_admitted", "t_first_token", "t_prefill_done", "t_last_preempt",
+        "t_finished", "_gen_state",
+    )
+
+    def __init__(self, req_id: int, prompt_tokens: int, max_new_tokens: int,
+                 arrival: float, client: int = -1) -> None:
+        if prompt_tokens < 1:
+            raise ValueError(f"prompt_tokens must be >= 1, got {prompt_tokens}")
+        if max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        self.req_id = int(req_id)
+        self.client = int(client)
+        self.prompt_tokens = int(prompt_tokens)
+        self.max_new_tokens = int(max_new_tokens)
+        self.arrival = float(arrival)
+        self.state = QUEUED
+        self.prefill_done = 0
+        self.tokens_generated = 0
+        self.output: List[int] = []
+        self.preemptions = 0
+        self.fail_reason: Optional[str] = None
+        self.t_admitted: Optional[float] = None
+        self.t_first_token: Optional[float] = None
+        self.t_prefill_done: Optional[float] = None
+        self.t_last_preempt: Optional[float] = None
+        self.t_finished: Optional[float] = None
+        self._gen_state = 0
+
+    # -- token generation ------------------------------------------------
+
+    def start_generation(self, gen_seed: int, vocab: int) -> None:
+        """(Re)seed the deterministic output chain; called at admission."""
+        del vocab  # tokens are drawn lazily; vocab applied per draw
+        state = (gen_seed * 0x9E3779B97F4A7C15
+                 + self.req_id * 0xBF58476D1CE4E5B9
+                 + self.prompt_tokens) & _MASK64
+        # one warm-up step decorrelates nearby (seed, id) pairs
+        self._gen_state = (state * _GEN_MUL + _GEN_ADD) & _MASK64
+
+    def next_token(self, vocab: int) -> int:
+        self._gen_state = (self._gen_state * _GEN_MUL + _GEN_ADD) & _MASK64
+        return int((self._gen_state >> 33) % vocab)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def total_tokens(self) -> int:
+        """KV slots a fully-decoded request occupies."""
+        return self.prompt_tokens + self.max_new_tokens
+
+    def reset_progress(self, t: float) -> None:
+        """Recompute-style preemption: discard every generated token."""
+        self.state = PREEMPTED
+        self.prefill_done = 0
+        self.tokens_generated = 0
+        self.output = []
+        self.preemptions += 1
+        self.t_last_preempt = t
+
+    def record(self) -> "RequestRecord":
+        return RequestRecord(
+            req_id=self.req_id,
+            client=self.client,
+            prompt_tokens=self.prompt_tokens,
+            max_new_tokens=self.max_new_tokens,
+            arrival=self.arrival,
+            t_first_token=self.t_first_token,
+            t_finished=self.t_finished,
+            output=tuple(self.output),
+            preemptions=self.preemptions,
+            fail_reason=self.fail_reason,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Request(id={self.req_id}, state={self.state}, "
+                f"prompt={self.prompt_tokens}, new={self.max_new_tokens}, "
+                f"gen={self.tokens_generated})")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable completion record — what the traffic report aggregates.
+
+    Survives engine restarts (the driver owns the record dict), so a
+    crash-requeued request keeps exactly one record: the pass that
+    finished it.
+    """
+
+    req_id: int
+    client: int
+    prompt_tokens: int
+    max_new_tokens: int
+    arrival: float
+    t_first_token: Optional[float]
+    t_finished: Optional[float]
+    output: Tuple[int, ...] = field(default_factory=tuple)
+    preemptions: int = 0
+    fail_reason: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.fail_reason is None and self.t_finished is not None
+
+    @property
+    def ttft(self) -> Optional[float]:
+        if self.t_first_token is None:
+            return None
+        return self.t_first_token - self.arrival
+
+    @property
+    def e2e_latency(self) -> Optional[float]:
+        if self.t_finished is None:
+            return None
+        return self.t_finished - self.arrival
+
+    @property
+    def token_latency(self) -> Optional[float]:
+        """Mean seconds per output token after the first."""
+        if not self.completed or self.t_first_token is None:
+            return None
+        n = len(self.output)
+        if n <= 1:
+            return 0.0
+        return (self.t_finished - self.t_first_token) / (n - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "req_id": self.req_id,
+            "client": self.client,
+            "prompt_tokens": self.prompt_tokens,
+            "max_new_tokens": self.max_new_tokens,
+            "arrival": self.arrival,
+            "t_first_token": self.t_first_token,
+            "t_finished": self.t_finished,
+            "output": list(self.output),
+            "preemptions": self.preemptions,
+            "fail_reason": self.fail_reason,
+        }

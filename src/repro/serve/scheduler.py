@@ -1,0 +1,273 @@
+"""Continuous-batching scheduler: admission, interleaving, preemption.
+
+One :meth:`ContinuousBatchingScheduler.step` builds the *batch plan* for
+the next model iteration (vLLM-style continuous batching — the batch is
+recomposed every step, requests join and leave mid-flight):
+
+1. **Decode first.**  Every running sequence contributes one token slot,
+   in admission order, until the token budget runs out.  Latency beats
+   throughput: a queued prompt never starves a stream mid-generation.
+2. **Prefill second.**  Admitted-but-unprefilled requests consume the
+   leftover budget in chunks of ``prefill_chunk`` tokens.
+3. **Admission last.**  Preempted requests re-enter first (FIFO over
+   preemption time — they already waited once), then the arrival queue
+   in ``(arrival, req_id)`` order, as long as budget remains.
+
+KV pressure resolves by *preempting the youngest*: when a block
+allocation fails, the most recently admitted active request is evicted
+(blocks freed, progress discarded, requeued) and the allocation retried.
+A request never evicts an older one, so the oldest active request always
+makes progress — that is the liveness argument, together with the
+admission-time :class:`~repro.serve.kvcache.RequestTooLarge` check that
+keeps unservable requests out entirely.
+
+The scheduler is single-threaded, clockless and RNG-free: every decision
+is a pure function of (queue state, ``now``), which is what makes the
+engine's per-seed bitwise determinism — and the hypothesis lane over
+random admission/preemption schedules — possible.  :meth:`apply` applies
+a plan's token transitions (also deterministically), so scheduler + pool
+are fully testable without the SPMD substrate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.serve.kvcache import BlockPool, CacheExhausted
+from repro.serve.request import (
+    DECODE, FAILED, FINISHED, PREFILL, Request,
+)
+
+
+class BatchPlan:
+    """What one engine iteration will run."""
+
+    __slots__ = ("prefill", "decode", "admitted", "preempted", "failed",
+                 "context_tokens")
+
+    def __init__(self) -> None:
+        #: (request, prompt tokens processed this step)
+        self.prefill: List[Tuple[Request, int]] = []
+        #: requests generating exactly one token this step
+        self.decode: List[Request] = []
+        self.admitted: List[Request] = []
+        self.preempted: List[Request] = []
+        self.failed: List[Request] = []
+        #: attention context (KV slots read) across the batch, for pricing
+        self.context_tokens = 0
+
+    @property
+    def new_tokens(self) -> int:
+        """Token slots computed this step — the budgeted quantity."""
+        return len(self.decode) + sum(chunk for _, chunk in self.prefill)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.prefill or self.decode or self.failed)
+
+    def _drop(self, req: Request) -> None:
+        """Remove a just-preempted request from this plan's work lists."""
+        if req in self.decode:
+            self.decode.remove(req)
+        self.prefill = [(r, c) for r, c in self.prefill if r is not req]
+
+
+class ContinuousBatchingScheduler:
+    def __init__(self, pool: BlockPool, max_batch_tokens: int,
+                 prefill_chunk: int = 64, gen_seed: int = 0,
+                 vocab: int = 50257) -> None:
+        if max_batch_tokens < 1:
+            raise ValueError(
+                f"max_batch_tokens must be >= 1, got {max_batch_tokens}")
+        if prefill_chunk < 1:
+            raise ValueError(
+                f"prefill_chunk must be >= 1, got {prefill_chunk}")
+        self.pool = pool
+        self.max_batch_tokens = int(max_batch_tokens)
+        self.prefill_chunk = int(prefill_chunk)
+        self.gen_seed = int(gen_seed)
+        self.vocab = int(vocab)
+        #: not-yet-admitted, ordered (arrival, req_id)
+        self.waiting: List[Request] = []
+        #: preempted awaiting re-admission, FIFO over preemption time
+        self.paused: Deque[Request] = deque()
+        #: admitted (PREFILL or DECODE), in admission order — the age order
+        #: preemption victims are drawn from (youngest last)
+        self.active: List[Request] = []
+        self._now = 0.0
+
+    # -- queue management ------------------------------------------------
+
+    def submit(self, req: Request) -> None:
+        key = (req.arrival, req.req_id)
+        lo, hi = 0, len(self.waiting)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            w = self.waiting[mid]
+            if (w.arrival, w.req_id) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.waiting.insert(lo, req)
+
+    def next_arrival(self) -> Optional[float]:
+        """Earliest time new work becomes admissible (None = drained)."""
+        if self.paused or self.active:
+            return 0.0
+        if self.waiting:
+            return self.waiting[0].arrival
+        return None
+
+    @property
+    def drained(self) -> bool:
+        return not (self.waiting or self.paused or self.active)
+
+    # -- plan construction -----------------------------------------------
+
+    def step(self, now: float) -> BatchPlan:
+        self._now = now  # preemptions inside this step happen at `now`
+        plan = BatchPlan()
+        budget = self.max_batch_tokens
+
+        # 1) decode: one token per running sequence, oldest first
+        for req in list(self.active):
+            if budget <= 0:
+                break
+            if req.state != DECODE or req not in self.active:
+                continue
+            slots = req.prompt_tokens + req.tokens_generated + 1
+            if not self._grow(req, slots, plan):
+                continue  # req preempted itself
+            plan.decode.append(req)
+            plan.context_tokens += req.prompt_tokens + req.tokens_generated
+            budget -= 1
+
+        # 2) prefill for already-admitted prompts
+        for req in list(self.active):
+            if budget <= 0:
+                break
+            if req.state != PREFILL or req not in self.active:
+                continue
+            budget -= self._plan_prefill(req, budget, plan)
+
+        # 3) admission: preempted first, then the arrival queue.  Admission
+        # never evicts (an incoming request is the youngest, so eviction
+        # could only hit itself): when the first prefill chunk does not fit
+        # the free list, admission stops until decode drains some blocks.
+        while budget > 0:
+            req = self._peek_admissible(now)
+            if req is None:
+                break
+            if not self.pool.fits_ever(req.total_tokens):
+                self._pop_admissible()
+                req.state = FAILED
+                req.fail_reason = "RequestTooLarge"
+                plan.failed.append(req)
+                continue
+            chunk = min(self.prefill_chunk, req.prompt_tokens, budget)
+            if self.pool.blocks_for(chunk) > self.pool.free_blocks:
+                break
+            self._pop_admissible()
+            req.state = PREFILL
+            req.prefill_done = 0
+            req.t_admitted = now
+            req.start_generation(self.gen_seed, self.vocab)
+            self.active.append(req)
+            plan.admitted.append(req)
+            budget -= self._plan_prefill(req, budget, plan)
+
+        return plan
+
+    def _peek_admissible(self, now: float) -> Optional[Request]:
+        if self.paused:
+            return self.paused[0]
+        if self.waiting and self.waiting[0].arrival <= now:
+            return self.waiting[0]
+        return None
+
+    def _pop_admissible(self) -> Request:
+        if self.paused:
+            return self.paused.popleft()
+        return self.waiting.pop(0)
+
+    def _plan_prefill(self, req: Request, budget: int,
+                      plan: BatchPlan) -> int:
+        """Schedule one prefill chunk for ``req``; tokens consumed."""
+        chunk = min(self.prefill_chunk, req.prompt_tokens - req.prefill_done,
+                    budget)
+        if chunk <= 0:
+            return 0
+        if not self._grow(req, req.prefill_done + chunk, plan):
+            return 0  # req preempted itself while growing
+        plan.prefill.append((req, chunk))
+        plan.context_tokens += req.prefill_done + chunk
+        return chunk
+
+    def _grow(self, req: Request, total_tokens: int, plan: BatchPlan) -> bool:
+        """Allocate KV blocks for ``req``, evicting younger requests on
+        pressure.  False when ``req`` ended up evicting itself."""
+        while True:
+            try:
+                self.pool.appended(req.req_id, total_tokens)
+                return True
+            except CacheExhausted:
+                victim = self.active[-1]
+                self._preempt(victim, plan)
+                if victim is req:
+                    return False
+
+    def _preempt(self, req: Request, plan: BatchPlan) -> None:
+        self.pool.free_sequence(req.req_id)
+        self.active.remove(req)
+        req.reset_progress(t=self._now)
+        plan._drop(req)
+        plan.preempted.append(req)
+        self.paused.append(req)
+
+    # -- plan application ------------------------------------------------
+
+    def apply(self, plan: BatchPlan, t: float
+              ) -> Tuple[List[Request], List[Request]]:
+        """Apply ``plan``'s transitions at completion time ``t``.
+
+        Returns ``(finished, prefill_completed)`` — requests that produced
+        their last token this step, and requests whose prompt finished
+        processing this step (these also emit their first output token).
+        """
+        for req in plan.failed:
+            req.t_finished = t  # failure time, so closed-loop chains go on
+
+        finished: List[Request] = []
+        prefill_completed: List[Request] = []
+
+        for req, chunk in plan.prefill:
+            req.prefill_done += chunk
+            if req.prefill_done >= req.prompt_tokens:
+                req.state = DECODE
+                req.t_prefill_done = t
+                prefill_completed.append(req)
+                self._emit(req, t)
+                if req.tokens_generated >= req.max_new_tokens:
+                    self._finish(req, t, finished)
+
+        for req in plan.decode:
+            self._emit(req, t)
+            if req.tokens_generated >= req.max_new_tokens:
+                self._finish(req, t, finished)
+
+        return finished, prefill_completed
+
+    def _emit(self, req: Request, t: float) -> None:
+        req.output.append(req.next_token(self.vocab))
+        req.tokens_generated += 1
+        if req.t_first_token is None:
+            req.t_first_token = t
+
+    def _finish(self, req: Request, t: float,
+                finished: List[Request]) -> None:
+        req.state = FINISHED
+        req.t_finished = t
+        self.pool.free_sequence(req.req_id)
+        self.active.remove(req)
+        finished.append(req)

@@ -48,6 +48,7 @@ CLOCK_CATEGORIES = ("compute", "comm", "wait", "offload", "optimizer")
 ANNOTATION_CATEGORIES = (
     "collective", "p2p", "pipeline", "bubble", "retry",
     "zero", "step", "checkpoint", "rank", "comm_stream", "overlap",
+    "serve",
 )
 
 #: event kinds

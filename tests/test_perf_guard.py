@@ -20,6 +20,8 @@ import time
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.autograd import ops
 from repro.cluster import uniform_cluster
@@ -37,6 +39,11 @@ from repro.sanitize.errors import CollectiveDesync
 from repro.tensor import Tensor
 
 pytestmark = pytest.mark.perf
+
+fast = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 
 H, C, B = 16, 4, 8
 LR = 0.05
@@ -381,3 +388,81 @@ class TestBufferPool:
         pool.restock(base[1])  # view
         pool.restock(np.asfortranarray(np.zeros((3, 3))).T[::2])
         pool.check_leaks()
+
+
+# hypothesis ops for TestBufferPoolProperties: (op, index) where index picks
+# the shape for loans/donations and the held buffer for returns
+_POOL_SHAPES = ((4,), (16,), (4, 4))
+_pool_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["loan", "restock", "freeze_restock", "adopt", "donate"]),
+        st.integers(0, 31),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+class TestBufferPoolProperties:
+    """Hypothesis lane over random loan/restock/adopt/donate schedules."""
+
+    def _replay(self, ops):
+        """Run an op schedule; returns (pool, held, frozen) where held is
+        the list of (arr, label) still outstanding and frozen keeps a live
+        reference to every buffer frozen at restock time (so ids can't be
+        recycled by the allocator)."""
+        pool = BufferPool()
+        held = []
+        frozen = []
+        loans = 0
+        for op, idx in ops:
+            if op == "loan":
+                label = f"lane.buf{loans}"
+                arr = pool.loan(_POOL_SHAPES[idx % len(_POOL_SHAPES)],
+                                np.float32, label)
+                # a loan must never alias a buffer that was frozen when
+                # it went back to the pool
+                assert all(arr is not f for f in frozen), \
+                    "pool handed out a frozen buffer"
+                assert arr.flags.writeable and arr.flags.c_contiguous
+                held.append((arr, label))
+                loans += 1
+            elif op == "donate":
+                pool.restock(np.empty(
+                    _POOL_SHAPES[idx % len(_POOL_SHAPES)], np.float32))
+            elif held:
+                arr, label = held.pop(idx % len(held))
+                if op == "restock":
+                    pool.restock(arr)
+                elif op == "freeze_restock":
+                    arr.flags.writeable = False
+                    frozen.append(arr)
+                    pool.restock(arr)
+                else:
+                    pool.adopt(arr)
+            # the free list is bounded per (shape, dtype) key at all times
+            for key, bucket in pool._free.items():
+                assert len(bucket) <= BufferPool.MAX_PER_KEY, \
+                    f"free list for {key} grew to {len(bucket)}"
+        return pool, held, frozen
+
+    @given(ops=_pool_ops)
+    @fast
+    def test_never_alias_frozen_and_bounded_free_list(self, ops):
+        pool, held, _ = self._replay(ops)
+        for arr, _ in held:  # clean up so check_leaks can pass
+            pool.restock(arr)
+        pool.check_leaks()
+
+    @given(ops=_pool_ops)
+    @fast
+    def test_check_leaks_names_every_outstanding_label(self, ops):
+        pool, held, _ = self._replay(ops)
+        expected = sorted(label for _, label in held)
+        if not expected:
+            pool.check_leaks()  # nothing outstanding: must not raise
+            return
+        with pytest.raises(BufferPoolLeak) as exc:
+            pool.check_leaks()
+        assert sorted(exc.value.labels) == expected
+        pool.check_leaks()  # the report drained the outstanding state

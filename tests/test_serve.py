@@ -1,0 +1,450 @@
+"""The ``serving`` lane: invariants of the inference-serving engine.
+
+Core is hypothesis property testing over the paged KV cache and the
+continuous-batching scheduler — both are single-threaded and clockless,
+so random admission/preemption schedules run thousands of steps without
+touching the SPMD substrate:
+
+- no KV block is ever double-owned or leaked, across any schedule;
+- a batch never exceeds the configured token budget;
+- preempted requests complete with output bitwise identical to an
+  uninterrupted run;
+- scheduling (and thus the whole traffic report) is bitwise
+  deterministic per seed.
+
+Engine-level tests then run the real tensor-parallel decode loop on the
+simulated runtime (priced collectives, traced spans, launch wiring), and
+the chaos section kills a TP rank mid-request to check typed failure,
+requeue and the p99/goodput SLO hit in the report.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.cluster import uniform_cluster
+from repro.cluster.device import DeviceOutOfMemoryError, MemoryPool
+from repro.faults import FaultPlan
+from repro.serve import (
+    BlockPool,
+    CacheExhausted,
+    ClosedLoopTraffic,
+    ContinuousBatchingScheduler,
+    ModelSpec,
+    OpenLoopTraffic,
+    Request,
+    RequestTooLarge,
+    TrafficReport,
+    serve_traffic,
+)
+from repro.trace import Tracer
+
+pytestmark = pytest.mark.serving
+
+fast = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_rank_threads():
+    """Every test must leave zero live spmd-rank-* threads behind."""
+    yield
+    for t in threading.enumerate():
+        if t.name.startswith("spmd-rank-"):
+            t.join(timeout=10.0)
+    leaked = [t.name for t in threading.enumerate()
+              if t.name.startswith("spmd-rank-") and t.is_alive()]
+    assert not leaked, f"leaked rank threads: {leaked}"
+
+
+SMALL_MODEL = ModelSpec(n_layers=2, hidden=256, n_heads=4, vocab=997)
+
+
+def _open(rate=2000.0, n=24, seed=7, prompt=(8, 24), new=(4, 12)):
+    return OpenLoopTraffic(rate=rate, n_requests=n, prompt_tokens=prompt,
+                           max_new_tokens=new, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# BlockPool: the paged KV-cache allocator
+# ---------------------------------------------------------------------------
+
+
+class TestBlockPool:
+    def test_partition_invariant_basics(self):
+        pool = BlockPool(block_size=4, num_blocks=8)
+        assert pool.appended(1, 9) == 3  # ceil(9/4)
+        assert pool.appended(1, 10) == 0  # same block covers it
+        assert pool.appended(1, 13) == 1
+        assert pool.table(1) == (0, 1, 2, 3)
+        pool.check_consistent()
+        assert pool.free_blocks == 4
+        assert pool.free_sequence(1) == 4
+        assert pool.free_blocks == 8
+        pool.check_consistent()
+
+    def test_exhaustion_is_all_or_nothing(self):
+        pool = BlockPool(block_size=2, num_blocks=4)
+        pool.appended(1, 6)  # 3 blocks
+        with pytest.raises(CacheExhausted):
+            pool.appended(2, 6)  # needs 3, only 1 free
+        assert pool.table(2) == ()  # nothing allocated on failure
+        assert pool.free_blocks == 1
+        pool.check_consistent()
+
+    def test_request_too_large_is_typed(self):
+        pool = BlockPool(block_size=2, num_blocks=4)
+        with pytest.raises(RequestTooLarge):
+            pool.appended(9, 100)
+        pool.check_consistent()
+
+    def test_memory_backed_arena_charge_and_release(self):
+        mem = MemoryPool(capacity=1024)
+        pool = BlockPool(block_size=4, num_blocks=8, memory=mem,
+                         bytes_per_block=64)
+        assert mem.allocated == 512
+        pool.release()
+        assert mem.allocated == 0
+        pool.release()  # idempotent
+        assert mem.allocated == 0
+
+    def test_memory_backed_arena_oom_at_init(self):
+        mem = MemoryPool(capacity=100)
+        with pytest.raises(DeviceOutOfMemoryError):
+            BlockPool(block_size=4, num_blocks=8, memory=mem,
+                      bytes_per_block=64)
+
+    @given(
+        block_size=st.integers(1, 6),
+        num_blocks=st.integers(2, 16),
+        ops=st.lists(
+            st.tuples(st.integers(0, 5),        # sequence id
+                      st.integers(0, 40),       # target total tokens
+                      st.booleans()),           # free instead of grow
+            min_size=1, max_size=60),
+    )
+    @fast
+    def test_no_block_double_owned_or_leaked(self, block_size, num_blocks,
+                                             ops):
+        """Free list + tables partition the pool across any op schedule."""
+        pool = BlockPool(block_size=block_size, num_blocks=num_blocks)
+        grown = {}
+        for seq, tokens, do_free in ops:
+            if do_free:
+                freed = pool.free_sequence(seq)
+                assert freed == len(pool.table(seq)) or freed >= 0
+                grown.pop(seq, None)
+            else:
+                tokens = max(tokens, grown.get(seq, 0))
+                try:
+                    pool.appended(seq, tokens)
+                    grown[seq] = max(grown.get(seq, 0), tokens)
+                except (CacheExhausted, RequestTooLarge):
+                    pass  # all-or-nothing; table must be unchanged
+            pool.check_consistent()
+            assert pool.free_blocks + pool.used_blocks == num_blocks
+            for s in pool.sequences():
+                assert len(pool.table(s)) == pool.blocks_for(
+                    max(grown.get(s, 0), 1)) or s in grown
+        for seq in list(pool.sequences()):
+            pool.free_sequence(seq)
+        pool.check_consistent()
+        assert pool.free_blocks == num_blocks
+
+
+# ---------------------------------------------------------------------------
+# Continuous-batching scheduler: property tests over random schedules
+# ---------------------------------------------------------------------------
+
+request_sets = st.lists(
+    st.tuples(st.integers(1, 24),                        # prompt tokens
+              st.integers(1, 8),                         # max new tokens
+              st.floats(0, 40, allow_nan=False)),        # arrival
+    min_size=1, max_size=12,
+)
+
+
+def _drive(requests, *, num_blocks, block_size, budget, chunk, seed=1):
+    """Run a request set to completion single-threaded; returns the
+    scheduler plus (finished, failed) request lists, checking the pool
+    partition invariant and the token budget at every step."""
+    pool = BlockPool(block_size=block_size, num_blocks=num_blocks)
+    sched = ContinuousBatchingScheduler(
+        pool, budget, prefill_chunk=chunk, gen_seed=seed, vocab=997)
+    for spec in requests:
+        sched.submit(spec)
+    now, steps = 0.0, 0
+    finished, failed = [], []
+    while not sched.drained:
+        plan = sched.step(now)
+        assert plan.new_tokens <= budget, "token budget exceeded"
+        pool.check_consistent()
+        if plan.empty and not plan.preempted:
+            nxt = sched.next_arrival()
+            assert nxt is not None, "scheduler stuck with empty plan"
+            now = max(now, nxt)
+            continue
+        now += 1.0
+        fins, _ = sched.apply(plan, now)
+        finished.extend(fins)
+        failed.extend(plan.failed)
+        steps += 1
+        assert steps < 20_000, "scheduler failed to make progress"
+    assert pool.used_blocks == 0, "KV blocks leaked after drain"
+    pool.check_consistent()
+    return sched, finished, failed
+
+
+@st.composite
+def schedule_cases(draw):
+    reqs = draw(request_sets)
+    return {
+        "reqs": reqs,
+        "num_blocks": draw(st.integers(2, 12)),
+        "block_size": draw(st.integers(1, 6)),
+        "budget": draw(st.integers(1, 48)),
+        "chunk": draw(st.integers(1, 16)),
+    }
+
+
+class TestSchedulerProperties:
+    @given(case=schedule_cases())
+    @fast
+    def test_budget_partition_and_drain(self, case):
+        """Any admission/preemption schedule drains with no leak and no
+        budget overrun; every request terminates exactly once."""
+        reqs = [Request(i, p, n, a)
+                for i, (p, n, a) in enumerate(case["reqs"])]
+        _, finished, failed = _drive(
+            reqs, num_blocks=case["num_blocks"],
+            block_size=case["block_size"], budget=case["budget"],
+            chunk=case["chunk"])
+        assert len(finished) + len(failed) == len(reqs)
+        assert {r.req_id for r in finished} | {r.req_id for r in failed} \
+            == set(range(len(reqs)))
+        for r in failed:
+            assert r.fail_reason == "RequestTooLarge"
+        for r in finished:
+            assert len(r.output) == r.max_new_tokens
+
+    @given(case=schedule_cases())
+    @fast
+    def test_preempted_output_identical_to_uninterrupted(self, case):
+        """A tiny cache (heavy preemption) must produce bitwise the same
+        outputs as a cache that never evicts."""
+        make = lambda: [Request(i, p, n, a)
+                        for i, (p, n, a) in enumerate(case["reqs"])]
+        _, fin_small, fail_small = _drive(
+            make(), num_blocks=case["num_blocks"],
+            block_size=case["block_size"], budget=case["budget"],
+            chunk=case["chunk"])
+        # big enough that nothing is ever evicted
+        big = sum(-(-(p + n) // case["block_size"])
+                  for p, n, _ in case["reqs"]) + 1
+        _, fin_big, _ = _drive(
+            make(), num_blocks=big, block_size=case["block_size"],
+            budget=case["budget"], chunk=case["chunk"])
+        small_out = {r.req_id: r.output for r in fin_small}
+        big_out = {r.req_id: r.output
+                   for r in fin_big if r.req_id in small_out}
+        assert small_out == big_out
+
+    @given(case=schedule_cases(), seed=st.integers(0, 2**31))
+    @fast
+    def test_bitwise_deterministic_per_seed(self, case, seed):
+        def run():
+            reqs = [Request(i, p, n, a)
+                    for i, (p, n, a) in enumerate(case["reqs"])]
+            _, fin, fail = _drive(
+                reqs, num_blocks=case["num_blocks"],
+                block_size=case["block_size"], budget=case["budget"],
+                chunk=case["chunk"], seed=seed)
+            return [(r.req_id, r.t_finished, tuple(r.output), r.preemptions)
+                    for r in fin]
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Engine-level: priced TP decode on the simulated runtime
+# ---------------------------------------------------------------------------
+
+
+class TestServeEngine:
+    def test_open_loop_completes_and_reports(self):
+        rep = serve_traffic(SMALL_MODEL, _open(), world_size=2)
+        assert isinstance(rep, TrafficReport)
+        assert rep.n_completed == 24 and rep.n_failed == 0
+        assert rep.goodput_tokens_per_sec > 0
+        assert rep.p50_ttft is not None and rep.p99_ttft >= rep.p50_ttft
+        assert rep.p99_e2e >= rep.p50_e2e
+        assert rep.makespan > 0
+        assert "goodput" in rep.format()
+
+    def test_same_seed_bitwise_identical_report(self):
+        a = serve_traffic(SMALL_MODEL, _open(seed=11), world_size=2)
+        b = serve_traffic(SMALL_MODEL, _open(seed=11), world_size=2)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_schedule(self):
+        a = serve_traffic(SMALL_MODEL, _open(seed=11), world_size=2)
+        b = serve_traffic(SMALL_MODEL, _open(seed=12), world_size=2)
+        assert a.to_dict() != b.to_dict()
+
+    def test_preemption_preserves_outputs_end_to_end(self):
+        roomy = serve_traffic(SMALL_MODEL, _open(), world_size=2)
+        tight = serve_traffic(SMALL_MODEL, _open(), world_size=2,
+                              kv_blocks=16, block_size=4)
+        assert tight.preemptions > 0, "cache was not tight enough"
+        assert ({r.req_id: r.output for r in roomy.records.values()}
+                == {r.req_id: r.output for r in tight.records.values()})
+        # preemption replays work, so latency must be priced in
+        assert tight.p99_e2e > roomy.p99_e2e
+
+    def test_closed_loop_self_throttles(self):
+        rep = serve_traffic(
+            SMALL_MODEL,
+            ClosedLoopTraffic(clients=4, n_requests=20, seed=3,
+                              prompt_tokens=(8, 24), max_new_tokens=(4, 12)),
+            world_size=2)
+        assert rep.n_completed == 20
+        assert rep.preemptions == 0 or rep.preemptions >= 0  # report sane
+        # at most `clients` in flight: arrivals follow completions
+        recs = sorted(rep.records.values(), key=lambda r: r.req_id)
+        for r in recs:
+            if r.req_id >= 4:
+                parent = rep.records[r.req_id - 4]
+                assert r.arrival >= parent.t_finished
+
+    def test_overload_raises_tail_latency(self):
+        lo = serve_traffic(SMALL_MODEL, _open(rate=500.0, n=24),
+                           world_size=2)
+        hi = serve_traffic(SMALL_MODEL, _open(rate=50000.0, n=24),
+                           world_size=2)
+        assert hi.p99_ttft > lo.p99_ttft
+
+    def test_unservable_request_fails_typed(self):
+        rep = serve_traffic(
+            SMALL_MODEL, _open(prompt=(200, 220), new=(4, 8), n=4),
+            world_size=2, kv_blocks=8, block_size=4)
+        assert rep.n_failed == 4
+        assert all(r.fail_reason == "RequestTooLarge"
+                   for r in rep.records.values())
+
+    def test_single_rank_replica_works(self):
+        rep = serve_traffic(SMALL_MODEL, _open(n=8), world_size=1)
+        assert rep.n_completed == 8
+
+    def test_per_request_trace_spans(self):
+        tracer = Tracer()
+        rep = serve_traffic(SMALL_MODEL, _open(n=12), world_size=2,
+                            tracer=tracer, kv_blocks=16, block_size=4)
+        spans = [s for s in tracer.spans() if s.cat == "serve"]
+        kinds = {s.name.split("/")[0] for s in spans}
+        assert {"queued", "prefill", "decode"} <= kinds
+        if rep.preemptions:
+            assert "preempted" in kinds
+        for s in spans:
+            assert 0.0 <= s.t0 <= s.t1 <= rep.makespan + 1e-9
+        # decode spans exist for every completed request
+        decoded = {int(s.name.split("req")[1]) for s in spans
+                   if s.name.startswith("decode/")}
+        assert decoded == {r.req_id for r in rep.records.values()
+                           if r.fail_reason is None}
+
+    def test_launch_serve_section(self):
+        cfg = dict(serve=dict(
+            model=dict(n_layers=2, hidden=256, n_heads=4, vocab=997),
+            traffic=dict(kind="open", rate=2000.0, n_requests=10, seed=5,
+                         prompt_tokens=[8, 16], max_new_tokens=[4, 8]),
+            kv_blocks=64, block_size=8,
+        ))
+        rep = repro.launch(cfg, uniform_cluster(2), world_size=2)
+        assert isinstance(rep, TrafficReport)
+        assert rep.n_completed == 10
+
+    def test_launch_without_fn_outside_serve_mode_raises(self):
+        with pytest.raises(TypeError, match="per-rank fn"):
+            repro.launch({}, uniform_cluster(2), world_size=2)
+
+    def test_serve_config_validation(self):
+        from repro.config import Config
+        with pytest.raises(ValueError, match="serve.model"):
+            Config.from_dict(dict(serve=dict(
+                traffic=dict(kind="open", rate=1.0, n_requests=1))))
+        with pytest.raises(ValueError, match="kind"):
+            Config.from_dict(dict(serve=dict(
+                model=dict(n_layers=1, hidden=8, n_heads=1),
+                traffic=dict(kind="burst"))))
+        with pytest.raises(ValueError, match="max_batch_tokens"):
+            Config.from_dict(dict(serve=dict(
+                model=dict(n_layers=1, hidden=8, n_heads=1),
+                traffic=dict(kind="open", rate=1.0, n_requests=1),
+                max_batch_tokens=0)))
+
+    def test_kv_arena_released_on_clean_run(self):
+        cluster = uniform_cluster(2)
+        serve_traffic(SMALL_MODEL, _open(n=8), cluster=cluster,
+                      world_size=2)
+        for rank in range(2):
+            assert cluster.device(rank).memory.allocated == 0
+
+
+# ---------------------------------------------------------------------------
+# Chaos x serving: rank loss mid-request is an SLO event, not a crash
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestServingUnderFaults:
+    def test_tp_rank_killed_mid_request_requeues_and_degrades_p99(self):
+        traffic = _open(rate=2000.0, n=24, seed=7)
+        base = serve_traffic(SMALL_MODEL, traffic, world_size=2)
+        # kill rank 1 mid-serving: roughly halfway through the fault-free
+        # makespan, guaranteed to interrupt in-flight decodes
+        t_kill = base.makespan / 2
+        plan = FaultPlan(seed=1).crash(1, at_time=t_kill)
+        faulty = serve_traffic(SMALL_MODEL, traffic, world_size=2,
+                               fault_plan=plan, recovery_seconds=0.002)
+
+        # typed failure surfaced and recovered, not a crash
+        assert faulty.restarts == 1
+        assert len(faulty.failures) == 1
+        ev = faulty.failures[0]
+        assert ev.kind == "RankFailure" and ev.rank == 1
+        assert ev.t >= t_kill
+
+        # every request still completes (requeue), outputs bit-identical
+        assert faulty.n_completed == 24
+        assert ({r.req_id: r.output for r in base.records.values()}
+                == {r.req_id: r.output for r in faulty.records.values()})
+
+        # and the loss is priced: tail latency up, goodput down
+        assert faulty.p99_ttft > base.p99_ttft
+        assert faulty.p99_e2e > base.p99_e2e
+        assert (faulty.goodput_tokens_per_sec
+                < base.goodput_tokens_per_sec)
+
+    def test_repeated_rank_loss_still_drains(self):
+        traffic = _open(rate=2000.0, n=16, seed=9)
+        base = serve_traffic(SMALL_MODEL, traffic, world_size=2)
+        plan = (FaultPlan(seed=2)
+                .crash(0, at_time=base.makespan / 4)
+                .crash(1, at_time=base.makespan / 2))
+        faulty = serve_traffic(SMALL_MODEL, traffic, world_size=2,
+                               fault_plan=plan, recovery_seconds=0.001)
+        assert faulty.restarts == 2
+        assert faulty.n_completed == 16
+        assert {f.kind for f in faulty.failures} == {"RankFailure"}
+
+    def test_recovery_budget_exhaustion_reraises(self):
+        from repro.runtime.errors import RemoteRankError
+        traffic = _open(rate=2000.0, n=16, seed=9)
+        plan = FaultPlan(seed=3).crash(1, at_time=1e-6)
+        with pytest.raises(RemoteRankError):
+            serve_traffic(SMALL_MODEL, traffic, world_size=2,
+                          fault_plan=plan, max_recoveries=0)
